@@ -1,0 +1,163 @@
+(* tmk_run — run one of the paper's applications on the simulated cluster
+   and print its execution statistics.
+
+     tmk_run --app water --procs 8 --network atm --protocol lazy
+     tmk_run --app jacobi --procs 4 --speedup
+     tmk_run --list *)
+
+open Cmdliner
+module Params = Tmk_net.Params
+
+let pf = Format.printf
+
+let run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold ~eager_diffs
+    ~updates ~loss =
+  let net = if loss > 0.0 then Params.with_loss net loss else net in
+  let override cfg =
+    {
+      cfg with
+      Tmk_dsm.Config.seed;
+      gc_threshold = (match gc_threshold with Some g -> g | None -> max_int);
+      lazy_diffs = not eager_diffs;
+      lrc_updates = updates;
+    }
+  in
+  let cfg = override (Tmk_harness.Harness.config ~app ~nprocs ~protocol ~net) in
+  let m = Tmk_harness.Harness.run_cfg ~app cfg in
+  pf "application : %s (%s)@." (Tmk_harness.Harness.app_name app)
+    (Tmk_harness.Harness.workload_description app);
+  pf "cluster     : %d processors, %s, %s release consistency@." nprocs
+    m.Tmk_harness.Harness.m_net
+    (Tmk_dsm.Config.protocol_name protocol);
+  pf "time        : %.3f simulated seconds@." m.Tmk_harness.Harness.m_time_s;
+  if show_speedup && nprocs > 1 then begin
+    let base =
+      Tmk_harness.Harness.run_cfg ~app
+        (override (Tmk_harness.Harness.config ~app ~nprocs:1 ~protocol ~net))
+    in
+    pf "speedup     : %.2f (uniprocessor %.3f s)@."
+      (base.Tmk_harness.Harness.m_time_s /. m.Tmk_harness.Harness.m_time_s)
+      base.Tmk_harness.Harness.m_time_s
+  end;
+  pf "rates       : %.0f msgs/s, %.0f KB/s, %.1f locks/s, %.1f barriers/s, %.1f diffs/s@."
+    m.Tmk_harness.Harness.m_msgs_per_sec m.Tmk_harness.Harness.m_kbytes_per_sec
+    m.Tmk_harness.Harness.m_locks_per_sec m.Tmk_harness.Harness.m_barriers_per_sec
+    m.Tmk_harness.Harness.m_diffs_per_sec;
+  pf "breakdown   : computation %.1f%%, unix %.1f%% (comm %.1f%% / mem %.1f%%),@."
+    m.Tmk_harness.Harness.m_comp_pct
+    (Tmk_harness.Harness.unix_pct m)
+    m.Tmk_harness.Harness.m_unix_comm_pct m.Tmk_harness.Harness.m_unix_mem_pct;
+  pf "              treadmarks %.1f%% (mem %.1f%% / consistency %.1f%% / other %.1f%%), idle %.1f%%@."
+    (Tmk_harness.Harness.tmk_pct m)
+    m.Tmk_harness.Harness.m_tmk_mem_pct m.Tmk_harness.Harness.m_tmk_consistency_pct
+    m.Tmk_harness.Harness.m_tmk_other_pct m.Tmk_harness.Harness.m_idle_pct;
+  let s = m.Tmk_harness.Harness.m_raw.Tmk_dsm.Api.total_stats in
+  pf "protocol    : %d twins, %d diffs created, %d applied, %d page fetches, %d gc runs@."
+    s.Tmk_dsm.Stats.twins_created s.Tmk_dsm.Stats.diffs_created s.Tmk_dsm.Stats.diffs_applied
+    s.Tmk_dsm.Stats.page_fetches s.Tmk_dsm.Stats.gc_runs
+
+let app_conv =
+  let parse s =
+    match Tmk_harness.Harness.app_of_name s with
+    | app -> Ok app
+    | exception Invalid_argument msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf app -> Format.pp_print_string ppf (Tmk_harness.Harness.app_name app))
+
+let protocol_conv =
+  let parse = function
+    | "lazy" | "lrc" -> Ok Tmk_dsm.Config.Lrc
+    | "eager" | "erc" -> Ok Tmk_dsm.Config.Erc
+    | "sc" | "single-writer" -> Ok Tmk_dsm.Config.Sc
+    | s -> Error (`Msg (Printf.sprintf "unknown protocol %S (lazy|eager|sc)" s))
+  in
+  Arg.conv
+    (parse, fun ppf p -> Format.pp_print_string ppf (Tmk_dsm.Config.protocol_name p))
+
+let net_conv =
+  let parse = function
+    | "atm" | "atm-aal34" -> Ok Params.atm_aal34
+    | "atm-udp" -> Ok Params.atm_udp
+    | "ethernet" | "eth" -> Ok Params.ethernet_udp
+    | s -> Error (`Msg (Printf.sprintf "unknown network %S (atm|atm-udp|ethernet)" s))
+  in
+  Arg.conv (parse, fun ppf n -> Format.pp_print_string ppf (Params.name n))
+
+let cmd =
+  let app_arg =
+    Arg.(value & opt app_conv Tmk_harness.Harness.Jacobi
+         & info [ "a"; "app" ] ~docv:"APP" ~doc:"Application: water, jacobi, tsp, quicksort, ilink.")
+  in
+  let procs =
+    Arg.(value & opt int 8 & info [ "p"; "procs" ] ~docv:"N" ~doc:"Number of processors (1-16).")
+  in
+  let protocol =
+    Arg.(value & opt protocol_conv Tmk_dsm.Config.Lrc
+         & info [ "c"; "protocol" ] ~docv:"PROTO" ~doc:"Consistency protocol: lazy (TreadMarks), eager (Munin-style update), or sc (single-writer baseline).")
+  in
+  let net =
+    Arg.(value & opt net_conv Params.atm_aal34
+         & info [ "n"; "network" ] ~docv:"NET" ~doc:"Network: atm, atm-udp or ethernet.")
+  in
+  let speedup =
+    Arg.(value & flag & info [ "s"; "speedup" ] ~doc:"Also run a uniprocessor baseline and report speedup.")
+  in
+  let list =
+    Arg.(value & flag & info [ "list" ] ~doc:"List applications and exit.")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "v"; "verbose" ]
+             ~doc:"Trace protocol events (lock transfers, misses, flushes, barriers) to stderr.")
+  in
+  let seed =
+    Arg.(value & opt int64 1994L & info [ "seed" ] ~docv:"N" ~doc:"Root random seed.")
+  in
+  let gc_threshold =
+    Arg.(value & opt (some int) None
+         & info [ "gc-threshold" ] ~docv:"N"
+             ~doc:"Garbage-collect at the next barrier once a node holds N consistency records.")
+  in
+  let eager_diffs =
+    Arg.(value & flag
+         & info [ "eager-diffs" ]
+             ~doc:"Create diffs eagerly at every interval close (Munin-style; default lazy).")
+  in
+  let updates =
+    Arg.(value & flag
+         & info [ "updates" ]
+             ~doc:"Hybrid update protocol: piggyback diffs on synchronization messages for                    pages the receiver caches (default: invalidate).")
+  in
+  let loss =
+    Arg.(value & opt float 0.0
+         & info [ "loss" ] ~docv:"P" ~doc:"Frame loss probability in [0,1).")
+  in
+  let main app nprocs protocol net show_speedup list verbose seed gc_threshold eager_diffs
+      updates loss =
+    if verbose then begin
+      Logs.set_reporter (Logs_fmt.reporter ());
+      Logs.set_level ~all:true (Some Logs.Debug)
+    end;
+    if list then
+      List.iter
+        (fun a ->
+          pf "%-10s %s@." (Tmk_harness.Harness.app_name a)
+            (Tmk_harness.Harness.workload_description a))
+        Tmk_harness.Harness.all_apps
+    else if nprocs < 1 || nprocs > 16 then
+      prerr_endline "tmk_run: --procs must be between 1 and 16"
+    else
+      run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold ~eager_diffs
+        ~updates ~loss
+  in
+  let term =
+    Term.(
+      const main $ app_arg $ procs $ protocol $ net $ speedup $ list $ verbose $ seed
+      $ gc_threshold $ eager_diffs $ updates $ loss)
+  in
+  Cmd.v
+    (Cmd.info "tmk_run" ~version:"1.0.0"
+       ~doc:"Run a TreadMarks application on the simulated workstation cluster")
+    term
+
+let () = exit (Cmd.eval cmd)

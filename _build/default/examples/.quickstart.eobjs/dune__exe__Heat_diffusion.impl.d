@@ -1,0 +1,1 @@
+examples/heat_diffusion.ml: Api Array Config Fmt Stats String Tmk_dsm Tmk_mem Tmk_sim

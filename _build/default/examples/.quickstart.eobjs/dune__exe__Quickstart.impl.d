@@ -1,0 +1,1 @@
+examples/quickstart.ml: Api Config Fmt Tmk_dsm Tmk_sim

@@ -1,0 +1,1 @@
+examples/task_farm.ml: Api Array Config Fmt Stats Tmk_dsm Tmk_mem Tmk_sim Tmk_util

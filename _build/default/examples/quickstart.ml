@@ -1,0 +1,44 @@
+(* Quickstart: the smallest complete TreadMarks program.
+
+   Processor 0 initializes a shared array; everyone meets at a barrier;
+   every processor then sums a slice and publishes its partial result under
+   a lock.  Run with:
+
+     dune exec examples/quickstart.exe *)
+
+open Tmk_dsm
+
+let () =
+  let config = { Config.default with Config.nprocs = 4; pages = 8 } in
+  let result =
+    Api.run config (fun ctx ->
+        let pid = Api.pid ctx and nprocs = Api.nprocs ctx in
+        (* Every processor performs the same allocations (SPMD). *)
+        let data = Api.falloc ctx 1000 in
+        let total = Api.falloc ctx 1 in
+        if pid = 0 then begin
+          for i = 0 to 999 do
+            Api.fset ctx data i (float_of_int (i + 1))
+          done;
+          Api.fset ctx total 0 0.0
+        end;
+        (* Barrier 0: processor 0's initialization becomes visible. *)
+        Api.barrier ctx 0;
+        (* Each processor sums its slice... *)
+        let slice = 1000 / nprocs in
+        let lo = pid * slice in
+        let partial = ref 0.0 in
+        for i = lo to lo + slice - 1 do
+          partial := !partial +. Api.fget ctx data i
+        done;
+        Api.compute_flops ctx slice;
+        (* ...and accumulates it into the shared total under a lock. *)
+        Api.with_lock ctx 0 (fun () ->
+            Api.fset ctx total 0 (Api.fget ctx total 0 +. !partial));
+        Api.barrier ctx 1;
+        if pid = 0 then
+          Fmt.pr "sum of 1..1000 = %.0f (expected %d)@." (Api.fget ctx total 0)
+            (1000 * 1001 / 2))
+  in
+  Fmt.pr "simulated time: %a; %d messages, %d bytes on the wire@." Tmk_sim.Vtime.pp
+    result.Api.total_time result.Api.messages result.Api.bytes

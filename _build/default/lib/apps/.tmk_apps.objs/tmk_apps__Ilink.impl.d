@@ -1,0 +1,1 @@
+lib/apps/ilink.ml: Api Array Float Tmk_dsm Tmk_mem Tmk_workload

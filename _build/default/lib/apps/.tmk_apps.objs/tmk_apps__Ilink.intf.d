@@ -1,0 +1,1 @@
+lib/apps/ilink.mli: Api Tmk_dsm

@@ -1,0 +1,1 @@
+lib/apps/jacobi.ml: Api Array Tmk_dsm Tmk_mem Tmk_workload

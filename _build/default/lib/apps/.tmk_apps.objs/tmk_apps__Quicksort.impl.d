@@ -1,0 +1,1 @@
+lib/apps/quicksort.ml: Api Array Stack Tmk_dsm Tmk_mem Tmk_workload

@@ -1,0 +1,1 @@
+lib/apps/quicksort.mli: Api Tmk_dsm

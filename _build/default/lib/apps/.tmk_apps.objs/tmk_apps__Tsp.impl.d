@@ -1,0 +1,1 @@
+lib/apps/tsp.ml: Api Array List Tmk_dsm Tmk_mem Tmk_workload

@@ -1,0 +1,1 @@
+lib/apps/tsp.mli: Api Tmk_dsm

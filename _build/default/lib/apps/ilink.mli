@@ -1,0 +1,36 @@
+(** ILINK — genetic linkage analysis from the LINKAGE package (§4.3).
+
+    The paper's input (12 CLP families) is not redistributable, so the
+    workload generator synthesizes a pedigree set with the property the
+    paper highlights: per-family likelihood evaluation cost varies wildly
+    and unpredictably with family structure, so statically distributing
+    families leaves processors unevenly loaded and caps the speedup below
+    what the (modest) communication rates would allow (§4.4).
+
+    The computation is an iterative likelihood maximisation: each
+    iteration evaluates, per family, a peeling-style likelihood at the
+    current recombination parameter theta, sums them, and nudges theta.
+    Barriers separate iterations; there are no locks, matching the
+    paper's execution statistics (0 locks/sec for ILINK). *)
+
+open Tmk_dsm
+
+type params = {
+  families : int;
+  iterations : int;
+  seed : int64;
+  flops_per_unit : int;  (** charged work per likelihood work-unit *)
+}
+
+(** [default] — 24 families, 6 iterations. *)
+val default : params
+
+val pages_needed : params -> int
+
+type result = { log_likelihood : float; theta : float }
+
+val sequential : params -> result
+
+(** [parallel ctx p] — SPMD body; result on processor 0, exactly equal to
+    {!sequential} (the final sum is computed in family order). *)
+val parallel : Api.ctx -> params -> result option

@@ -1,0 +1,141 @@
+open Tmk_dsm
+module Workload = Tmk_workload.Workload
+
+type params = { n : int; threshold : int; seed : int64; flops_per_compare : int }
+
+let default = { n = 16_384; threshold = 256; seed = 13L; flops_per_compare = 3 }
+
+let lock_stack = 0
+
+let pages_needed p =
+  let bytes = (p.n * 8) + 4096 (* stack *) + 4096 in
+  (bytes / Tmk_mem.Vm.page_size) + 3
+
+(* Bubble sort, as the paper uses for small subarrays.  [get]/[set]
+   abstract the array so the same code runs sequentially and on shared
+   memory; [charge] accounts [n] comparisons' work in one batch (one
+   simulated-time advance per pass, not per compare). *)
+let bubble_sort ~get ~set ~charge lo hi =
+  for i = hi downto lo + 1 do
+    charge (i - lo);
+    for j = lo to i - 1 do
+      let a = get j and b = get (j + 1) in
+      if a > b then begin
+        set j b;
+        set (j + 1) a
+      end
+    done
+  done
+
+(* Hoare-style partition around the middle-element pivot. *)
+let partition ~get ~set ~charge lo hi =
+  charge (hi - lo + 1);
+  let pivot = get ((lo + hi) / 2) in
+  let i = ref lo and j = ref hi in
+  let continue_ = ref true in
+  while !continue_ do
+    while get !i < pivot do
+      incr i
+    done;
+    while get !j > pivot do
+      decr j
+    done;
+    if !i >= !j then continue_ := false
+    else begin
+      let a = get !i and b = get !j in
+      set !i b;
+      set !j a;
+      incr i;
+      decr j
+    end
+  done;
+  !j
+
+let rec sort_range ~params ~get ~set ~charge ~push lo hi =
+  if hi - lo + 1 < params.threshold then begin
+    if lo < hi then bubble_sort ~get ~set ~charge lo hi
+  end
+  else begin
+    let mid = partition ~get ~set ~charge lo hi in
+    (* Push the left half for someone else, keep the right. *)
+    push lo mid;
+    sort_range ~params ~get ~set ~charge ~push (mid + 1) hi
+  end
+
+let sequential p =
+  let data = Workload.int_array ~n:p.n ~seed:p.seed in
+  let pending = Stack.create () in
+  let get i = data.(i) and set i v = data.(i) <- v in
+  let push lo hi = Stack.push (lo, hi) pending in
+  Stack.push (0, p.n - 1) pending;
+  let rec drain () =
+    match Stack.pop_opt pending with
+    | None -> ()
+    | Some (lo, hi) ->
+      sort_range ~params:p ~get ~set ~charge:(fun _ -> ()) ~push lo hi;
+      drain ()
+  in
+  drain ();
+  data
+
+(* Shared task stack layout: slot 0 = top index, slot 1 = number of busy
+   workers, slots 2.. = (lo, hi) pairs. *)
+let parallel ?(collect = true) ctx p =
+  let pid = Api.pid ctx in
+  let data = Api.ialloc ~align:Tmk_mem.Vm.page_size ctx p.n in
+  let stack_capacity = 128 in
+  let stack = Api.ialloc ~align:Tmk_mem.Vm.page_size ctx (2 + (2 * stack_capacity)) in
+  if pid = 0 then begin
+    let init = Workload.int_array ~n:p.n ~seed:p.seed in
+    for i = 0 to p.n - 1 do
+      Api.iset ctx data i init.(i)
+    done;
+    Api.iset ctx stack 0 1 (* one task *);
+    Api.iset ctx stack 1 0 (* no busy workers *);
+    Api.iset ctx stack 2 0;
+    Api.iset ctx stack 3 (p.n - 1)
+  end;
+  Api.barrier ctx 0;
+  let get i = Api.iget ctx data i and set i v = Api.iset ctx data i v in
+  let charge n = Api.compute_flops ctx (n * p.flops_per_compare) in
+  let push lo hi =
+    Api.with_lock ctx lock_stack (fun () ->
+        let top = Api.iget ctx stack 0 in
+        if top >= stack_capacity then
+          failwith "Quicksort: shared task stack overflow (raise stack_capacity)";
+        Api.iset ctx stack (2 + (2 * top)) lo;
+        Api.iset ctx stack (3 + (2 * top)) hi;
+        Api.iset ctx stack 0 (top + 1))
+  in
+  (* Pop a task, or learn that the sort is complete.  The busy counter
+     makes termination sound: an empty stack only means "done" once no
+     worker can still push. *)
+  let pop () =
+    Api.with_lock ctx lock_stack (fun () ->
+        let top = Api.iget ctx stack 0 in
+        if top > 0 then begin
+          Api.iset ctx stack 0 (top - 1);
+          Api.iset ctx stack 1 (Api.iget ctx stack 1 + 1);
+          `Task (Api.iget ctx stack (2 + (2 * (top - 1))), Api.iget ctx stack (3 + (2 * (top - 1))))
+        end
+        else if Api.iget ctx stack 1 = 0 then `Done
+        else `Wait)
+  in
+  let finish_task () =
+    Api.with_lock ctx lock_stack (fun () -> Api.iset ctx stack 1 (Api.iget ctx stack 1 - 1))
+  in
+  let rec work () =
+    match pop () with
+    | `Done -> ()
+    | `Wait ->
+      (* back off 5ms before re-polling the stack lock *)
+      Api.compute_ns ctx 5_000_000;
+      work ()
+    | `Task (lo, hi) ->
+      sort_range ~params:p ~get ~set ~charge ~push lo hi;
+      finish_task ();
+      work ()
+  in
+  work ();
+  Api.barrier ctx 1;
+  if pid = 0 && collect then Some (Array.init p.n (fun i -> Api.iget ctx data i)) else None

@@ -1,0 +1,29 @@
+(** Quicksort — parallel quicksort over a shared task stack (§4.3).
+
+    The paper sorts 256K integers, switching to bubble sort below 1K
+    elements; the default here is scaled down proportionally.  All
+    synchronization is locks: workers pop subarray tasks from a shared
+    stack, partition in place in shared memory, push one half back and
+    continue with the other.  Subarray boundaries ignore page boundaries,
+    so neighbouring tasks exhibit exactly the false sharing the
+    multiple-writer protocol exists for. *)
+
+open Tmk_dsm
+
+type params = {
+  n : int;
+  threshold : int;  (** below this size, sort locally (paper: bubble sort) *)
+  seed : int64;
+  flops_per_compare : int;
+}
+
+(** [default] — 16K integers, threshold 256. *)
+val default : params
+
+val pages_needed : params -> int
+
+(** [sequential p] — reference; returns the sorted array. *)
+val sequential : params -> int array
+
+(** [parallel ctx p] — SPMD body; the sorted array on processor 0. *)
+val parallel : ?collect:bool -> Api.ctx -> params -> int array option

@@ -1,0 +1,33 @@
+(** TSP — branch-and-bound travelling salesman (§4.3).
+
+    The paper solves a 19-city tour; the default here is smaller but keeps
+    the interesting behaviour: all synchronization is locks (a task-queue
+    lock and a bound lock), and the current minimum tour length is
+    {e read without synchronization} while updates are locked — the
+    program is not "properly labeled" (§5.2), so under LRC a processor can
+    prune against a stale bound and do redundant work that ERC's eager
+    updates avoid.  The final optimum is unaffected. *)
+
+open Tmk_dsm
+
+type params = {
+  ncities : int;
+  prefix_depth : int;  (** tasks are tour prefixes of this length *)
+  seed : int64;
+  flops_per_node : int;  (** charged work per search-tree node *)
+}
+
+(** [default] — 11 cities, depth-3 prefixes. *)
+val default : params
+
+val pages_needed : params -> int
+
+(** Outcome of a solve: the optimal tour length and the number of search
+    nodes expanded (the redundant-work metric of §5.2). *)
+type result = { best : int; nodes_expanded : int }
+
+(** [sequential p] — single-processor branch and bound. *)
+val sequential : params -> result
+
+(** [parallel ctx p] — SPMD body; the result on processor 0. *)
+val parallel : Api.ctx -> params -> result option

@@ -1,0 +1,243 @@
+open Tmk_dsm
+module Workload = Tmk_workload.Workload
+
+type params = {
+  nmol : int;
+  steps : int;
+  seed : int64;
+  cutoff : float;
+  flops_per_pair : int;
+  flops_per_molecule : int;
+}
+
+let default =
+  { nmol = 64; steps = 3; seed = 17L; cutoff = 2.2; flops_per_pair = 60; flops_per_molecule = 20 }
+
+type result = { positions : (float * float * float) array; energy : float }
+
+let dt = 0.002
+let mass = 1.0
+
+(* Force and energy sums are accumulated in 2^24 fixed point: integer
+   addition commutes, so the totals are independent of the order in which
+   processors win the per-molecule locks, and the parallel run reproduces
+   the sequential one exactly. *)
+let fix_scale = 16_777_216.0
+
+let to_fix x = int_of_float (Float.round (x *. fix_scale))
+let of_fix i = float_of_int i /. fix_scale
+
+(* Softened Lennard-Jones force and potential between two points.
+   Returns (fx, fy, fz, potential) acting on the first point. *)
+let interaction ~cutoff (x1, y1, z1) (x2, y2, z2) =
+  let dx = x1 -. x2 and dy = y1 -. y2 and dz = z1 -. z2 in
+  let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+  if r2 > cutoff *. cutoff then None
+  else begin
+    let r2s = r2 +. 0.05 (* softening: molecules can start close *) in
+    let inv2 = 1.0 /. r2s in
+    let inv6 = inv2 *. inv2 *. inv2 in
+    let inv12 = inv6 *. inv6 in
+    let fmag = ((24.0 *. ((2.0 *. inv12) -. inv6)) *. inv2) *. 0.001 in
+    let pot = 4.0 *. (inv12 -. inv6) *. 0.001 in
+    Some (fmag *. dx, fmag *. dy, fmag *. dz, pot)
+  end
+
+let sequential p =
+  let mols = Workload.molecules ~n:p.nmol ~seed:p.seed in
+  let px = Array.map (fun m -> m.Workload.px) mols in
+  let py = Array.map (fun m -> m.Workload.py) mols in
+  let pz = Array.map (fun m -> m.Workload.pz) mols in
+  let vx = Array.map (fun m -> m.Workload.vx) mols in
+  let vy = Array.map (fun m -> m.Workload.vy) mols in
+  let vz = Array.map (fun m -> m.Workload.vz) mols in
+  let fx = Array.make p.nmol 0 and fy = Array.make p.nmol 0 and fz = Array.make p.nmol 0 in
+  let potential = ref 0 in
+  for _ = 1 to p.steps do
+    Array.fill fx 0 p.nmol 0;
+    Array.fill fy 0 p.nmol 0;
+    Array.fill fz 0 p.nmol 0;
+    potential := 0;
+    for i = 0 to p.nmol - 1 do
+      for j = i + 1 to p.nmol - 1 do
+        match
+          interaction ~cutoff:p.cutoff (px.(i), py.(i), pz.(i)) (px.(j), py.(j), pz.(j))
+        with
+        | None -> ()
+        | Some (gx, gy, gz, pot) ->
+          fx.(i) <- fx.(i) + to_fix gx;
+          fy.(i) <- fy.(i) + to_fix gy;
+          fz.(i) <- fz.(i) + to_fix gz;
+          fx.(j) <- fx.(j) - to_fix gx;
+          fy.(j) <- fy.(j) - to_fix gy;
+          fz.(j) <- fz.(j) - to_fix gz;
+          potential := !potential + to_fix pot
+      done
+    done;
+    for i = 0 to p.nmol - 1 do
+      vx.(i) <- vx.(i) +. (of_fix fx.(i) *. dt /. mass);
+      vy.(i) <- vy.(i) +. (of_fix fy.(i) *. dt /. mass);
+      vz.(i) <- vz.(i) +. (of_fix fz.(i) *. dt /. mass);
+      px.(i) <- px.(i) +. (vx.(i) *. dt);
+      py.(i) <- py.(i) +. (vy.(i) *. dt);
+      pz.(i) <- pz.(i) +. (vz.(i) *. dt)
+    done
+  done;
+  let kinetic = ref 0 in
+  for i = 0 to p.nmol - 1 do
+    kinetic :=
+      !kinetic
+      + to_fix (0.5 *. mass *. ((vx.(i) *. vx.(i)) +. (vy.(i) *. vy.(i)) +. (vz.(i) *. vz.(i))))
+  done;
+  {
+    positions = Array.init p.nmol (fun i -> (px.(i), py.(i), pz.(i)));
+    energy = of_fix (!potential + !kinetic);
+  }
+
+let pages_needed p =
+  let bytes = (6 * p.nmol * 8) + (3 * p.nmol * 8) + 4096 in
+  (bytes / Tmk_mem.Vm.page_size) + 6
+
+(* Molecule locks are numbered from the molecule index, so their managers
+   round-robin across processors exactly like TreadMarks lock managers. *)
+let mol_lock i = i
+
+(* Block ownership of molecules, as SPLASH distributes them. *)
+let owned ~nmol ~nprocs ~pid =
+  let per = nmol / nprocs and extra = nmol mod nprocs in
+  let lo = (pid * per) + min pid extra in
+  let hi = lo + per + (if pid < extra then 1 else 0) - 1 in
+  (lo, hi)
+
+let parallel ?(collect = true) ctx p =
+  let pid = Api.pid ctx and nprocs = Api.nprocs ctx in
+  let n = p.nmol in
+  let pos = Api.falloc ~align:Tmk_mem.Vm.page_size ctx (3 * n) in
+  let vel = Api.falloc ~align:Tmk_mem.Vm.page_size ctx (3 * n) in
+  let force = Api.ialloc ~align:Tmk_mem.Vm.page_size ctx (3 * n) in
+  let partials = Api.ialloc ~align:Tmk_mem.Vm.page_size ctx (2 * nprocs) in
+  if pid = 0 then begin
+    let mols = Workload.molecules ~n ~seed:p.seed in
+    Array.iteri
+      (fun i m ->
+        Api.fset ctx pos (3 * i) m.Workload.px;
+        Api.fset ctx pos ((3 * i) + 1) m.Workload.py;
+        Api.fset ctx pos ((3 * i) + 2) m.Workload.pz;
+        Api.fset ctx vel (3 * i) m.Workload.vx;
+        Api.fset ctx vel ((3 * i) + 1) m.Workload.vy;
+        Api.fset ctx vel ((3 * i) + 2) m.Workload.vz)
+      mols
+  end;
+  Api.barrier ctx 0;
+  let lo, hi = owned ~nmol:n ~nprocs ~pid in
+  let read_pos i =
+    (Api.fget ctx pos (3 * i), Api.fget ctx pos ((3 * i) + 1), Api.fget ctx pos ((3 * i) + 2))
+  in
+  (* Private per-step force partials, flushed to the shared array under
+     the per-molecule locks once per step.  This is the paper's "one
+     simple modification to the original program to reduce the number of
+     lock accesses" (§4.3): locking per interaction would acquire each
+     lock thousands of times per second more. *)
+  let partial = Array.make (3 * n) 0 in
+  let touched = Array.make n false in
+  let accumulate i (gx, gy, gz) sign =
+    partial.(3 * i) <- partial.(3 * i) + (sign * to_fix gx);
+    partial.((3 * i) + 1) <- partial.((3 * i) + 1) + (sign * to_fix gy);
+    partial.((3 * i) + 2) <- partial.((3 * i) + 2) + (sign * to_fix gz);
+    touched.(i) <- true
+  in
+  let flush_partials () =
+    for i = 0 to n - 1 do
+      if touched.(i) then begin
+        Api.compute_flops ctx p.flops_per_molecule;
+        Api.with_lock ctx (mol_lock i) (fun () ->
+            for d = 0 to 2 do
+              Api.iset ctx force ((3 * i) + d)
+                (Api.iget ctx force ((3 * i) + d) + partial.((3 * i) + d))
+            done);
+        partial.(3 * i) <- 0;
+        partial.((3 * i) + 1) <- 0;
+        partial.((3 * i) + 2) <- 0;
+        touched.(i) <- false
+      end
+    done
+  in
+  let barrier_id = ref 1 in
+  let next_barrier () =
+    let id = !barrier_id in
+    incr barrier_id;
+    Api.barrier ctx id
+  in
+  for _step = 1 to p.steps do
+    (* zero own molecules' forces *)
+    for i = lo to hi do
+      Api.iset ctx force (3 * i) 0;
+      Api.iset ctx force ((3 * i) + 1) 0;
+      Api.iset ctx force ((3 * i) + 2) 0
+    done;
+    next_barrier ();
+    (* Pair interactions in SPLASH's owner-computes half-shell: the owner
+       of molecule i computes its interactions with the next n/2 molecules
+       (cyclically), so every unordered pair is computed exactly once and
+       each molecule's force receives contributions from only the few
+       processors whose blocks precede it.  Work is charged once per
+       owned molecule to keep the event count manageable. *)
+    let my_potential = ref 0 in
+    let half = (n - 1) / 2 in
+    let do_pair i j =
+      match interaction ~cutoff:p.cutoff (read_pos i) (read_pos j) with
+      | None -> ()
+      | Some (gx, gy, gz, pot) ->
+        accumulate i (gx, gy, gz) 1;
+        accumulate j (gx, gy, gz) (-1);
+        my_potential := !my_potential + to_fix pot
+    in
+    for i = lo to hi do
+      let mine = ref 0 in
+      for off = 1 to half do
+        incr mine;
+        do_pair i ((i + off) mod n)
+      done;
+      (* even n: the diametral pair belongs to the lower-numbered owner *)
+      if n mod 2 = 0 && i < n / 2 then begin
+        incr mine;
+        do_pair i (i + (n / 2))
+      end;
+      Api.compute_flops ctx (!mine * p.flops_per_pair)
+    done;
+    flush_partials ();
+    Api.iset ctx partials pid !my_potential;
+    next_barrier ();
+    (* integrate own molecules *)
+    for i = lo to hi do
+      Api.compute_flops ctx p.flops_per_molecule;
+      for d = 0 to 2 do
+        let v =
+          Api.fget ctx vel ((3 * i) + d)
+          +. (of_fix (Api.iget ctx force ((3 * i) + d)) *. dt /. mass)
+        in
+        Api.fset ctx vel ((3 * i) + d) v;
+        Api.fset ctx pos ((3 * i) + d) (Api.fget ctx pos ((3 * i) + d) +. (v *. dt))
+      done
+    done;
+    next_barrier ()
+  done;
+  (* kinetic energy of own molecules *)
+  let my_kinetic = ref 0 in
+  for i = lo to hi do
+    let vx = Api.fget ctx vel (3 * i)
+    and vy = Api.fget ctx vel ((3 * i) + 1)
+    and vz = Api.fget ctx vel ((3 * i) + 2) in
+    my_kinetic := !my_kinetic + to_fix (0.5 *. mass *. ((vx *. vx) +. (vy *. vy) +. (vz *. vz)))
+  done;
+  Api.iset ctx partials (nprocs + pid) !my_kinetic;
+  next_barrier ();
+  if pid = 0 && collect then begin
+    let positions = Array.init n read_pos in
+    let total = ref 0 in
+    for q = 0 to nprocs - 1 do
+      total := !total + Api.iget ctx partials q + Api.iget ctx partials (nprocs + q)
+    done;
+    Some { positions; energy = of_fix !total }
+  end
+  else None

@@ -1,0 +1,42 @@
+(** Water — molecular dynamics in the style of the SPLASH benchmark
+    (§4.3), the paper's stress case.
+
+    N molecules interact pairwise; every interaction accumulates forces
+    into shared per-molecule slots protected by {e per-molecule locks}
+    that "are accessed frequently by a majority of the processors", plus
+    barriers between phases.  This produces the paper's signature
+    behaviour: very high lock and message rates, many small messages, and
+    only moderate speedup.
+
+    Simplifications versus SPLASH Water (documented in DESIGN.md): point
+    molecules with a softened Lennard-Jones potential instead of the
+    three-site water model and predictor-corrector integration.  The
+    sharing and synchronization pattern — the thing the paper measures —
+    is preserved. *)
+
+open Tmk_dsm
+
+type params = {
+  nmol : int;
+  steps : int;
+  seed : int64;
+  cutoff : float;  (** interaction cutoff distance *)
+  flops_per_pair : int;
+  flops_per_molecule : int;
+}
+
+(** [default] — 64 molecules, 3 steps. *)
+val default : params
+
+val pages_needed : params -> int
+
+(** Simulation outcome: final positions and total energy. *)
+type result = { positions : (float * float * float) array; energy : float }
+
+val sequential : params -> result
+
+(** [parallel ctx p] — SPMD body; the result on processor 0.  Force and
+    energy sums use fixed-point accumulation, which is order-independent,
+    so positions and energy match {!sequential} exactly no matter how the
+    per-molecule lock acquisitions interleave. *)
+val parallel : ?collect:bool -> Api.ctx -> params -> result option

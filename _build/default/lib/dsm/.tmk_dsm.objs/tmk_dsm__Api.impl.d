@@ -1,0 +1,1 @@
+lib/dsm/api.ml: Array Category Config Engine Hashtbl List Node Printf Protocol Stats Tmk_mem Tmk_net Tmk_sim Tmk_util Vtime

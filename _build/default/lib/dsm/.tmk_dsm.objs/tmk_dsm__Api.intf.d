@@ -1,0 +1,1 @@
+lib/dsm/api.mli: Config Protocol Stats Tmk_sim Tmk_util Vtime

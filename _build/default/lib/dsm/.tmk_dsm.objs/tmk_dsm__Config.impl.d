@@ -1,0 +1,1 @@
+lib/dsm/config.ml: Tmk_net

@@ -1,0 +1,1 @@
+lib/dsm/config.mli: Tmk_net

@@ -1,0 +1,1 @@
+lib/dsm/cpu.ml: Tmk_sim Vtime

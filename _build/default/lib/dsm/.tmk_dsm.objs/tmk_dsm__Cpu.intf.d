@@ -1,0 +1,1 @@
+lib/dsm/cpu.mli: Tmk_sim Vtime

@@ -1,0 +1,1 @@
+lib/dsm/node.ml: Array Bytes Category Cpu Hashtbl List Option Printf Stats Tmk_mem Tmk_sim Tmk_util Vector_time Vtime

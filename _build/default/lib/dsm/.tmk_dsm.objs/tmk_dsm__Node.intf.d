@@ -1,0 +1,1 @@
+lib/dsm/node.mli: Bytes Category Stats Tmk_mem Tmk_sim Tmk_util Vector_time Vtime

@@ -1,0 +1,1 @@
+lib/dsm/protocol.ml: Array Bytes Category Config Cpu Engine Hashtbl List Logs Node Option Printf Queue Sc Stats Tmk_mem Tmk_net Tmk_sim Tmk_util Vector_time Vtime Wire

@@ -1,0 +1,1 @@
+lib/dsm/protocol.mli: Config Engine Node Tmk_net Tmk_sim

@@ -1,0 +1,1 @@
+lib/dsm/sc.ml: Array Category Cpu Engine List Node Queue Stats Tmk_mem Tmk_net Tmk_sim Tmk_util Vtime Wire

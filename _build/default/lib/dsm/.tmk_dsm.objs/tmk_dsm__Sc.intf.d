@@ -1,0 +1,1 @@
+lib/dsm/sc.mli: Engine Node Tmk_mem Tmk_net Tmk_sim

@@ -1,0 +1,1 @@
+lib/dsm/stats.mli: Format

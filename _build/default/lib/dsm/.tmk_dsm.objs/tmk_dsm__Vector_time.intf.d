@@ -1,0 +1,1 @@
+lib/dsm/vector_time.mli: Format

@@ -1,0 +1,1 @@
+lib/dsm/wire.ml: List Tmk_mem Vector_time

@@ -1,0 +1,1 @@
+lib/dsm/wire.mli:

@@ -1,0 +1,159 @@
+open Tmk_sim
+module Vm = Tmk_mem.Vm
+
+type ctx = {
+  cluster : Protocol.t;
+  cpid : int;
+  node : Node.t;
+  mutable alloc_next : int;  (* bump allocator, replicated per processor *)
+  mutable alloc_seq : int;  (* index into the shared allocation log *)
+  cprng : Tmk_util.Prng.t;
+  alloc_log : (int, int * int) Hashtbl.t;  (* shared across processors: step -> (size, base) *)
+}
+
+type run_result = {
+  cluster : Protocol.t;
+  total_time : Vtime.t;
+  proc_finish : Vtime.t array;
+  busy : Vtime.t array array;
+  idle : Vtime.t array;
+  stats : Stats.t array;
+  total_stats : Stats.t;
+  messages : int;
+  bytes : int;
+  retransmissions : int;
+}
+
+let pid (ctx : ctx) = ctx.cpid
+let nprocs (ctx : ctx) = Protocol.config ctx.cluster |> fun c -> c.Config.nprocs
+let config (ctx : ctx) = Protocol.config ctx.cluster
+let prng (ctx : ctx) = ctx.cprng
+
+(* ------------------------------------------------------------------ *)
+(* Shared memory                                                       *)
+
+let malloc ?(align = 8) (ctx : ctx) ~bytes =
+  if bytes <= 0 then invalid_arg "Api.malloc: bytes must be positive";
+  if align <= 0 || align land (align - 1) <> 0 then
+    invalid_arg "Api.malloc: align must be a power of two";
+  let base = (ctx.alloc_next + align - 1) land lnot (align - 1) in
+  let limit = (Protocol.config ctx.cluster).Config.pages * Vm.page_size in
+  if base + bytes > limit then
+    invalid_arg
+      (Printf.sprintf "Api.malloc: out of shared memory (%d + %d > %d); raise Config.pages"
+         base bytes limit);
+  ctx.alloc_next <- base + bytes;
+  (* SPMD discipline check: every processor must produce the identical
+     allocation sequence. *)
+  let seq = ctx.alloc_seq in
+  ctx.alloc_seq <- seq + 1;
+  (match Hashtbl.find_opt ctx.alloc_log seq with
+  | Some (expected_bytes, expected_base) ->
+    if expected_bytes <> bytes || expected_base <> base then
+      invalid_arg
+        (Printf.sprintf
+           "Api.malloc: allocation sequences diverge at step %d (processor %d asked %d@%d, \
+            first caller got %d@%d)"
+           seq ctx.cpid bytes base expected_bytes expected_base)
+  | None -> Hashtbl.add ctx.alloc_log seq (bytes, base));
+  base
+
+type farray = { f_base : int; f_len : int }
+type iarray = { i_base : int; i_len : int }
+
+let falloc ?align ctx len = { f_base = malloc ?align ctx ~bytes:(8 * len); f_len = len }
+let ialloc ?align ctx len = { i_base = malloc ?align ctx ~bytes:(8 * len); i_len = len }
+let flen a = a.f_len
+let ilen a = a.i_len
+
+let read_f64 (ctx : ctx) addr = Vm.read_f64 ctx.node.Node.vm addr
+let write_f64 (ctx : ctx) addr v = Vm.write_f64 ctx.node.Node.vm addr v
+let read_int (ctx : ctx) addr = Vm.read_int ctx.node.Node.vm addr
+let write_int (ctx : ctx) addr v = Vm.write_int ctx.node.Node.vm addr v
+
+let fget ctx a i =
+  if i < 0 || i >= a.f_len then invalid_arg "Api.fget: index out of bounds";
+  read_f64 ctx (a.f_base + (8 * i))
+
+let fset ctx a i v =
+  if i < 0 || i >= a.f_len then invalid_arg "Api.fset: index out of bounds";
+  write_f64 ctx (a.f_base + (8 * i)) v
+
+let iget ctx a i =
+  if i < 0 || i >= a.i_len then invalid_arg "Api.iget: index out of bounds";
+  read_int ctx (a.i_base + (8 * i))
+
+let iset ctx a i v =
+  if i < 0 || i >= a.i_len then invalid_arg "Api.iset: index out of bounds";
+  write_int ctx (a.i_base + (8 * i)) v
+
+(* ------------------------------------------------------------------ *)
+(* Synchronization and computation                                     *)
+
+let acquire (ctx : ctx) lock = Protocol.acquire ctx.cluster ~pid:ctx.cpid ~lock
+let release (ctx : ctx) lock = Protocol.release ctx.cluster ~pid:ctx.cpid ~lock
+
+let with_lock ctx lock f =
+  acquire ctx lock;
+  match f () with
+  | v ->
+    release ctx lock;
+    v
+  | exception e ->
+    release ctx lock;
+    raise e
+
+let barrier (ctx : ctx) id = Protocol.barrier ctx.cluster ~pid:ctx.cpid ~id
+
+let compute_ns (ctx : ctx) ns = Protocol.charge_compute ctx.cluster ~pid:ctx.cpid ns
+
+let compute_flops (ctx : ctx) n =
+  if n > 0 then compute_ns ctx (n * (Protocol.config ctx.cluster).Config.flop_ns)
+
+(* ------------------------------------------------------------------ *)
+(* Running                                                             *)
+
+let run cfg app =
+  let cluster = Protocol.create cfg in
+  let engine = Protocol.engine cluster in
+  let alloc_log = Hashtbl.create 64 in
+  let root = Tmk_util.Prng.create cfg.Config.seed in
+  for p = 0 to cfg.Config.nprocs - 1 do
+    let ctx =
+      {
+        cluster;
+        cpid = p;
+        node = Protocol.node cluster p;
+        alloc_next = 0;
+        alloc_seq = 0;
+        cprng = Tmk_util.Prng.split_named root (Printf.sprintf "proc-%d" p);
+        alloc_log;
+      }
+    in
+    Engine.spawn engine p (fun () -> app ctx)
+  done;
+  Engine.run engine;
+  let n = cfg.Config.nprocs in
+  let proc_finish = Array.init n (Engine.finish_time engine) in
+  let total_time = Array.fold_left Vtime.max Vtime.zero proc_finish in
+  let busy =
+    Array.init n (fun p ->
+        Array.of_list (List.map (fun c -> Engine.busy engine p c) Category.all))
+  in
+  let idle = Array.init n (fun p -> Vtime.sub total_time (Engine.busy_total engine p)) in
+  let stats = Array.init n (fun p -> (Protocol.node cluster p).Node.stats) in
+  let total_stats = Stats.create () in
+  Array.iter (fun s -> Stats.add ~into:total_stats s) stats;
+  let transport = Protocol.transport cluster in
+  {
+    cluster;
+    total_time;
+    proc_finish;
+    busy;
+    idle;
+    stats;
+    total_stats;
+    messages = Tmk_net.Transport.messages_sent transport;
+    bytes = Tmk_net.Transport.bytes_sent transport;
+    retransmissions = Tmk_net.Transport.retransmissions transport;
+  }

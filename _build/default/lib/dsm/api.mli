@@ -1,0 +1,110 @@
+(** The TreadMarks programming interface.
+
+    Applications are SPMD: {!run} starts the same function once per
+    simulated processor.  Each instance allocates shared memory (every
+    processor must perform the identical allocation sequence, as in the
+    real TreadMarks' [Tmk_malloc] convention), reads and writes it through
+    the typed accessors, synchronizes with locks and barriers, and
+    accounts for its local computation with {!compute_flops}/{!compute_ns}
+    (the simulator cannot observe real instruction streams, so application
+    work is charged explicitly; shared-memory accesses themselves cost
+    nothing unless they fault, exactly like real loads and stores).
+
+    A minimal program:
+
+    {[
+      let config = { Config.default with nprocs = 4; pages = 16 } in
+      let result =
+        Api.run config (fun ctx ->
+            let arr = Api.falloc ctx 100 in
+            if Api.pid ctx = 0 then
+              for i = 0 to 99 do Api.fset ctx arr i (float_of_int i) done;
+            Api.barrier ctx 0;
+            (* everyone reads what processor 0 wrote *)
+            assert (Api.fget ctx arr 42 = 42.0))
+      in
+      Fmt.pr "took %a@." Tmk_sim.Vtime.pp result.Api.total_time
+    ]} *)
+
+open Tmk_sim
+
+(** Per-processor handle passed to the application function. *)
+type ctx
+
+(** Everything measured during a run. *)
+type run_result = {
+  cluster : Protocol.t;  (** the cluster, for post-run inspection *)
+  total_time : Vtime.t;  (** makespan: latest process finish time *)
+  proc_finish : Vtime.t array;
+  busy : Vtime.t array array;  (** [busy.(pid).(Category.index c)] *)
+  idle : Vtime.t array;  (** makespan minus busy, per processor *)
+  stats : Stats.t array;  (** per-node protocol counters *)
+  total_stats : Stats.t;  (** cluster-wide sum *)
+  messages : int;  (** frames handed to the medium *)
+  bytes : int;  (** on-wire bytes including headers *)
+  retransmissions : int;
+}
+
+(** [run config app] — build a cluster, run [app] once per processor to
+    completion, and collect the measurements. *)
+val run : Config.t -> (ctx -> unit) -> run_result
+
+(** {2 Identity} *)
+
+val pid : ctx -> int
+val nprocs : ctx -> int
+val config : ctx -> Config.t
+
+(** [prng ctx] — a per-processor deterministic random stream (seeded from
+    the run seed and the processor id). *)
+val prng : ctx -> Tmk_util.Prng.t
+
+(** {2 Shared memory} *)
+
+(** [malloc ctx ~bytes] — allocate shared memory; returns the base
+    address.  Every processor must allocate identically (checked:
+    mismatched sequences raise).  [align] defaults to 8; pass
+    [Tmk_mem.Vm.page_size] to give a data structure its own page(s) and
+    avoid false sharing. *)
+val malloc : ?align:int -> ctx -> bytes:int -> int
+
+(** Typed shared arrays (convenience over {!malloc} + raw accessors). *)
+type farray
+
+type iarray
+
+val falloc : ?align:int -> ctx -> int -> farray
+val ialloc : ?align:int -> ctx -> int -> iarray
+val flen : farray -> int
+val ilen : iarray -> int
+val fget : ctx -> farray -> int -> float
+val fset : ctx -> farray -> int -> float -> unit
+val iget : ctx -> iarray -> int -> int
+val iset : ctx -> iarray -> int -> int -> unit
+
+(** Raw byte-address accessors. *)
+val read_f64 : ctx -> int -> float
+
+val write_f64 : ctx -> int -> float -> unit
+val read_int : ctx -> int -> int
+val write_int : ctx -> int -> int -> unit
+
+(** {2 Synchronization} *)
+
+val acquire : ctx -> int -> unit
+val release : ctx -> int -> unit
+
+(** [with_lock ctx lock f] — acquire, run [f], release (also on
+    exception). *)
+val with_lock : ctx -> int -> (unit -> 'a) -> 'a
+
+val barrier : ctx -> int -> unit
+
+(** {2 Computation accounting} *)
+
+(** [compute_ns ctx ns] — charge [ns] nanoseconds of application work. *)
+val compute_ns : ctx -> int -> unit
+
+(** [compute_flops ctx n] — charge [n] floating-point operations at the
+    configured [flop_ns] rate. *)
+val compute_flops : ctx -> int -> unit

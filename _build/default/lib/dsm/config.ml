@@ -1,0 +1,34 @@
+type protocol = Lrc | Erc | Sc
+
+type t = {
+  nprocs : int;
+  pages : int;
+  protocol : protocol;
+  net : Tmk_net.Params.t;
+  gc_threshold : int;
+  seed : int64;
+  flop_ns : int;
+  lazy_diffs : bool;
+  lrc_updates : bool;
+}
+
+let default =
+  {
+    nprocs = 8;
+    pages = 256;
+    protocol = Lrc;
+    net = Tmk_net.Params.atm_aal34;
+    gc_threshold = max_int;
+    seed = 1L;
+    flop_ns = 200;
+    lazy_diffs = true;
+    lrc_updates = false;
+  }
+
+let validate t =
+  if t.nprocs < 1 then invalid_arg "Config: nprocs must be >= 1";
+  if t.pages < 1 then invalid_arg "Config: pages must be >= 1";
+  if t.gc_threshold < 1 then invalid_arg "Config: gc_threshold must be >= 1";
+  if t.flop_ns < 0 then invalid_arg "Config: flop_ns must be >= 0"
+
+let protocol_name = function Lrc -> "lazy" | Erc -> "eager" | Sc -> "sc"

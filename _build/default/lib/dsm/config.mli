@@ -1,0 +1,45 @@
+(** Cluster configuration. *)
+
+(** Consistency protocol (§2 and §5.1). *)
+type protocol =
+  | Lrc  (** lazy release consistency, invalidate, lazy diffs (TreadMarks) *)
+  | Erc  (** eager release consistency, update protocol (the Munin-style baseline) *)
+  | Sc
+      (** sequentially consistent single-writer protocol (the Li-Hudak-style
+          "early DSM" baseline of §2.3; see {!Sc}) *)
+
+type t = {
+  nprocs : int;  (** cluster size (the paper uses up to 8) *)
+  pages : int;  (** shared address space, in 4096-byte pages *)
+  protocol : protocol;
+  net : Tmk_net.Params.t;  (** communication substrate *)
+  gc_threshold : int;
+      (** run garbage collection at the next barrier once a node holds more
+          than this many consistency records (intervals + notices + diffs);
+          [max_int] disables *)
+  seed : int64;  (** root of every random stream in the run *)
+  flop_ns : int;  (** nanoseconds per application floating-point operation *)
+  lazy_diffs : bool;
+      (** [true] (TreadMarks): diffs are created only when requested or
+          when a write notice arrives (§2.4).  [false]: Munin-style eager
+          diff creation at every interval close — the ablation of the
+          §2.4/§5.2 claim that laziness reduces diff counts *)
+  lrc_updates : bool;
+      (** [false] (TreadMarks): the invalidate protocol — write notices
+          invalidate pages and diffs move on demand.  [true]: the hybrid
+          update protocol §2.2 mentions as the alternative — grants and
+          barrier releases piggyback the diffs of pages the receiver is
+          believed to cache, and valid pages are updated in place instead
+          of invalidated *)
+}
+
+(** [default] — 8 processors, 256 pages, LRC on ATM/AAL3/4, GC off,
+    2 µs-per-10-flops application speed (a DECstation-5000/240-class
+    scalar FPU). *)
+val default : t
+
+(** [validate t] checks invariants.
+    @raise Invalid_argument when a field is out of range. *)
+val validate : t -> unit
+
+val protocol_name : protocol -> string

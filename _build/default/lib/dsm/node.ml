@@ -1,0 +1,400 @@
+open Tmk_sim
+module Vm = Tmk_mem.Vm
+module Costs = Tmk_mem.Costs
+module Rle = Tmk_util.Rle
+module Bitset = Tmk_util.Bitset
+
+type charge = Category.t -> Vtime.t -> unit
+
+type write_notice = {
+  wn_page : int;
+  wn_interval : interval;
+  mutable wn_diff : Rle.t option;
+  mutable wn_applied : bool;
+      (* the diff's content is reflected in the local copy of the page;
+         distinct from wn_diff presence once diffs can arrive piggybacked
+         on synchronization messages (hybrid update protocol) *)
+}
+
+and interval = {
+  iv_proc : int;
+  iv_id : int;
+  iv_vt : Vector_time.t;
+  mutable iv_notices : write_notice list;
+}
+
+type page_entry = {
+  mutable pg_copyset : Bitset.t;
+  pg_notices : write_notice list array;
+  mutable pg_twin : Bytes.t option;
+  mutable pg_has_copy : bool;
+}
+
+type msg_interval = {
+  mi_proc : int;
+  mi_id : int;
+  mi_vt : Vector_time.t;
+  mi_pages : (int * Rle.t option) list;
+      (* page and, under the hybrid update protocol, its piggybacked diff *)
+}
+
+type t = {
+  pid : int;
+  nprocs : int;
+  vm : Vm.t;
+  vt : Vector_time.t;
+  mutable next_interval : int;
+  intervals : interval list array;
+  pages : page_entry array;
+  mutable dirty : int list;
+  mutable live_records : int;
+  stats : Stats.t;
+}
+
+let create ~pid ~nprocs ~pages =
+  let vm = Vm.create ~pages in
+  let make_entry _ =
+    let copyset = Bitset.create nprocs in
+    Bitset.add copyset 0;
+    {
+      pg_copyset = copyset;
+      pg_notices = Array.make nprocs [];
+      pg_twin = None;
+      pg_has_copy = pid = 0;
+    }
+  in
+  (* Processor 0 starts with every page valid but write-protected (a first
+     write must twin); everyone else has no copies at all. *)
+  for page = 0 to pages - 1 do
+    Vm.set_prot vm page (if pid = 0 then Vm.Read_only else Vm.No_access)
+  done;
+  {
+    pid;
+    nprocs;
+    vm;
+    vt = Vector_time.create nprocs;
+    next_interval = 1;
+    intervals = Array.make nprocs [];
+    pages = Array.init pages make_entry;
+    dirty = [];
+    live_records = 0;
+    stats = Stats.create ();
+  }
+
+let write_fault_twin t page ~charge =
+  let entry = t.pages.(page) in
+  assert (entry.pg_twin = None);
+  charge Category.Tmk_mem Costs.twin_copy;
+  entry.pg_twin <- Some (Vm.page_snapshot t.vm page);
+  charge Category.Unix_mem Costs.mprotect;
+  Vm.set_prot t.vm page Vm.Read_write;
+  t.dirty <- page :: t.dirty;
+  t.stats.Stats.twins_created <- t.stats.Stats.twins_created + 1
+
+(* [attach] decides the piggybacked diff for one write notice (hybrid
+   update protocol); the plain invalidate protocol attaches nothing. *)
+let to_msg ?(attach = fun _ -> None) iv =
+  {
+    mi_proc = iv.iv_proc;
+    mi_id = iv.iv_id;
+    mi_vt = iv.iv_vt;
+    mi_pages = List.map (fun wn -> (wn.wn_page, attach wn)) iv.iv_notices;
+  }
+
+(* Intervals of processor [q] newer than [vt]'s entry for [q], oldest
+   first.  Stored lists are newest-first and contiguous, so this is a
+   reversed prefix. *)
+let proc_intervals_since ?attach t q vt =
+  let bound = Vector_time.get vt q in
+  let rec take acc = function
+    | iv :: rest when iv.iv_id > bound -> take (to_msg ?attach iv :: acc) rest
+    | _ -> acc
+  in
+  take [] t.intervals.(q)
+
+let intervals_since ?attach t vt =
+  let rec collect q acc =
+    if q >= t.nprocs then List.concat (List.rev acc)
+    else collect (q + 1) (proc_intervals_since ?attach t q vt :: acc)
+  in
+  collect 0 []
+
+let own_intervals_since ?attach t vt = proc_intervals_since ?attach t t.pid vt
+
+let notice_counts intervals = List.map (fun mi -> List.length mi.mi_pages) intervals
+
+let update_bytes intervals =
+  List.fold_left
+    (fun acc mi ->
+      List.fold_left
+        (fun acc (_, diff) ->
+          match diff with None -> acc | Some d -> acc + Rle.encoded_size d)
+        acc mi.mi_pages)
+    0 intervals
+
+let rec close_interval ?(eager_diffs = false) t ~charge =
+  match t.dirty with
+  | [] -> ()
+  | dirty ->
+    let id = t.next_interval in
+    t.next_interval <- id + 1;
+    Vector_time.set t.vt t.pid id;
+    let iv = { iv_proc = t.pid; iv_id = id; iv_vt = Vector_time.copy t.vt; iv_notices = [] } in
+    charge Category.Tmk_consistency
+      (Vtime.add Cpu.interval_close_base
+         (Vtime.scale Cpu.interval_close_per_page (List.length dirty)));
+    let add_notice page =
+      let wn = { wn_page = page; wn_interval = iv; wn_diff = None; wn_applied = true } in
+      iv.iv_notices <- wn :: iv.iv_notices;
+      t.pages.(page).pg_notices.(t.pid) <- wn :: t.pages.(page).pg_notices.(t.pid);
+      t.live_records <- t.live_records + 1
+    in
+    List.iter add_notice dirty;
+    t.intervals.(t.pid) <- iv :: t.intervals.(t.pid);
+    t.live_records <- t.live_records + 1;
+    t.dirty <- [];
+    (* Munin-style ablation: create every diff at the release instead of
+       on demand (§2.4 argues laziness avoids many of these). *)
+    if eager_diffs then List.iter (fun page -> ensure_own_diff t page ~charge) dirty
+
+(* Compute and record the diff of a twinned page; the caller decides the
+   page's subsequent protection (read-only after lazy creation, no-access
+   when invalidating).  The twin's writes belong to the current interval:
+   if that interval has not been materialized yet (e.g. a write notice
+   arrives in a request handler while this processor is still computing,
+   before any remote synchronization of its own), it is closed here so
+   the diff has a notice to attach to — "a subsequent write results in a
+   write notice for the next interval" (§3.2). *)
+and make_diff_now t page ~charge =
+  let entry = t.pages.(page) in
+  match entry.pg_twin with
+  | None -> ()
+  | Some twin ->
+    (match entry.pg_notices.(t.pid) with
+    | wn :: _ when wn.wn_diff = None -> ()
+    | _ -> close_interval t ~charge);
+    charge Category.Tmk_mem (Costs.diff_create Vm.page_size);
+    let diff = Vm.diff_against t.vm page ~twin in
+    entry.pg_twin <- None;
+    t.stats.Stats.diffs_created <- t.stats.Stats.diffs_created + 1;
+    t.stats.Stats.diff_bytes_created <-
+      t.stats.Stats.diff_bytes_created + Rle.encoded_size diff;
+    t.live_records <- t.live_records + 1;
+    (match entry.pg_notices.(t.pid) with
+    | wn :: _ when wn.wn_diff = None -> wn.wn_diff <- Some diff
+    | _ ->
+      invalid_arg
+        (Printf.sprintf "Node.make_diff_now: page %d twinned without an open notice" page))
+
+(* Lazy diff creation (§3.2): "the actual diff is created, the page is
+   read protected, and the twin is discarded". *)
+and ensure_own_diff t page ~charge =
+  if t.pages.(page).pg_twin <> None then begin
+    make_diff_now t page ~charge;
+    charge Category.Unix_mem Costs.mprotect;
+    Vm.set_prot t.vm page Vm.Read_only
+  end
+
+(* Invalidate a page on receipt of a write notice: local modifications are
+   first saved as a diff (§2.4: "it is essential to make a diff"). *)
+let invalidate t page ~charge =
+  make_diff_now t page ~charge;
+  if Vm.prot t.vm page <> Vm.No_access then begin
+    charge Category.Unix_mem Costs.mprotect;
+    Vm.set_prot t.vm page Vm.No_access
+  end
+
+let find_notice t ~proc ~interval_id ~page =
+  let rec find = function
+    | [] -> raise Not_found
+    | wn :: rest -> if wn.wn_interval.iv_id = interval_id then wn else find rest
+  in
+  find t.pages.(page).pg_notices.(proc)
+
+let find_diff t ~proc ~interval_id ~page ~charge =
+  (if proc = t.pid then
+     (* Our own diff may not exist yet: this is the lazy-creation point
+        for a diff request from another processor (§3.2). *)
+     let entry = t.pages.(page) in
+     match entry.pg_notices.(t.pid) with
+     | wn :: _ when wn.wn_diff = None && wn.wn_interval.iv_id = interval_id ->
+       ensure_own_diff t page ~charge
+     | _ -> ());
+  let wn = find_notice t ~proc ~interval_id ~page in
+  match wn.wn_diff with
+  | Some diff -> diff
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Node.find_diff: notice (proc %d, interval %d, page %d) has no diff"
+         proc interval_id page)
+
+let missing_diffs t page =
+  (* Scan the whole notice list: with piggybacked diffs (hybrid update
+     protocol) a newer notice can hold its diff while an older one still
+     lacks one, so the diff-less notices are not necessarily a prefix. *)
+  let entry = t.pages.(page) in
+  let per_proc q =
+    match List.filter (fun wn -> wn.wn_diff = None) entry.pg_notices.(q) with
+    | [] -> None
+    | l -> Some (q, l) (* newest-first, like the source list *)
+  in
+  List.filter_map per_proc (List.init t.nprocs (fun q -> q))
+
+let unapplied_diffs t page =
+  let entry = t.pages.(page) in
+  List.concat_map
+    (fun q -> List.filter (fun wn -> wn.wn_diff <> None && not wn.wn_applied) entry.pg_notices.(q))
+    (List.init t.nprocs (fun q -> q))
+
+let store_diff t ~proc ~interval_id ~page diff =
+  let wn = find_notice t ~proc ~interval_id ~page in
+  if wn.wn_diff = None then begin
+    wn.wn_diff <- Some diff;
+    t.live_records <- t.live_records + 1
+  end
+
+let apply_missing_diffs t page notices ~charge =
+  (* The local (out-of-date) copy already reflects every previously held
+     diff and this node's own saved modifications.  A freshly fetched diff
+     can be older in the happened-before order than content already in
+     the copy (its creator folded pre-synchronization writes into it,
+     §3.2), so applying it alone would regress those words.  Rebuild the
+     suffix instead: apply, in increasing vector-timestamp order, the
+     missing diffs together with every held diff that is not ordered
+     strictly before all of them. *)
+  let missing_vts = List.map (fun wn -> wn.wn_interval.iv_vt) notices in
+  let needs_replay wn =
+    wn.wn_diff <> None
+    && (not (List.memq wn notices))
+    && List.exists
+         (fun mvt -> Vector_time.compare_total mvt wn.wn_interval.iv_vt < 0)
+         missing_vts
+  in
+  let replay =
+    List.concat_map
+      (fun q -> List.filter needs_replay t.pages.(page).pg_notices.(q))
+      (List.init t.nprocs (fun q -> q))
+  in
+  let ordered =
+    List.sort
+      (fun a b -> Vector_time.compare_total a.wn_interval.iv_vt b.wn_interval.iv_vt)
+      (notices @ replay)
+  in
+  let apply wn =
+    match wn.wn_diff with
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Node.apply_missing_diffs: diff absent (proc %d, page %d)"
+           wn.wn_interval.iv_proc page)
+    | Some diff ->
+      charge Category.Tmk_mem (Costs.diff_apply (Rle.payload_size diff));
+      Vm.patch t.vm page diff;
+      wn.wn_applied <- true;
+      t.stats.Stats.diffs_applied <- t.stats.Stats.diffs_applied + 1
+  in
+  List.iter apply ordered;
+  charge Category.Unix_mem Costs.mprotect;
+  Vm.set_prot t.vm page Vm.Read_only
+
+let incorporate t intervals ~charge =
+  charge Category.Tmk_consistency Cpu.incorporate_base;
+  (* Save local modifications of the named pages FIRST, before the vector
+     timestamp advances: a twinned page without an open notice forces an
+     interval close inside make_diff_now, and that interval's timestamp
+     must not claim coverage of the incoming intervals (it would break the
+     §3.5 invariant that a processor whose interval covers another's holds
+     its diffs). *)
+  List.iter
+    (fun mi ->
+      (* only intervals that will actually be incorporated below; a
+         duplicate's pages must not be touched (the settle pass would
+         never fix their protection up) *)
+      if mi.mi_id > Vector_time.get t.vt mi.mi_proc then
+        List.iter
+          (fun (page, _) ->
+            if t.pages.(page).pg_twin <> None then make_diff_now t page ~charge)
+          mi.mi_pages)
+    intervals;
+  (* Under the hybrid update protocol some notices arrive with their diff
+     attached; a valid page whose fresh notices all carried diffs is
+     updated in place instead of invalidated. *)
+  let fresh_by_page : (int, write_notice list) Hashtbl.t = Hashtbl.create 8 in
+  let add_one mi =
+    (* Skip intervals we already cover (possible at the barrier manager
+       when two clients both forward a third party's interval). *)
+    if mi.mi_id > Vector_time.get t.vt mi.mi_proc then begin
+      charge Category.Tmk_consistency Cpu.incorporate_per_interval;
+      let iv =
+        { iv_proc = mi.mi_proc; iv_id = mi.mi_id; iv_vt = mi.mi_vt; iv_notices = [] }
+      in
+      let add_notice (page, diff) =
+        charge Category.Tmk_consistency Cpu.incorporate_per_notice;
+        let wn = { wn_page = page; wn_interval = iv; wn_diff = diff; wn_applied = false } in
+        iv.iv_notices <- wn :: iv.iv_notices;
+        t.pages.(page).pg_notices.(mi.mi_proc) <-
+          wn :: t.pages.(page).pg_notices.(mi.mi_proc);
+        t.live_records <- t.live_records + (if diff = None then 1 else 2);
+        t.stats.Stats.write_notices_in <- t.stats.Stats.write_notices_in + 1;
+        let prev = Option.value ~default:[] (Hashtbl.find_opt fresh_by_page page) in
+        Hashtbl.replace fresh_by_page page (wn :: prev)
+      in
+      List.iter add_notice mi.mi_pages;
+      t.intervals.(mi.mi_proc) <- iv :: t.intervals.(mi.mi_proc);
+      t.live_records <- t.live_records + 1;
+      t.stats.Stats.intervals_in <- t.stats.Stats.intervals_in + 1;
+      (* Advance only this processor's entry.  Folding in the interval's
+         whole vector timestamp would mark transitively-covered intervals
+         as seen before their records arrive (they may be later in this
+         same message, or in another barrier client's arrival), and the
+         skip above would then drop them forever.  The timestamp must
+         track record coverage exactly. *)
+      Vector_time.set t.vt mi.mi_proc mi.mi_id
+    end
+  in
+  List.iter add_one intervals;
+  let settle page fresh =
+    let updatable =
+      (* update in place only for a currently valid page with no local
+         twin (a twinned page would need its twin patched too; the plain
+         invalidate path handles it via the local diff) and no other diffs
+         outstanding *)
+      t.pages.(page).pg_twin = None
+      && Vm.prot t.vm page <> Vm.No_access
+      && List.for_all (fun wn -> wn.wn_diff <> None) fresh
+      && missing_diffs t page = []
+    in
+    if updatable then apply_missing_diffs t page fresh ~charge
+    else invalidate t page ~charge
+  in
+  Hashtbl.iter settle fresh_by_page
+
+let validate_page t page bytes ~charge =
+  charge Category.Tmk_mem Costs.page_copy;
+  Vm.install_page t.vm page bytes;
+  t.pages.(page).pg_has_copy <- true;
+  t.stats.Stats.page_fetches <- t.stats.Stats.page_fetches + 1
+
+let discard_all_records t ~charge =
+  let discarded = t.live_records in
+  charge Category.Tmk_other (Vtime.scale Cpu.gc_per_record discarded);
+  for q = 0 to t.nprocs - 1 do
+    t.intervals.(q) <- []
+  done;
+  Array.iter
+    (fun entry ->
+      Array.fill entry.pg_notices 0 t.nprocs [];
+      entry.pg_twin <- None)
+    t.pages;
+  t.dirty <- [];
+  t.live_records <- 0;
+  t.stats.Stats.records_discarded <- t.stats.Stats.records_discarded + discarded;
+  discarded
+
+let modified_pages t =
+  let result = ref [] in
+  Array.iteri
+    (fun page entry ->
+      if entry.pg_twin <> None || entry.pg_notices.(t.pid) <> [] then
+        result := page :: !result)
+    t.pages;
+  List.rev !result

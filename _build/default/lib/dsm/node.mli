@@ -1,0 +1,164 @@
+(** Per-processor DSM state and consistency bookkeeping (§3.1–§3.2).
+
+    Mirrors the paper's data structures: the {e PageArray} (page state,
+    approximate copyset, per-processor write-notice lists), the
+    {e ProcArray} (per-processor interval record lists, newest first),
+    interval records carrying vector timestamps, write-notice records
+    doubly linked to their intervals, and the diff pool (diffs hang off
+    write-notice records).
+
+    Functions here are pure bookkeeping plus simulated-cost charging; they
+    never communicate.  They run either in the application process or in a
+    request handler, so each takes a [charge] callback that routes CPU
+    costs to the right accounting context. *)
+
+open Tmk_sim
+
+(** [charge cat dt] consumes [dt] of CPU in the caller's context. *)
+type charge = Category.t -> Vtime.t -> unit
+
+(** Write-notice record: page [wn_page] was modified in interval
+    [wn_interval]; [wn_diff] is filled when the diff has been created
+    locally or received; [wn_applied] when its content is reflected in the
+    local copy (they differ once diffs can arrive piggybacked on
+    synchronization messages). *)
+type write_notice = {
+  wn_page : int;
+  wn_interval : interval;
+  mutable wn_diff : Tmk_util.Rle.t option;
+  mutable wn_applied : bool;
+}
+
+(** Interval record of processor [iv_proc], interval index [iv_id],
+    stamped [iv_vt]. *)
+and interval = {
+  iv_proc : int;
+  iv_id : int;
+  iv_vt : Vector_time.t;
+  mutable iv_notices : write_notice list;
+}
+
+(** PageArray entry. *)
+type page_entry = {
+  mutable pg_copyset : Tmk_util.Bitset.t;  (** processors believed to cache the page *)
+  pg_notices : write_notice list array;  (** per processor, decreasing interval index *)
+  mutable pg_twin : Bytes.t option;
+  mutable pg_has_copy : bool;  (** false until a copy has been fetched (or initially held) *)
+}
+
+(** Interval data as carried by synchronization messages.  Under the
+    hybrid update protocol ([Config.lrc_updates]) each write notice can
+    carry its diff. *)
+type msg_interval = {
+  mi_proc : int;
+  mi_id : int;
+  mi_vt : Vector_time.t;
+  mi_pages : (int * Tmk_util.Rle.t option) list;
+}
+
+type t = {
+  pid : int;
+  nprocs : int;
+  vm : Tmk_mem.Vm.t;
+  vt : Vector_time.t;  (** current vector timestamp *)
+  mutable next_interval : int;  (** index the next local interval will get *)
+  intervals : interval list array;  (** ProcArray: per processor, newest first *)
+  pages : page_entry array;
+  mutable dirty : int list;  (** pages twinned since the last interval creation *)
+  mutable live_records : int;  (** intervals + notices + diffs held (GC trigger) *)
+  stats : Stats.t;
+}
+
+(** [create ~pid ~nprocs ~pages] — initial state: processor 0 holds every
+    page [Read_only] (it is the initial copyset), everyone else holds
+    nothing ([No_access], no copy). *)
+val create : pid:int -> nprocs:int -> pages:int -> t
+
+(** [write_fault_twin t page ~charge] — handle a write fault on a valid
+    page: make the twin, upgrade to read-write (§3.7 SIGSEGV handler, twin
+    branch). *)
+val write_fault_twin : t -> int -> charge:charge -> unit
+
+(** [close_interval t ~charge] — if any page was twinned since the last
+    interval, start a new interval carrying one write notice per such page
+    (§3.2).  No-op otherwise.  [eager_diffs:true] additionally creates
+    every new notice's diff immediately (the Munin-style ablation of lazy
+    diff creation, §2.4); default [false]. *)
+val close_interval : ?eager_diffs:bool -> t -> charge:charge -> unit
+
+(** [intervals_since t vt] — every interval record known to [t] that [vt]
+    does not cover, as message intervals ordered oldest-first per
+    processor (the piggyback payload of §3.3/§3.4).  [attach] selects a
+    piggybacked diff per write notice (hybrid update protocol); the
+    default attaches none. *)
+val intervals_since :
+  ?attach:(write_notice -> Tmk_util.Rle.t option) -> t -> Vector_time.t -> msg_interval list
+
+(** [own_intervals_since t vt] — only [t]'s own intervals newer than
+    [vt]'s entry for [t] (barrier arrival payload, §3.4). *)
+val own_intervals_since :
+  ?attach:(write_notice -> Tmk_util.Rle.t option) -> t -> Vector_time.t -> msg_interval list
+
+(** [notice_counts intervals] — write-notice counts for {!Wire} sizing. *)
+val notice_counts : msg_interval list -> int list
+
+(** [update_bytes intervals] — total encoded size of the piggybacked
+    diffs (zero under the invalidate protocol). *)
+val update_bytes : msg_interval list -> int
+
+(** [incorporate t intervals ~charge] — §3.3's "incorporate": append
+    interval records, prepend write-notice records, advance the vector
+    timestamp, and invalidate the pages named by the notices.  A local
+    twin forces local diff creation before invalidation (§2.4).  Intervals
+    already covered by [t.vt] are skipped (they can arrive twice at a
+    barrier manager).  Notices carrying piggybacked diffs (hybrid update
+    protocol) update valid un-twinned pages in place instead of
+    invalidating them. *)
+val incorporate : t -> msg_interval list -> charge:charge -> unit
+
+(** [ensure_own_diff t page ~charge] — lazy diff creation (§3.2): if
+    [page] is twinned, create the diff against the twin, attach it to the
+    newest local write notice for the page, write-protect the page and
+    discard the twin.  Returns the diff when one was created or already
+    attached to the newest local notice. *)
+val ensure_own_diff : t -> int -> charge:charge -> unit
+
+(** [find_diff t ~proc ~interval_id ~page ~charge] — look up a diff in
+    the pool, creating it lazily when it is this node's own
+    ({!ensure_own_diff}).
+    @raise Not_found when the notice is unknown.
+    @raise Invalid_argument when the notice exists but its diff is absent
+    (protocol invariant violation). *)
+val find_diff :
+  t -> proc:int -> interval_id:int -> page:int -> charge:charge -> Tmk_util.Rle.t
+
+(** [missing_diffs t page] — the write notices for [page] lacking diffs,
+    grouped per processor, each group newest-first. *)
+val missing_diffs : t -> int -> (int * write_notice list) list
+
+(** [unapplied_diffs t page] — notices whose diffs are present but not
+    yet reflected in the local copy (piggybacked arrivals on an invalid or
+    twinned page). *)
+val unapplied_diffs : t -> int -> write_notice list
+
+(** [store_diff t ~proc ~interval_id ~page diff] — attach a received diff
+    to its notice record. *)
+val store_diff : t -> proc:int -> interval_id:int -> page:int -> Tmk_util.Rle.t -> unit
+
+(** [apply_missing_diffs t page notices ~charge] — apply the given
+    notices' diffs (which must all be present) in increasing
+    vector-timestamp order and validate the page ([Read_only]). *)
+val apply_missing_diffs : t -> int -> write_notice list -> charge:charge -> unit
+
+(** [validate_page t page ~charge] — mark a freshly fetched base copy
+    present and readable. *)
+val validate_page : t -> int -> Bytes.t -> charge:charge -> unit
+
+(** [discard_all_records t ~charge] — GC sweep (§3.6): drop every
+    interval, write-notice and diff record, and all twins.  Returns the
+    number of records discarded. *)
+val discard_all_records : t -> charge:charge -> int
+
+(** [modified_pages t] — pages with a local twin or a local write notice
+    (the pages this node must validate during GC). *)
+val modified_pages : t -> int list

@@ -1,0 +1,829 @@
+open Tmk_sim
+module Transport = Tmk_net.Transport
+module Vm = Tmk_mem.Vm
+module Costs = Tmk_mem.Costs
+module Rle = Tmk_util.Rle
+module Bitset = Tmk_util.Bitset
+
+(* ------------------------------------------------------------------ *)
+(* Message payloads (sizes are computed via [Wire]; the values travel
+   as closures/records inside the simulator).                          *)
+
+type grant = { g_intervals : Node.msg_interval list; g_granter_vt : Vector_time.t }
+
+type lock_request = {
+  lr_lock : int;
+  lr_requester : int;
+  lr_vt : Vector_time.t;
+  lr_mb : grant Transport.mailbox;
+}
+
+type barrier_release = {
+  br_intervals : Node.msg_interval list;
+  br_vt : Vector_time.t;
+  br_gc : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Lock and barrier state                                              *)
+
+type lock_state = { mutable held : bool; mutable cached : bool; pending : lock_request Queue.t }
+
+type mgr_state = { mutable last_requester : int }
+
+type barrier_client = {
+  bc_pid : int;
+  bc_vt : Vector_time.t;
+  bc_mb : barrier_release Transport.mailbox;
+}
+
+type barrier_state = {
+  mutable bs_clients : barrier_client list;
+  mutable bs_manager_here : bool;
+  mutable bs_all_in : unit Engine.Ivar.t;
+  mutable bs_gc : bool;
+}
+
+type gc_client = { gc_pid : int; gc_keep : Bitset.t; gc_mb : Bitset.t array Transport.mailbox }
+
+type gc_state = {
+  mutable gs_clients : gc_client list;
+  mutable gs_manager_here : bool;
+  mutable gs_all_in : unit Engine.Ivar.t;
+}
+
+type t = {
+  cfg : Config.t;
+  engine : Engine.t;
+  transport : Transport.t;
+  nodes : Node.t array;
+  lock_states : (int, lock_state) Hashtbl.t array;  (* per node *)
+  lock_mgrs : (int, mgr_state) Hashtbl.t array;  (* per node, manager role *)
+  barrier_states : (int, barrier_state) Hashtbl.t;  (* at the central manager *)
+  mutable gc : gc_state;
+  erc_dir : Bitset.t array;  (* ERC copyset directory (one entry per page) *)
+  erc_pending : (int, Rle.t list) Hashtbl.t array;  (* ERC updates for absent pages *)
+  erc_inflight : int array;  (* ERC update messages not yet delivered, per page *)
+  mutable sc : Sc.t option;  (* single-writer protocol state, when Config.Sc *)
+}
+
+let config t = t.cfg
+let engine t = t.engine
+let transport t = t.transport
+let node t pid = t.nodes.(pid)
+
+let barrier_manager = 0
+let lock_manager t lock = lock mod t.cfg.Config.nprocs
+
+(* Protocol event tracing: enable with Logs at Debug level on the
+   "tmk.protocol" source (tmk_run --verbose), e.g. to watch lock tokens
+   move or flushes drain. *)
+let log_src = Logs.Src.create "tmk.protocol" ~doc:"TreadMarks protocol events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let app_charge cat dt = Engine.advance cat dt
+let h_charge h cat dt = Engine.hcharge h cat dt
+
+(* Application-context protocol bookkeeping must not interleave with this
+   processor's request handlers: [Engine.advance] is a scheduling point,
+   so charging time in the middle of a mutation sequence would let a
+   handler observe (and mutate) half-updated consistency structures.  The
+   real implementation masks signals around these sections; we run the
+   mutations instantaneously and charge the accumulated CPU afterwards. *)
+let atomically f =
+  let charges = ref [] in
+  let charge cat dt = charges := (cat, dt) :: !charges in
+  let result = f charge in
+  List.iter (fun (cat, dt) -> Engine.advance cat dt) (List.rev !charges);
+  result
+
+let lock_state_of t pid lock =
+  match Hashtbl.find_opt t.lock_states.(pid) lock with
+  | Some st -> st
+  | None ->
+    (* The manager starts out holding the token of each lock it manages. *)
+    let st = { held = false; cached = lock_manager t lock = pid; pending = Queue.create () } in
+    Hashtbl.add t.lock_states.(pid) lock st;
+    st
+
+let mgr_state_of t pid lock =
+  match Hashtbl.find_opt t.lock_mgrs.(pid) lock with
+  | Some st -> st
+  | None ->
+    let st = { last_requester = pid } in
+    Hashtbl.add t.lock_mgrs.(pid) lock st;
+    st
+
+let barrier_state_of t id =
+  match Hashtbl.find_opt t.barrier_states id with
+  | Some bs -> bs
+  | None ->
+    let bs =
+      { bs_clients = []; bs_manager_here = false; bs_all_in = Engine.Ivar.create (); bs_gc = false }
+    in
+    Hashtbl.add t.barrier_states id bs;
+    bs
+
+(* ------------------------------------------------------------------ *)
+(* Access misses (§3.5)                                                *)
+
+(* Pick a processor believed to cache the page (never ourselves). *)
+let choose_provider copyset ~self =
+  let provider = Bitset.fold (fun q acc -> if q <> self && acc < 0 then q else acc) copyset (-1) in
+  if provider < 0 then failwith "Protocol: page has an empty copyset" else provider
+
+let fetch_base_lrc t pid page =
+  let node = t.nodes.(pid) in
+  let entry = node.Node.pages.(page) in
+  let provider = choose_provider entry.Node.pg_copyset ~self:pid in
+  app_charge Category.Tmk_other Cpu.page_request_build;
+  let bytes, copyset =
+    Transport.rpc ~label:"page-fetch" t.transport ~src:pid ~dst:provider
+      ~bytes:Wire.page_request_bytes
+      ~serve:(fun h ->
+        let pnode = t.nodes.(provider) in
+        h_charge h Category.Tmk_mem Costs.page_copy;
+        let pentry = pnode.Node.pages.(page) in
+        Bitset.add pentry.Node.pg_copyset pid;
+        (* Serve the twin when the page is dirty: diffs record only the
+           bytes that changed relative to their interval's base state, so
+           a base copy containing the provider's uncommitted (not yet
+           diffed) writes would be byte-inconsistent with the very diffs
+           the requester is about to apply over it. *)
+        let snapshot =
+          match pentry.Node.pg_twin with
+          | Some twin -> Bytes.copy twin
+          | None -> Vm.page_snapshot pnode.Node.vm page
+        in
+        (Wire.page_reply_bytes, (snapshot, Bitset.copy pentry.Node.pg_copyset)))
+  in
+  atomically (fun charge ->
+      Node.validate_page node page bytes ~charge;
+      Bitset.union_into ~src:copyset ~dst:entry.Node.pg_copyset;
+      Bitset.add entry.Node.pg_copyset pid)
+
+(* Fetch the diffs for [missing] (per-processor groups of notices lacking
+   diffs) from the minimal processor set, in parallel, then apply them in
+   vector-timestamp order. *)
+let fetch_and_apply_diffs t pid page missing =
+  let node = t.nodes.(pid) in
+  let total_notices = List.fold_left (fun acc (_, wns) -> acc + List.length wns) 0 missing in
+  app_charge Category.Tmk_consistency (Vtime.scale Cpu.miss_plan total_notices);
+  (* Newest lacking notice per processor; its VT covers the processor's
+     older lacking notices. *)
+  let heads =
+    List.map
+      (fun (q, wns) ->
+        match wns with
+        | wn :: _ -> (q, wn.Node.wn_interval.Node.iv_vt)
+        | [] -> assert false)
+      missing
+  in
+  let dominated (q, vt) =
+    List.exists (fun (r, vt') -> r <> q && Vector_time.leq vt vt') heads
+  in
+  let responders = List.filter (fun h -> not (dominated h)) heads in
+  (* Assign each processor's lacking notices to a responder whose newest
+     interval covers them (§3.5: a processor that modified the page in
+     interval i holds all diffs of intervals with smaller timestamps). *)
+  let assignments = Hashtbl.create 4 in
+  let assign (q, wns) =
+    let vt_q = (List.hd wns).Node.wn_interval.Node.iv_vt in
+    let r =
+      match List.find_opt (fun (_r, vt_r) -> Vector_time.leq vt_q vt_r) responders with
+      | Some (r, _) -> r
+      | None -> assert false (* q's own head is undominated or covered *)
+    in
+    let entries = List.map (fun wn -> (q, wn.Node.wn_interval.Node.iv_id)) wns in
+    let prev = Option.value ~default:[] (Hashtbl.find_opt assignments r) in
+    Hashtbl.replace assignments r (prev @ entries)
+  in
+  List.iter assign missing;
+  let promises =
+    Hashtbl.fold
+      (fun r entries acc ->
+        app_charge Category.Tmk_other Cpu.page_request_build;
+        let promise =
+          Transport.call ~label:"diff-fetch" t.transport ~src:pid ~dst:r
+            ~bytes:(Wire.diff_request_bytes (List.length entries))
+            ~serve:(fun h ->
+              let rnode = t.nodes.(r) in
+              let serve_one (proc, interval_id) =
+                h_charge h Category.Tmk_other Cpu.diff_lookup_per_entry;
+                let diff =
+                  Node.find_diff rnode ~proc ~interval_id ~page ~charge:(h_charge h)
+                in
+                (proc, interval_id, diff)
+              in
+              let replies = List.map serve_one entries in
+              let sizes = List.map (fun (_, _, d) -> Rle.encoded_size d) replies in
+              (Wire.diff_reply_bytes sizes, replies))
+        in
+        promise :: acc)
+      assignments []
+  in
+  let receive promise =
+    let replies = Transport.await_reply t.transport promise in
+    List.iter
+      (fun (proc, interval_id, diff) -> Node.store_diff node ~proc ~interval_id ~page diff)
+      replies
+  in
+  List.iter receive promises;
+  atomically (fun charge ->
+      (* the fetched diffs, plus any piggybacked ones not yet reflected *)
+      let fetched = List.concat_map snd missing in
+      let pending =
+        List.filter (fun wn -> not (List.memq wn fetched)) (Node.unapplied_diffs node page)
+      in
+      Node.apply_missing_diffs node page (fetched @ pending) ~charge)
+
+(* ERC: cold fetch through the global directory; updates that raced ahead
+   of the base copy are queued and applied on installation.  A provider
+   with update messages still in flight to it cannot produce a current
+   snapshot, and the requester is not yet a copyset member so it would
+   never receive those updates: the serve stalls (the handler re-arms
+   itself) until the page's in-flight update count drains.  Flushes are
+   bursts bounded by their acknowledgements, so the wait is short. *)
+let fetch_base_erc t pid page =
+  let node = t.nodes.(pid) in
+  let provider = choose_provider t.erc_dir.(page) ~self:pid in
+  app_charge Category.Tmk_other Cpu.page_request_build;
+  let mb = Transport.mailbox () in
+  let rec serve h =
+    if t.erc_inflight.(page) > 0 then begin
+      h_charge h Category.Tmk_other (Vtime.us 5);
+      Engine.post_handler t.engine ~pid:provider
+        ~at:(Vtime.add (Engine.hnow h) (Vtime.us 200))
+        serve
+    end
+    else begin
+      h_charge h Category.Tmk_mem Costs.page_copy;
+      (* Joining the copyset here makes every later flush reach the new
+         member (possibly before the base installs; see erc_pending). *)
+      Bitset.add t.erc_dir.(page) pid;
+      Transport.hsend_value ~label:"page-fetch-reply" t.transport h ~dst:pid
+        ~bytes:Wire.page_reply_bytes mb
+        (Vm.page_snapshot t.nodes.(provider).Node.vm page)
+    end
+  in
+  Transport.send ~label:"page-fetch" t.transport ~src:pid ~dst:provider
+    ~bytes:Wire.page_request_bytes ~deliver:serve;
+  let bytes = Transport.await_value t.transport mb in
+  atomically (fun charge ->
+      Node.validate_page node page bytes ~charge;
+      (match Hashtbl.find_opt t.erc_pending.(pid) page with
+      | None -> ()
+      | Some diffs ->
+        List.iter
+          (fun diff ->
+            charge Category.Tmk_mem (Costs.diff_apply (Rle.payload_size diff));
+            Vm.patch node.Node.vm page diff;
+            node.Node.stats.Stats.diffs_applied <- node.Node.stats.Stats.diffs_applied + 1)
+          (List.rev diffs);
+        Hashtbl.remove t.erc_pending.(pid) page);
+      charge Category.Unix_mem Costs.mprotect;
+      Vm.set_prot node.Node.vm page Vm.Read_only)
+
+let miss t pid page =
+  let node = t.nodes.(pid) in
+  Log.debug (fun m -> m "[t=%d] miss at %d on page %d" (Engine.now t.engine) pid page);
+  node.Node.stats.Stats.remote_misses <- node.Node.stats.Stats.remote_misses + 1;
+  match t.cfg.Config.protocol with
+  | Config.Sc -> assert false (* SC faults are handled entirely by Sc *)
+  | Config.Erc ->
+    (* Update protocol: pages are never invalidated, so a miss is always a
+       cold fetch. *)
+    assert (not node.Node.pages.(page).Node.pg_has_copy);
+    fetch_base_erc t pid page
+  | Config.Lrc ->
+    let entry = node.Node.pages.(page) in
+    if not entry.Node.pg_has_copy then fetch_base_lrc t pid page;
+    (* New write notices can be incorporated by a request handler while we
+       wait for replies (this node may be the barrier manager); loop until
+       every known diff has been applied. *)
+    let rec settle () =
+      match Node.missing_diffs node page with
+      | [] ->
+        atomically (fun charge ->
+            (match Node.unapplied_diffs node page with
+            | [] -> ()
+            | pending ->
+              (* diffs that arrived piggybacked on synchronization
+                 messages (hybrid update protocol) while the page was
+                 invalid or twinned *)
+              Node.apply_missing_diffs node page pending ~charge);
+            if Vm.prot node.Node.vm page = Vm.No_access then begin
+              charge Category.Unix_mem Costs.mprotect;
+              Vm.set_prot node.Node.vm page Vm.Read_only
+            end)
+      | missing ->
+        fetch_and_apply_diffs t pid page missing;
+        settle ()
+    in
+    settle ()
+
+let handle_fault_rc t pid kind page =
+  let node = t.nodes.(pid) in
+  app_charge Category.Unix_mem Costs.sigsegv;
+  app_charge Category.Tmk_other Cpu.fault_dispatch;
+  (match kind with
+  | Vm.Read -> node.Node.stats.Stats.read_faults <- node.Node.stats.Stats.read_faults + 1
+  | Vm.Write -> node.Node.stats.Stats.write_faults <- node.Node.stats.Stats.write_faults + 1);
+  match (Vm.prot node.Node.vm page, kind) with
+  | Vm.Read_only, Vm.Write ->
+    atomically (fun charge -> Node.write_fault_twin node page ~charge)
+  | Vm.No_access, Vm.Read -> miss t pid page
+  | Vm.No_access, Vm.Write ->
+    miss t pid page;
+    (* The miss can leave the page invalid again if a notice raced in;
+       the Vm fault dispatcher retries and we fall into the miss path
+       once more. *)
+    if Vm.prot node.Node.vm page = Vm.Read_only then
+      atomically (fun charge -> Node.write_fault_twin node page ~charge)
+  | (Vm.Read_only | Vm.Read_write), _ -> assert false
+
+(* Fault entry: the SC baseline handles its faults entirely in Sc. *)
+let handle_fault t pid kind page =
+  match t.sc with
+  | Some sc -> Sc.handle_fault sc ~pid kind page
+  | None -> handle_fault_rc t pid kind page
+
+(* ------------------------------------------------------------------ *)
+(* ERC release flush (§5.1): diff every dirty page and push updates to
+   every cacher, then wait for all acknowledgements.                    *)
+
+let erc_flush t pid =
+  let node = t.nodes.(pid) in
+  let dirty = node.Node.dirty in
+  node.Node.dirty <- [];
+  if dirty <> [] then begin
+    (* First pass: create every diff and collect the update fan-out so the
+       acknowledgement count is known before any ack can arrive. *)
+    Log.debug (fun m ->
+        m "[t=%d] erc flush by %d, %d dirty pages" (Engine.now t.engine) pid
+          (List.length dirty));
+    let updates =
+      List.filter_map
+        (fun page ->
+          let entry = node.Node.pages.(page) in
+          match entry.Node.pg_twin with
+          | None -> None
+          | Some twin ->
+            let diff =
+              atomically (fun charge ->
+                  charge Category.Tmk_other Cpu.erc_flush_per_page;
+                  charge Category.Tmk_mem (Costs.diff_create Vm.page_size);
+                  let diff = Vm.diff_against node.Node.vm page ~twin in
+                  entry.Node.pg_twin <- None;
+                  node.Node.stats.Stats.diffs_created <-
+                    node.Node.stats.Stats.diffs_created + 1;
+                  node.Node.stats.Stats.diff_bytes_created <-
+                    node.Node.stats.Stats.diff_bytes_created + Rle.encoded_size diff;
+                  charge Category.Unix_mem Costs.mprotect;
+                  Vm.set_prot node.Node.vm page Vm.Read_only;
+                  diff)
+            in
+            let members =
+              List.filter (fun q -> q <> pid) (Bitset.to_list t.erc_dir.(page))
+            in
+            (* Reserve the deliveries while still atomic with the
+               membership read, so concurrent cold fetches stall until
+               these updates land (see fetch_base_erc). *)
+            t.erc_inflight.(page) <- t.erc_inflight.(page) + List.length members;
+            if members = [] then None else Some (page, diff, members))
+        dirty
+    in
+    let total = List.fold_left (fun acc (_, _, ms) -> acc + List.length ms) 0 updates in
+    if total > 0 then begin
+      let remaining = ref total in
+      let all_acked = Engine.Ivar.create () in
+      let send_update (page, diff, members) =
+        let bytes = Wire.erc_update_bytes (Rle.encoded_size diff) in
+        let deliver_to m h =
+          let mnode = t.nodes.(m) in
+          t.erc_inflight.(page) <- t.erc_inflight.(page) - 1;
+          Log.debug (fun msg ->
+              msg "[t=%d] erc update page %d from %d at %d (%d runs, has_copy=%b)"
+                (Engine.now t.engine) page pid m
+                (Tmk_util.Rle.run_count diff)
+                mnode.Node.pages.(page).Node.pg_has_copy);
+          if mnode.Node.pages.(page).Node.pg_has_copy then begin
+            h_charge h Category.Tmk_mem (Costs.diff_apply (Rle.payload_size diff));
+            Vm.patch mnode.Node.vm page diff;
+            (match mnode.Node.pages.(page).Node.pg_twin with
+            | Some tw -> Rle.apply diff tw
+            | None -> ());
+            mnode.Node.stats.Stats.diffs_applied <-
+              mnode.Node.stats.Stats.diffs_applied + 1
+          end
+          else begin
+            (* The base copy is still in flight: queue the update. *)
+            let prev = Option.value ~default:[] (Hashtbl.find_opt t.erc_pending.(m) page) in
+            Hashtbl.replace t.erc_pending.(m) page (diff :: prev)
+          end;
+          Transport.hsend ~label:"erc-ack" t.transport h ~dst:pid ~bytes:Wire.ack_bytes
+            ~deliver:(fun ha ->
+              decr remaining;
+              if !remaining = 0 then Engine.fill t.engine all_acked ~at:(Engine.hnow ha) ())
+        in
+        List.iter
+          (fun m ->
+            Transport.send ~label:"erc-update" t.transport ~src:pid ~dst:m ~bytes
+              ~deliver:(deliver_to m))
+          members
+      in
+      List.iter send_update updates;
+      (* The release "is not allowed to perform" until every update is
+         acknowledged (section 5.1's DASH-style requirement). *)
+      Log.debug (fun m -> m "[t=%d] erc flush by %d awaiting %d acks" (Engine.now t.engine) pid total);
+      Engine.await all_acked;
+      Log.debug (fun m -> m "[t=%d] erc flush by %d complete" (Engine.now t.engine) pid)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Hybrid update protocol (§2.2's alternative to invalidation): when
+   enabled, synchronization messages piggyback the diffs of pages the
+   receiver is believed to cache, and the receiver updates valid pages in
+   place. *)
+
+let attach_for t node ~receiver ~charge =
+  if not t.cfg.Config.lrc_updates then None
+  else
+    Some
+      (fun wn ->
+        let page = wn.Node.wn_page in
+        if Bitset.mem node.Node.pages.(page).Node.pg_copyset receiver then begin
+          (* a pending local diff is created now (it is the newest
+             diff-less local notice by the lazy-diffing invariant) *)
+          if wn.Node.wn_interval.Node.iv_proc = node.Node.pid && wn.Node.wn_diff = None
+          then Node.ensure_own_diff node page ~charge;
+          wn.Node.wn_diff
+        end
+        else None)
+
+(* ------------------------------------------------------------------ *)
+(* Locks (§3.3)                                                        *)
+
+let grant_payload t granter req ~charge =
+  let node = t.nodes.(granter) in
+  match t.cfg.Config.protocol with
+  | Config.Lrc ->
+    (* A new interval logically begins at the release-to-another-processor. *)
+    Node.close_interval ~eager_diffs:(not t.cfg.Config.lazy_diffs) node ~charge;
+    let attach = attach_for t node ~receiver:req.lr_requester ~charge in
+    let intervals = Node.intervals_since ?attach node req.lr_vt in
+    charge Category.Unix_comm Cpu.lock_grant_kernel;
+    charge Category.Tmk_other Cpu.lock_grant_dsm;
+    let bytes =
+      Wire.lock_grant_bytes ~nprocs:t.cfg.Config.nprocs (Node.notice_counts intervals)
+      + Node.update_bytes intervals
+    in
+    (bytes, { g_intervals = intervals; g_granter_vt = Vector_time.copy node.Node.vt })
+  | Config.Erc | Config.Sc ->
+    charge Category.Unix_comm Cpu.lock_grant_kernel;
+    charge Category.Tmk_other Cpu.lock_grant_dsm;
+    ( Wire.lock_grant_bytes ~nprocs:t.cfg.Config.nprocs [],
+      { g_intervals = []; g_granter_vt = Vector_time.copy node.Node.vt } )
+
+(* Grant from a request handler: the lock was free (cached) at this node. *)
+let grant_from_handler t granter req h =
+  let bytes, payload = grant_payload t granter req ~charge:(h_charge h) in
+  Transport.hsend_value ~label:"lock-grant" t.transport h ~dst:req.lr_requester ~bytes
+    req.lr_mb payload
+
+(* Grant from application context (at release time). *)
+let grant_from_app t granter req =
+  let bytes, payload = atomically (fun charge -> grant_payload t granter req ~charge) in
+  Transport.send_value ~label:"lock-grant" t.transport ~src:granter ~dst:req.lr_requester
+    ~bytes req.lr_mb payload
+
+(* A lock request reaching the node at the end of the forwarding chain. *)
+let transfer_request t target req h =
+  let st = lock_state_of t target req.lr_lock in
+  Log.debug (fun m ->
+      m "[t=%d] lock %d transfer-request at %d from %d (held=%b cached=%b)"
+        (Engine.now t.engine) req.lr_lock target req.lr_requester st.held st.cached);
+  if st.held || not st.cached then Queue.add req st.pending
+  else begin
+    st.cached <- false;
+    grant_from_handler t target req h
+  end
+
+(* The statically assigned manager: record the requester, forward to the
+   previous one (§3.3). *)
+let manager_handle t mgr req h =
+  let ms = mgr_state_of t mgr req.lr_lock in
+  let target = ms.last_requester in
+  assert (target <> req.lr_requester);
+  ms.last_requester <- req.lr_requester;
+  if target = mgr then transfer_request t mgr req h
+  else begin
+    h_charge h Category.Tmk_other Cpu.lock_forward;
+    Transport.hsend ~label:"lock-forward" t.transport h ~dst:target
+      ~bytes:(Wire.lock_request_bytes ~nprocs:t.cfg.Config.nprocs)
+      ~deliver:(fun h2 -> transfer_request t target req h2)
+  end
+
+let acquire t ~pid ~lock =
+  let node = t.nodes.(pid) in
+  let st = lock_state_of t pid lock in
+  node.Node.stats.Stats.lock_acquires <- node.Node.stats.Stats.lock_acquires + 1;
+  if st.cached then begin
+    (* Mark the lock held before charging: Engine.advance is a scheduling
+       point, and a request handler running inside it must see the token
+       as taken or it would grant it away (the real implementation masks
+       SIGIO around the lock internals). *)
+    st.held <- true;
+    Log.debug (fun m -> m "[t=%d] lock %d local acquire by %d" (Engine.now t.engine) lock pid);
+    app_charge Category.Tmk_other Cpu.lock_local
+  end
+  else begin
+    node.Node.stats.Stats.lock_remote <- node.Node.stats.Stats.lock_remote + 1;
+    app_charge Category.Unix_comm Cpu.lock_request_build_kernel;
+    app_charge Category.Tmk_other Cpu.lock_request_build_dsm;
+    let mb = Transport.mailbox () in
+    let req = { lr_lock = lock; lr_requester = pid; lr_vt = Vector_time.copy node.Node.vt; lr_mb = mb } in
+    let mgr = lock_manager t lock in
+    Transport.send ~label:"lock-request" t.transport ~src:pid ~dst:mgr
+      ~bytes:(Wire.lock_request_bytes ~nprocs:t.cfg.Config.nprocs)
+      ~deliver:(fun h -> manager_handle t mgr req h);
+    let grant = Transport.await_value t.transport mb in
+    Log.debug (fun m ->
+        m "[t=%d] lock %d granted to %d (%d intervals)" (Engine.now t.engine) lock pid
+          (List.length grant.g_intervals));
+    (match t.cfg.Config.protocol with
+    | Config.Lrc ->
+      atomically (fun charge ->
+          Node.close_interval ~eager_diffs:(not t.cfg.Config.lazy_diffs) node ~charge;
+          (* The piggybacked intervals are exactly the granter's knowledge
+             not covered by our request timestamp, so incorporation alone
+             realises the pairwise-maximum rule of §2.2; the timestamp
+             itself must only ever track incorporated records (see
+             Node.incorporate). *)
+          Node.incorporate node grant.g_intervals ~charge);
+      assert (Vector_time.leq grant.g_granter_vt node.Node.vt)
+    | Config.Erc | Config.Sc -> app_charge Category.Tmk_consistency Cpu.incorporate_base);
+    st.held <- true;
+    st.cached <- true
+  end
+
+let release t ~pid ~lock =
+  let st = lock_state_of t pid lock in
+  Log.debug (fun m ->
+      m "[t=%d] lock %d release by %d (pending=%d)" (Engine.now t.engine) lock pid
+        (Queue.length st.pending));
+  if not st.held then
+    invalid_arg (Printf.sprintf "Protocol.release: processor %d does not hold lock %d" pid lock);
+  if t.cfg.Config.protocol = Config.Erc then erc_flush t pid;
+  st.held <- false;
+  match Queue.take_opt st.pending with
+  | None -> () (* token stays cached here *)
+  | Some req ->
+    Log.debug (fun m ->
+        m "[t=%d] lock %d release-grant by %d to %d" (Engine.now t.engine) lock pid
+          req.lr_requester);
+    st.cached <- false;
+    grant_from_app t pid req;
+    (* Any stragglers chase the token to its new holder. *)
+    Queue.iter
+      (fun r ->
+        Transport.send ~label:"lock-forward" t.transport ~src:pid ~dst:req.lr_requester
+          ~bytes:(Wire.lock_request_bytes ~nprocs:t.cfg.Config.nprocs)
+          ~deliver:(fun h -> transfer_request t req.lr_requester r h))
+      st.pending;
+    Queue.clear st.pending
+
+(* ------------------------------------------------------------------ *)
+(* Garbage collection (§3.6)                                           *)
+
+let fresh_gc_state () =
+  { gs_clients = []; gs_manager_here = false; gs_all_in = Engine.Ivar.create () }
+
+let gc_maybe_complete t =
+  let gs = t.gc in
+  if
+    gs.gs_manager_here
+    && List.length gs.gs_clients = t.cfg.Config.nprocs - 1
+    && not (Engine.Ivar.is_filled gs.gs_all_in)
+  then Engine.fill t.engine gs.gs_all_in ~at:(Engine.now t.engine) ()
+
+let gc_phase t pid =
+  let node = t.nodes.(pid) in
+  let npages = t.cfg.Config.pages in
+  Log.debug (fun m ->
+      m "[t=%d] gc at %d (%d live records)" (Engine.now t.engine) pid node.Node.live_records);
+  node.Node.stats.Stats.gc_runs <- node.Node.stats.Stats.gc_runs + 1;
+  (* 1. Validate every page this node modified: flush twins to diffs,
+     fetch and apply whatever is missing. *)
+  let validate page =
+    atomically (fun charge -> Node.ensure_own_diff node page ~charge);
+    let rec settle () =
+      match Node.missing_diffs node page with
+      | [] ->
+        atomically (fun charge ->
+            (match Node.unapplied_diffs node page with
+            | [] -> ()
+            | pending -> Node.apply_missing_diffs node page pending ~charge);
+            if Vm.prot node.Node.vm page = Vm.No_access then begin
+              charge Category.Unix_mem Costs.mprotect;
+              Vm.set_prot node.Node.vm page Vm.Read_only
+            end)
+      | missing ->
+        fetch_and_apply_diffs t pid page missing;
+        settle ()
+    in
+    settle ()
+  in
+  List.iter validate (Node.modified_pages node);
+  (* 2. Exchange keep-bitmaps so everyone learns the new copysets. *)
+  let keep = Bitset.create npages in
+  for page = 0 to npages - 1 do
+    if Vm.prot node.Node.vm page <> Vm.No_access then Bitset.add keep page
+  done;
+  let keepers =
+    if pid = barrier_manager then begin
+      t.gc.gs_manager_here <- true;
+      gc_maybe_complete t;
+      Engine.await t.gc.gs_all_in;
+      let clients = t.gc.gs_clients in
+      t.gc <- fresh_gc_state ();
+      (* Aggregate: keepers per page, one bitset of processors per page. *)
+      let keepers = Array.init npages (fun _ -> Bitset.create t.cfg.Config.nprocs) in
+      let note_keeps who bitmap =
+        Bitset.iter (fun page -> Bitset.add keepers.(page) who) bitmap
+      in
+      note_keeps pid keep;
+      List.iter (fun c -> note_keeps c.gc_pid c.gc_keep) clients;
+      let reply_bytes =
+        t.cfg.Config.nprocs * Wire.gc_keep_bitmap_bytes ~npages
+      in
+      List.iter
+        (fun c ->
+          Transport.send_value ~label:"gc-copysets" t.transport ~src:pid ~dst:c.gc_pid
+            ~bytes:reply_bytes c.gc_mb keepers)
+        clients;
+      keepers
+    end
+    else begin
+      let mb = Transport.mailbox () in
+      Transport.send ~label:"gc-bitmap" t.transport ~src:pid ~dst:barrier_manager
+        ~bytes:(Wire.gc_keep_bitmap_bytes ~npages)
+        ~deliver:(fun _h ->
+          t.gc.gs_clients <- { gc_pid = pid; gc_keep = keep; gc_mb = mb } :: t.gc.gs_clients;
+          gc_maybe_complete t);
+      Transport.await_value t.transport mb
+    end
+  in
+  (* 3. Adopt the new copysets and discard every consistency record. *)
+  Array.iteri
+    (fun page entry ->
+      entry.Node.pg_copyset <- Bitset.copy keepers.(page);
+      if not (Bitset.mem keepers.(page) pid) then entry.Node.pg_has_copy <- false)
+    node.Node.pages;
+  ignore (Node.discard_all_records node ~charge:app_charge)
+
+(* ------------------------------------------------------------------ *)
+(* Barriers (§3.4)                                                     *)
+
+let barrier_maybe_complete t bs ~at =
+  if
+    bs.bs_manager_here
+    && List.length bs.bs_clients = t.cfg.Config.nprocs - 1
+    && not (Engine.Ivar.is_filled bs.bs_all_in)
+  then Engine.fill t.engine bs.bs_all_in ~at ()
+
+let barrier t ~pid ~id =
+  let node = t.nodes.(pid) in
+  let lrc = t.cfg.Config.protocol = Config.Lrc in
+  Log.debug (fun m -> m "[t=%d] barrier %d arrival by %d" (Engine.now t.engine) id pid);
+  node.Node.stats.Stats.barriers <- node.Node.stats.Stats.barriers + 1;
+  if t.cfg.Config.protocol = Config.Erc then erc_flush t pid;
+  app_charge Category.Unix_comm Cpu.barrier_arrival_build_kernel;
+  app_charge Category.Tmk_other Cpu.barrier_arrival_build_dsm;
+  if lrc then atomically (fun charge ->
+      Node.close_interval ~eager_diffs:(not t.cfg.Config.lazy_diffs) node ~charge);
+  let want_gc = lrc && node.Node.live_records > t.cfg.Config.gc_threshold in
+  if t.cfg.Config.nprocs = 1 then ()
+  else if pid = barrier_manager then begin
+    let bs = barrier_state_of t id in
+    bs.bs_manager_here <- true;
+    bs.bs_gc <- bs.bs_gc || want_gc;
+    barrier_maybe_complete t bs ~at:(Engine.now t.engine);
+    Engine.await bs.bs_all_in;
+    let clients = bs.bs_clients in
+    let run_gc = bs.bs_gc in
+    (* Reset before releasing so the next use of this id starts clean. *)
+    bs.bs_clients <- [];
+    bs.bs_manager_here <- false;
+    bs.bs_all_in <- Engine.Ivar.create ();
+    bs.bs_gc <- false;
+    let release_one bc =
+      (* interval selection (and any hybrid-protocol diff creation) is
+         atomic with respect to this node's handlers; a grant handler
+         interleaving between releases merely enlarges later clients'
+         deltas, which is safe *)
+      let intervals =
+        if lrc then
+          atomically (fun charge ->
+              let attach = attach_for t node ~receiver:bc.bc_pid ~charge in
+              Node.intervals_since ?attach node bc.bc_vt)
+        else []
+      in
+      app_charge Category.Tmk_other Cpu.barrier_release_per_client;
+      let bytes =
+        Wire.barrier_release_bytes ~nprocs:t.cfg.Config.nprocs (Node.notice_counts intervals)
+        + Node.update_bytes intervals
+      in
+      Transport.send_value ~label:"barrier-release" t.transport ~src:pid ~dst:bc.bc_pid
+        ~bytes bc.bc_mb
+        { br_intervals = intervals; br_vt = Vector_time.copy node.Node.vt; br_gc = run_gc }
+    in
+    (* Release in client order for determinism. *)
+    List.iter release_one (List.sort (fun a b -> compare a.bc_pid b.bc_pid) clients);
+    if run_gc then gc_phase t pid
+  end
+  else begin
+    let mb = Transport.mailbox () in
+    (* Send the manager our intervals it does not know about: everything
+       newer than the last manager timestamp we have seen (§3.4). *)
+    let mgr_known_vt =
+      if lrc then
+        match node.Node.intervals.(barrier_manager) with
+        | iv :: _ -> iv.Node.iv_vt
+        | [] -> Vector_time.create t.cfg.Config.nprocs
+      else Vector_time.create t.cfg.Config.nprocs
+    in
+    let own =
+      if lrc then
+        atomically (fun charge ->
+            let attach = attach_for t node ~receiver:barrier_manager ~charge in
+            Node.own_intervals_since ?attach node mgr_known_vt)
+      else []
+    in
+    let arrival_vt = Vector_time.copy node.Node.vt in
+    let bytes =
+      Wire.barrier_arrival_bytes ~nprocs:t.cfg.Config.nprocs (Node.notice_counts own)
+      + Node.update_bytes own
+    in
+    Transport.send ~label:"barrier-arrival" t.transport ~src:pid ~dst:barrier_manager ~bytes
+      ~deliver:(fun h ->
+        let bs = barrier_state_of t id in
+        if lrc then Node.incorporate t.nodes.(barrier_manager) own ~charge:(h_charge h)
+        else h_charge h Category.Tmk_consistency Cpu.incorporate_base;
+        bs.bs_clients <- { bc_pid = pid; bc_vt = arrival_vt; bc_mb = mb } :: bs.bs_clients;
+        bs.bs_gc <- bs.bs_gc || want_gc;
+        barrier_maybe_complete t bs ~at:(Engine.hnow h));
+    let rel = Transport.await_value t.transport mb in
+    if lrc then begin
+      atomically (fun charge -> Node.incorporate node rel.br_intervals ~charge);
+      assert (Vector_time.leq rel.br_vt node.Node.vt)
+    end
+    else app_charge Category.Tmk_consistency Cpu.incorporate_base;
+    if rel.br_gc then gc_phase t pid
+  end
+
+let charge_compute _t ~pid:_ ns = app_charge Category.Computation (Vtime.ns ns)
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let create cfg =
+  Config.validate cfg;
+  let engine = Engine.create ~nprocs:cfg.Config.nprocs in
+  let prng = Tmk_util.Prng.split_named (Tmk_util.Prng.create cfg.Config.seed) "net" in
+  let transport = Transport.create ~engine ~params:cfg.Config.net ~prng in
+  let nodes =
+    Array.init cfg.Config.nprocs (fun pid ->
+        Node.create ~pid ~nprocs:cfg.Config.nprocs ~pages:cfg.Config.pages)
+  in
+  let erc_dir =
+    Array.init cfg.Config.pages (fun _ ->
+        let b = Bitset.create cfg.Config.nprocs in
+        Bitset.add b 0;
+        b)
+  in
+  let t =
+    {
+      cfg;
+      engine;
+      transport;
+      nodes;
+      lock_states = Array.init cfg.Config.nprocs (fun _ -> Hashtbl.create 16);
+      lock_mgrs = Array.init cfg.Config.nprocs (fun _ -> Hashtbl.create 16);
+      barrier_states = Hashtbl.create 4;
+      gc = fresh_gc_state ();
+      erc_dir;
+      erc_pending = Array.init cfg.Config.nprocs (fun _ -> Hashtbl.create 4);
+      erc_inflight = Array.make cfg.Config.pages 0;
+      sc = None;
+    }
+  in
+  (if cfg.Config.protocol = Config.Sc then
+     t.sc <- Some (Sc.create ~engine ~transport ~nodes ~pages:cfg.Config.pages));
+  Array.iteri
+    (fun pid node ->
+      Vm.set_fault_handler node.Node.vm (fun kind page -> handle_fault t pid kind page))
+    nodes;
+  t

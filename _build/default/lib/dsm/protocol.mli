@@ -1,0 +1,71 @@
+(** The TreadMarks protocol engine: lazy release consistency with
+    multiple-writer pages and lazy diff creation, plus the eager
+    release-consistency baseline of §5.
+
+    One value of type {!t} is a running cluster: an {!Tmk_sim.Engine}
+    with one DSM node per processor, a {!Tmk_net.Transport} between them,
+    lock and barrier managers, and the fault machinery wired into every
+    node's {!Tmk_mem.Vm}.
+
+    The operations below are the synchronization API the applications
+    program against.  They must be called from the application process of
+    the named processor (they block on remote replies).  Shared-memory
+    loads and stores go straight through {!Tmk_mem.Vm} accessors on
+    [Node.vm]; protection faults re-enter this module automatically.
+
+    Protocol summary per operation (LRC):
+
+    - {b acquire}: free if this processor holds the lock token; otherwise
+      request → manager → (forward to last requester) → grant carrying
+      the interval records the acquirer has not seen (§3.3); incorporation
+      invalidates the pages named by their write notices.
+    - {b release}: no communication unless a queued request is waiting, in
+      which case the lock transfers with the same piggybacked interval
+      delta.
+    - {b barrier}: clients push their new intervals to the centralized
+      manager; the manager merges and rebroadcasts each client's missing
+      delta (§3.4).
+    - {b page fault}: write faults on valid pages twin the page; misses
+      fetch a base copy (cold) and the missing diffs, queried from the
+      minimal processor set of §3.5, applied in vector-timestamp order.
+    - {b garbage collection} (§3.6): piggybacked on a barrier when a
+      node's consistency-record count passes the configured threshold;
+      everyone validates the pages it modified, keep-bitmaps are
+      exchanged, and all records are discarded.
+
+    Under ERC (§5.1), release and barrier arrival instead create diffs of
+    every dirty page eagerly and push them as updates to every cacher,
+    blocking until all are acknowledged; locks and barriers carry no
+    consistency payload and pages are never invalidated. *)
+
+open Tmk_sim
+
+type t
+
+(** [create config] builds the cluster (engine, transport, nodes, fault
+    wiring).  Application processes are spawned by the caller via
+    {!Engine.spawn} on {!engine}. *)
+val create : Config.t -> t
+
+val config : t -> Config.t
+val engine : t -> Engine.t
+val transport : t -> Tmk_net.Transport.t
+
+(** [node t pid] — processor [pid]'s DSM state (shared-memory access goes
+    through [Node.vm]). *)
+val node : t -> int -> Node.t
+
+(** [acquire t ~pid ~lock] — lock acquire (application context). *)
+val acquire : t -> pid:int -> lock:int -> unit
+
+(** [release t ~pid ~lock] — lock release (application context).
+    @raise Invalid_argument if [pid] does not hold [lock]. *)
+val release : t -> pid:int -> lock:int -> unit
+
+(** [barrier t ~pid ~id] — global barrier; every processor must call it
+    with the same [id] sequence. *)
+val barrier : t -> pid:int -> id:int -> unit
+
+(** [charge_compute t ~pid ns] — account [ns] nanoseconds of application
+    computation on [pid] (application context). *)
+val charge_compute : t -> pid:int -> int -> unit

@@ -1,0 +1,31 @@
+(** Per-node protocol event counters.
+
+    These feed the paper's execution statistics (Figure 4) and the
+    lazy-vs-eager comparison (Figures 9–12).  Communication volume lives
+    in {!Tmk_net.Transport}; simulated time lives in
+    {!Tmk_sim.Engine}. *)
+
+type t = {
+  mutable lock_acquires : int;  (** every application acquire *)
+  mutable lock_remote : int;  (** acquires that needed communication *)
+  mutable barriers : int;
+  mutable read_faults : int;
+  mutable write_faults : int;
+  mutable remote_misses : int;  (** faults that fetched pages or diffs *)
+  mutable twins_created : int;
+  mutable diffs_created : int;
+  mutable diffs_applied : int;
+  mutable diff_bytes_created : int;
+  mutable write_notices_in : int;  (** notices received in sync messages *)
+  mutable intervals_in : int;
+  mutable page_fetches : int;  (** full-page copies received *)
+  mutable gc_runs : int;
+  mutable records_discarded : int;  (** consistency records freed by GC *)
+}
+
+val create : unit -> t
+
+(** [add ~into t] accumulates [t] into [into] (cluster totals). *)
+val add : into:t -> t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+type t = int array
+
+let create n =
+  if n <= 0 then invalid_arg "Vector_time.create: need at least one processor";
+  Array.make n 0
+
+let copy = Array.copy
+let size = Array.length
+let get t q = t.(q)
+let set t q i = t.(q) <- i
+
+let max_into ~src ~dst =
+  if Array.length src <> Array.length dst then
+    invalid_arg "Vector_time.max_into: size mismatch";
+  for q = 0 to Array.length dst - 1 do
+    if src.(q) > dst.(q) then dst.(q) <- src.(q)
+  done
+
+let leq a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vector_time.leq: size mismatch";
+  let rec go q = q >= Array.length a || (a.(q) <= b.(q) && go (q + 1)) in
+  go 0
+
+let dominates a b = leq b a
+let equal a b = a = b
+
+let compare_total a b =
+  if equal a b then 0
+  else if leq a b then -1
+  else if leq b a then 1
+  else compare a b
+
+let bytes n = 4 * n
+
+let pp ppf t =
+  Format.fprintf ppf "<%s>"
+    (String.concat "," (Array.to_list (Array.map string_of_int t)))

@@ -1,0 +1,51 @@
+(** Vector timestamps over the partial order of intervals (§2.2).
+
+    A timestamp has one entry per processor.  Entry [q] of processor [p]'s
+    current timestamp names the most recent interval of [q] that precedes
+    [p]'s current interval in the happened-before partial order; entry [p]
+    is [p]'s own current interval index. *)
+
+type t
+
+(** [create n] is the zero vector over [n] processors (no intervals seen;
+    interval indices start at 1). *)
+val create : int -> t
+
+(** [copy t] is an independent duplicate. *)
+val copy : t -> t
+
+(** [size t] is the number of processors. *)
+val size : t -> int
+
+(** [get t q] / [set t q i] access entry [q]. *)
+val get : t -> int -> int
+
+val set : t -> int -> int -> unit
+
+(** [max_into ~src ~dst] folds [src] into [dst] by pairwise maximum — the
+    acquirer's new timestamp rule. *)
+val max_into : src:t -> dst:t -> unit
+
+(** [leq a b] holds when [a] ≤ [b] pointwise: every interval covered by
+    [a] is covered by [b]. *)
+val leq : t -> t -> bool
+
+(** [dominates a b] is [leq b a]. *)
+val dominates : t -> t -> bool
+
+(** [equal a b] — pointwise equality. *)
+val equal : t -> t -> bool
+
+(** [compare_total a b] is a total order extending the partial order: if
+    [leq a b] and not [equal a b] then [compare_total a b < 0].
+    Incomparable timestamps are ordered by their entry vectors
+    lexicographically.  Used to apply concurrent diffs deterministically
+    (their runs are disjoint for properly-labeled programs, so any
+    deterministic order merges correctly). *)
+val compare_total : t -> t -> int
+
+(** [bytes n] is the wire size of a timestamp over [n] processors (32-bit
+    entries). *)
+val bytes : int -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+let id_bytes = 2
+let write_notice_bytes = 2
+
+let interval_header_bytes ~nprocs = id_bytes + Vector_time.bytes nprocs
+
+let intervals_bytes ~nprocs counts =
+  List.fold_left
+    (fun acc notices -> acc + interval_header_bytes ~nprocs + (notices * write_notice_bytes))
+    0 counts
+
+let lock_request_bytes ~nprocs = (2 * id_bytes) + Vector_time.bytes nprocs
+
+let lock_grant_bytes ~nprocs counts = (2 * id_bytes) + intervals_bytes ~nprocs counts
+
+let barrier_arrival_bytes ~nprocs counts =
+  (2 * id_bytes) + Vector_time.bytes nprocs + intervals_bytes ~nprocs counts
+
+let barrier_release_bytes ~nprocs counts = (2 * id_bytes) + intervals_bytes ~nprocs counts
+
+let diff_request_bytes n_entries = id_bytes + (n_entries * (2 * id_bytes))
+
+let diff_reply_bytes encoded_sizes =
+  List.fold_left (fun acc sz -> acc + (3 * id_bytes) + sz) 0 encoded_sizes
+
+let page_request_bytes = 2 * id_bytes
+let page_reply_bytes = id_bytes + Tmk_mem.Vm.page_size
+
+let erc_update_bytes encoded_size = (2 * id_bytes) + encoded_size
+let ack_bytes = id_bytes
+
+let gc_keep_bitmap_bytes ~npages = id_bytes + ((npages + 7) / 8)

@@ -1,0 +1,57 @@
+(** Wire-format sizes of the protocol messages.
+
+    Payloads travel as OCaml values in the simulation; these functions
+    compute the byte counts the real encodings would occupy, which drive
+    the transport's timing and the paper's message/data-rate statistics.
+    Write notices are "a fixed 16-bit entry containing the page number"
+    (§3.3); vector timestamps use 32-bit entries; ids are 16-bit. *)
+
+(** [write_notice_bytes] is 2 (§3.3). *)
+val write_notice_bytes : int
+
+(** [interval_header_bytes ~nprocs] — processor id plus the interval's
+    vector timestamp. *)
+val interval_header_bytes : nprocs:int -> int
+
+(** [intervals_bytes ~nprocs counts] — a batch of intervals, where
+    [counts] lists the number of write notices of each interval. *)
+val intervals_bytes : nprocs:int -> int list -> int
+
+(** [lock_request_bytes ~nprocs] — lock id, requester id, requester VT. *)
+val lock_request_bytes : nprocs:int -> int
+
+(** [lock_grant_bytes ~nprocs counts] — grant header plus piggybacked
+    intervals. *)
+val lock_grant_bytes : nprocs:int -> int list -> int
+
+(** [barrier_arrival_bytes ~nprocs counts] — client VT plus the client's
+    new intervals. *)
+val barrier_arrival_bytes : nprocs:int -> int list -> int
+
+(** [barrier_release_bytes ~nprocs counts] — per-client release with the
+    manager's merged intervals. *)
+val barrier_release_bytes : nprocs:int -> int list -> int
+
+(** [diff_request_bytes n_entries] — page id plus [n_entries] requested
+    (processor, interval index) pairs. *)
+val diff_request_bytes : int -> int
+
+(** [diff_reply_bytes encoded_sizes] — per-diff header (page, proc,
+    interval index) plus each diff's runlength encoding. *)
+val diff_reply_bytes : int list -> int
+
+(** [page_request_bytes] / [page_reply_bytes] — full-page fetch on a cold
+    miss. *)
+val page_request_bytes : int
+
+val page_reply_bytes : int
+
+(** [erc_update_bytes encoded_size] — one eager diff update message. *)
+val erc_update_bytes : int -> int
+
+(** [ack_bytes] — an ERC update acknowledgement. *)
+val ack_bytes : int
+
+(** [gc_keep_bitmap_bytes ~npages] — the pages-kept bitmap exchanged
+    during garbage collection. *)
+val gc_keep_bitmap_bytes : npages:int -> int

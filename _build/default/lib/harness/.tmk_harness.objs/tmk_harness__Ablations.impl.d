@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: Api Config Harness List Node Printf Protocol Stats String Tmk_dsm Tmk_mem Tmk_net Tmk_sim Tmk_util

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Api Array Category Config Engine Harness Lazy List Node Printf Protocol String Tmk_dsm Tmk_mem Tmk_net Tmk_sim Tmk_util Vtime

@@ -1,0 +1,1 @@
+lib/harness/harness.ml: Api Array Category Config Printf Stats String Tmk_apps Tmk_dsm Tmk_net Tmk_sim Vtime

@@ -1,0 +1,1 @@
+lib/harness/harness.mli: Api Config Tmk_apps Tmk_dsm Tmk_net

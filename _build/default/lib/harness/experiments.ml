@@ -1,0 +1,463 @@
+open Tmk_sim
+open Tmk_dsm
+module Tablefmt = Tmk_util.Tablefmt
+module Params = Tmk_net.Params
+
+type id = E1 | E2 | E3 | E4 | E5 | E6 | E7 | E8 | E9
+
+let all = [ E1; E2; E3; E4; E5; E6; E7; E8; E9 ]
+
+let id_name = function
+  | E1 -> "e1"
+  | E2 -> "e2"
+  | E3 -> "e3"
+  | E4 -> "e4"
+  | E5 -> "e5"
+  | E6 -> "e6"
+  | E7 -> "e7"
+  | E8 -> "e8"
+  | E9 -> "e9"
+
+let id_of_name s =
+  match String.lowercase_ascii s with
+  | "e1" -> E1
+  | "e2" -> E2
+  | "e3" -> E3
+  | "e4" -> E4
+  | "e5" -> E5
+  | "e6" -> E6
+  | "e7" -> E7
+  | "e8" -> E8
+  | "e9" -> E9
+  | other -> invalid_arg (Printf.sprintf "Experiments.id_of_name: unknown experiment %S" other)
+
+let describe = function
+  | E1 -> "basic operation costs (paper section 4.2)"
+  | E2 -> "speedups on 1-8 processors, ATM/AAL3/4 (Figure 3)"
+  | E3 -> "8-processor execution statistics (Figure 4)"
+  | E4 -> "execution time breakdown (Figure 5)"
+  | E5 -> "Unix overhead breakdown (Figure 6)"
+  | E6 -> "TreadMarks overhead breakdown (Figure 7)"
+  | E7 -> "Water across communication substrates (Figure 8)"
+  | E8 -> "lazy vs eager release consistency (Figures 9-12)"
+  | E9 -> "speedups on the 10 Mbps Ethernet (abstract)"
+
+let atm = Params.atm_aal34
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+let f0 v = Printf.sprintf "%.0f" v
+
+(* Shared measurements, computed once per process. *)
+let lrc_atm_8p =
+  lazy
+    (List.map
+       (fun app -> (app, Harness.run ~app ~nprocs:8 ~protocol:Config.Lrc ~net:atm))
+       Harness.all_apps)
+
+let lrc_atm_1p =
+  lazy
+    (List.map
+       (fun app -> (app, Harness.run ~app ~nprocs:1 ~protocol:Config.Lrc ~net:atm))
+       Harness.all_apps)
+
+let metrics_8p app = List.assoc app (Lazy.force lrc_atm_8p)
+let metrics_1p app = List.assoc app (Lazy.force lrc_atm_1p)
+
+(* ------------------------------------------------------------------ *)
+(* E1: basic operation costs                                           *)
+
+let measure_op nprocs setup op =
+  let cfg = { Config.default with Config.nprocs; pages = 4; seed = 5L } in
+  let cluster = Protocol.create cfg in
+  let engine = Protocol.engine cluster in
+  setup cluster engine;
+  let t0 = ref Vtime.zero and t1 = ref Vtime.zero in
+  Engine.spawn engine 0 (fun () ->
+      t0 := Engine.now engine;
+      op cluster;
+      t1 := Engine.now engine);
+  Engine.run engine;
+  Vtime.to_us (Vtime.sub !t1 !t0)
+
+let e1 () =
+  let idle_spawn pids cluster engine =
+    ignore cluster;
+    List.iter (fun p -> Engine.spawn engine p (fun () -> ())) pids
+  in
+  let lock_direct =
+    measure_op 2 (idle_spawn [ 1 ]) (fun cluster -> Protocol.acquire cluster ~pid:0 ~lock:1)
+  in
+  let lock_forwarded =
+    measure_op 3
+      (fun cluster engine ->
+        Engine.spawn engine 1 (fun () -> ());
+        Engine.spawn engine 2 (fun () ->
+            Protocol.acquire cluster ~pid:2 ~lock:1;
+            Protocol.release cluster ~pid:2 ~lock:1))
+      (fun cluster ->
+        Engine.advance Category.Computation (Vtime.ms 20);
+        Protocol.acquire cluster ~pid:0 ~lock:1)
+    -. 20_000.0
+  in
+  let barrier8 =
+    let cfg = { Config.default with Config.nprocs = 8; pages = 4; seed = 5L } in
+    let cluster = Protocol.create cfg in
+    let engine = Protocol.engine cluster in
+    let finish = Array.make 8 Vtime.zero in
+    for p = 0 to 7 do
+      Engine.spawn engine p (fun () ->
+          Protocol.barrier cluster ~pid:p ~id:0;
+          finish.(p) <- Engine.now engine)
+    done;
+    Engine.run engine;
+    Vtime.to_us (Array.fold_left Vtime.max Vtime.zero finish)
+  in
+  let page_fault =
+    (* the faulting processor must be the one with no copy: measure on 1 *)
+    let cfg = { Config.default with Config.nprocs = 2; pages = 4; seed = 5L } in
+    let cluster = Protocol.create cfg in
+    let engine = Protocol.engine cluster in
+    Engine.spawn engine 0 (fun () -> ());
+    let t0 = ref Vtime.zero and t1 = ref Vtime.zero in
+    Engine.spawn engine 1 (fun () ->
+        t0 := Engine.now engine;
+        ignore (Tmk_mem.Vm.read_int (Protocol.node cluster 1).Node.vm 0);
+        t1 := Engine.now engine);
+    Engine.run engine;
+    Vtime.to_us (Vtime.sub !t1 !t0)
+  in
+  (* minimum round trips over the raw transport: the paper's 500 us
+     blocking-receive case, and the 670 us both-ends-handler case *)
+  let roundtrip ~handlers =
+    let engine = Engine.create ~nprocs:2 in
+    let prng = Tmk_util.Prng.create 5L in
+    let transport = Tmk_net.Transport.create ~engine ~params:Params.atm_aal34 ~prng in
+    let t0 = ref Vtime.zero and t1 = ref Vtime.zero in
+    if handlers then begin
+      (* both directions delivered through SIGIO handlers *)
+      Engine.spawn engine 1 (fun () -> ());
+      Engine.spawn engine 0 (fun () ->
+          t0 := Engine.now engine;
+          let done_ = Engine.Ivar.create () in
+          Tmk_net.Transport.send transport ~src:0 ~dst:1 ~bytes:0 ~deliver:(fun h ->
+              Tmk_net.Transport.hsend transport h ~dst:0 ~bytes:0 ~deliver:(fun h2 ->
+                  Engine.fill engine done_ ~at:(Engine.hnow h2) ()));
+          Engine.await done_;
+          t1 := Engine.now engine)
+    end
+    else begin
+      (* both ends block in receive: the paper's plain send/receive case *)
+      let ping = Tmk_net.Transport.mailbox () and pong = Tmk_net.Transport.mailbox () in
+      Engine.spawn engine 1 (fun () ->
+          let () = Tmk_net.Transport.await_value transport ping in
+          Tmk_net.Transport.send_value transport ~src:1 ~dst:0 ~bytes:0 pong ());
+      Engine.spawn engine 0 (fun () ->
+          t0 := Engine.now engine;
+          Tmk_net.Transport.send_value transport ~src:0 ~dst:1 ~bytes:0 ping ();
+          let () = Tmk_net.Transport.await_value transport pong in
+          t1 := Engine.now engine)
+    end;
+    Engine.run engine;
+    Vtime.to_us (Vtime.sub !t1 !t0)
+  in
+  let rt_blocking = roundtrip ~handlers:false in
+  let rt_handlers = roundtrip ~handlers:true in
+  Tablefmt.render ~title:"E1. Basic operation costs (us), ATM/AAL3/4 [paper section 4.2]"
+    ~header:[ "operation"; "measured"; "paper" ]
+    [
+      [ "min round trip, blocked receive both ends"; f0 rt_blocking; "500" ];
+      [ "round trip, signal handlers both ends"; f0 rt_handlers; "670" ];
+      [ "lock acquire, manager was last holder"; f0 lock_direct; "827" ];
+      [ "lock acquire, one forwarding hop"; f0 lock_forwarded; "1149" ];
+      [ "barrier, 8 processors"; f0 barrier8; "2186" ];
+      [ "remote page fault (4096 bytes)"; f0 page_fault; "2792" ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E2: Figure 3 speedups                                               *)
+
+let paper_speedups_atm =
+  [ (Harness.Water, 4.0); (Harness.Jacobi, 7.4); (Harness.Tsp, 7.2);
+    (Harness.Quicksort, 6.3); (Harness.Ilink, 5.7) ]
+
+let e2 () =
+  let procs = [ 1; 2; 4; 6; 8 ] in
+  let curves =
+    List.map
+      (fun app ->
+        let base = (metrics_1p app).Harness.m_time_s in
+        let speeds =
+          List.map
+            (fun n ->
+              if n = 1 then 1.0
+              else if n = 8 then base /. (metrics_8p app).Harness.m_time_s
+              else
+                base
+                /. (Harness.run ~app ~nprocs:n ~protocol:Config.Lrc ~net:atm).Harness.m_time_s)
+            procs
+        in
+        (app, speeds))
+      Harness.all_apps
+  in
+  let chart =
+    Tablefmt.line_chart ~title:"E2. Speedups on ATM/AAL3/4 [Figure 3]" ~x_label:"processors"
+      ~y_label:"speedup"
+      ~x:(List.map float_of_int procs)
+      (List.map
+         (fun (app, speeds) ->
+           (Harness.app_name app, (Harness.app_name app).[0], speeds))
+         curves)
+  in
+  let table =
+    Tablefmt.render ~title:"8-processor speedups vs paper"
+      ~header:[ "app"; "measured"; "paper" ]
+      (List.map
+         (fun (app, speeds) ->
+           [ Harness.app_name app;
+             f2 (List.nth speeds (List.length speeds - 1));
+             f1 (List.assoc app paper_speedups_atm) ])
+         curves)
+  in
+  chart ^ "\n" ^ table
+
+(* ------------------------------------------------------------------ *)
+(* E3: Figure 4 execution statistics                                   *)
+
+let paper_stats =
+  (* app, time, barriers/s, locks/s, msgs/s, kbytes/s *)
+  [ (Harness.Water, (15.0, 2.5, 582.4, 2238.0, 798.0));
+    (Harness.Jacobi, (32.0, 6.3, 0.0, 334.0, 415.0));
+    (Harness.Tsp, (43.8, 0.0, 16.1, 404.0, 121.0));
+    (Harness.Quicksort, (13.1, 0.4, 53.9, 703.0, 788.0));
+    (Harness.Ilink, (1113.0, 0.4, 0.0, 456.0, 164.0)) ]
+
+let e3 () =
+  let row app =
+    let m = metrics_8p app in
+    let pt, pb, pl, pm, pk = List.assoc app paper_stats in
+    let avg_msg = 1024.0 *. m.Harness.m_kbytes_per_sec /. m.Harness.m_msgs_per_sec in
+    let paper_avg = 1024.0 *. pk /. pm in
+    [ Harness.app_name app;
+      Harness.workload_description app;
+      f1 m.Harness.m_time_s ^ " / " ^ f1 pt;
+      f1 m.Harness.m_barriers_per_sec ^ " / " ^ f1 pb;
+      f1 m.Harness.m_locks_per_sec ^ " / " ^ f1 pl;
+      f0 m.Harness.m_msgs_per_sec ^ " / " ^ f0 pm;
+      f0 m.Harness.m_kbytes_per_sec ^ " / " ^ f0 pk;
+      f0 avg_msg ^ " / " ^ f0 paper_avg ]
+  in
+  let stats_table =
+    Tablefmt.render
+      ~title:
+        "E3. Execution statistics, 8 processors, ATM (measured / paper) [Figure 4]\n\
+         (inputs are scaled versions of the paper's; rates are expected to land in the same \
+         regime, not match absolutely; the paper highlights Water's many small messages —\n\
+         average size 356 bytes)"
+      ~header:[ "app"; "input"; "time s"; "barr/s"; "locks/s"; "msgs/s"; "KB/s"; "B/msg" ]
+      (List.map row Harness.all_apps)
+  in
+  (* Message mix for Water, the communication-bound case: which protocol
+     operations the 4.7 "large number of small messages" actually are. *)
+  let water = metrics_8p Harness.Water in
+  let transport = Protocol.transport water.Harness.m_raw.Api.cluster in
+  let mix =
+    Tablefmt.render ~title:"Water message mix (protocol operation, frames, on-wire KB)"
+      ~header:[ "operation"; "frames"; "KB"; "avg B" ]
+      (List.map
+         (fun (label, msgs, bytes) ->
+           [ label; string_of_int msgs; string_of_int (bytes / 1024);
+             f0 (float_of_int bytes /. float_of_int (max 1 msgs)) ])
+         (Tmk_net.Transport.message_mix transport))
+  in
+  stats_table ^ "\n" ^ mix
+
+(* ------------------------------------------------------------------ *)
+(* E4-E6: breakdowns                                                   *)
+
+let e4 () =
+  let items =
+    List.map
+      (fun app ->
+        let m = metrics_8p app in
+        ( Harness.app_name app,
+          [ m.Harness.m_comp_pct; Harness.unix_pct m; Harness.tmk_pct m; m.Harness.m_idle_pct ] ))
+      Harness.all_apps
+  in
+  Tablefmt.stacked_bar_chart
+    ~title:
+      "E4. Execution time breakdown, % of total, 8 processors [Figure 5]\n\
+       (paper: Unix overhead at least 3x TreadMarks overhead for every application)"
+    ~unit_:"%" ~components:[ "computation"; "unix"; "treadmarks"; "idle" ] items
+
+let e5 () =
+  let items =
+    List.concat_map
+      (fun app ->
+        let m = metrics_8p app in
+        [ (Harness.app_name app ^ " comm", m.Harness.m_unix_comm_pct);
+          (Harness.app_name app ^ " mem", m.Harness.m_unix_mem_pct) ])
+      Harness.all_apps
+  in
+  Tablefmt.bar_chart
+    ~title:
+      "E5. Unix overhead breakdown, % of total execution time [Figure 6]\n\
+       (paper: at least 80% of kernel time is communication for every application)"
+    ~unit_:"%" items
+
+let e6 () =
+  let items =
+    List.map
+      (fun app ->
+        let m = metrics_8p app in
+        ( Harness.app_name app,
+          [ m.Harness.m_tmk_mem_pct; m.Harness.m_tmk_consistency_pct; m.Harness.m_tmk_other_pct ] ))
+      Harness.all_apps
+  in
+  Tablefmt.stacked_bar_chart
+    ~title:
+      "E6. TreadMarks overhead breakdown, % of total execution time [Figure 7]\n\
+       (paper: dominated by memory management; consistency bookkeeping small)"
+    ~unit_:"%" ~components:[ "memory"; "consistency"; "other" ] items
+
+(* ------------------------------------------------------------------ *)
+(* E7: Figure 8, Water across substrates                               *)
+
+let e7 () =
+  let substrates =
+    [ (Params.atm_aal34, 15.0); (Params.atm_udp, 17.5); (Params.ethernet_udp, 27.5) ]
+  in
+  let rows =
+    List.map
+      (fun (net, paper_time) ->
+        let m = Harness.run ~app:Harness.Water ~nprocs:8 ~protocol:Config.Lrc ~net in
+        (m, paper_time))
+      substrates
+  in
+  let base = (fun (m, _) -> m.Harness.m_time_s) (List.hd rows) in
+  let paper_base = 15.0 in
+  let items =
+    List.map
+      (fun (m, _) ->
+        ( m.Harness.m_net,
+          [ m.Harness.m_comp_pct *. m.Harness.m_time_s /. 100.0;
+            Harness.unix_pct m *. m.Harness.m_time_s /. 100.0;
+            Harness.tmk_pct m *. m.Harness.m_time_s /. 100.0;
+            m.Harness.m_idle_pct *. m.Harness.m_time_s /. 100.0 ] ))
+      rows
+  in
+  let chart =
+    Tablefmt.stacked_bar_chart
+      ~title:"E7. Water, 8 processors, per-processor seconds by category [Figure 8]" ~unit_:"s"
+      ~components:[ "computation"; "unix"; "treadmarks"; "idle" ] items
+  in
+  let table =
+    Tablefmt.render ~title:"Relative execution time (ATM-AAL3/4 = 1.0)"
+      ~header:[ "substrate"; "time s"; "relative"; "paper relative" ]
+      (List.map
+         (fun (m, paper_time) ->
+           [ m.Harness.m_net; f2 m.Harness.m_time_s; f2 (m.Harness.m_time_s /. base);
+             f2 (paper_time /. paper_base) ])
+         rows)
+  in
+  chart ^ "\n" ^ table
+
+(* ------------------------------------------------------------------ *)
+(* E8: Figures 9-12, LRC vs ERC                                        *)
+
+let e8 () =
+  let erc app n = Harness.run ~app ~nprocs:n ~protocol:Config.Erc ~net:atm in
+  let data =
+    List.map
+      (fun app ->
+        let lazy8 = metrics_8p app in
+        let lazy1 = metrics_1p app in
+        let eager8 = erc app 8 in
+        let eager1 = erc app 1 in
+        ( app,
+          lazy1.Harness.m_time_s /. lazy8.Harness.m_time_s,
+          eager1.Harness.m_time_s /. eager8.Harness.m_time_s,
+          lazy8,
+          eager8 ))
+      Harness.all_apps
+  in
+  let speedups =
+    Tablefmt.grouped_bar_chart ~title:"E8a. Speedups, 8 processors [Figure 9]" ~unit_:"x"
+      ~series:[ "lazy"; "eager" ]
+      (List.map (fun (app, sl, se, _, _) -> (Harness.app_name app, [ sl; se ])) data)
+  in
+  let msgs =
+    Tablefmt.grouped_bar_chart ~title:"E8b. Message rate (messages/sec) [Figure 10]" ~unit_:""
+      ~series:[ "lazy"; "eager" ]
+      (List.map
+         (fun (app, _, _, l, e) ->
+           (Harness.app_name app, [ l.Harness.m_msgs_per_sec; e.Harness.m_msgs_per_sec ]))
+         data)
+  in
+  let bytes =
+    Tablefmt.grouped_bar_chart ~title:"E8c. Data rate (kbytes/sec) [Figure 11]" ~unit_:""
+      ~series:[ "lazy"; "eager" ]
+      (List.map
+         (fun (app, _, _, l, e) ->
+           (Harness.app_name app, [ l.Harness.m_kbytes_per_sec; e.Harness.m_kbytes_per_sec ]))
+         data)
+  in
+  let diffs =
+    Tablefmt.grouped_bar_chart ~title:"E8d. Diff creation rate (diffs/sec) [Figure 12]"
+      ~unit_:"" ~series:[ "lazy"; "eager" ]
+      (List.map
+         (fun (app, _, _, l, e) ->
+           (Harness.app_name app, [ l.Harness.m_diffs_per_sec; e.Harness.m_diffs_per_sec ]))
+         data)
+  in
+  let note =
+    "paper shape: LRC beats ERC for Water and Quicksort; comparable for Jacobi and ILINK;\n\
+     ERC beats LRC for TSP (stale unsynchronized bound reads cause redundant search under\n\
+     LRC, section 5.2); ERC always creates diffs at least as fast (eager creation).\n"
+  in
+  speedups ^ "\n" ^ msgs ^ "\n" ^ bytes ^ "\n" ^ diffs ^ "\n" ^ note
+
+(* ------------------------------------------------------------------ *)
+(* E9: Ethernet speedups                                               *)
+
+let paper_speedups_eth =
+  [ (Harness.Water, 2.1); (Harness.Jacobi, 5.5); (Harness.Tsp, 6.5);
+    (Harness.Quicksort, 4.2); (Harness.Ilink, 5.1) ]
+
+let e9 () =
+  let eth = Params.ethernet_udp in
+  let rows =
+    List.map
+      (fun app ->
+        let base = Harness.run ~app ~nprocs:1 ~protocol:Config.Lrc ~net:eth in
+        let m = Harness.run ~app ~nprocs:8 ~protocol:Config.Lrc ~net:eth in
+        [ Harness.app_name app;
+          f2 (base.Harness.m_time_s /. m.Harness.m_time_s);
+          f1 (List.assoc app paper_speedups_eth);
+          f2
+            ((metrics_1p app).Harness.m_time_s /. (metrics_8p app).Harness.m_time_s) ])
+      Harness.all_apps
+  in
+  Tablefmt.render
+    ~title:"E9. 8-processor speedups on the 10 Mbps Ethernet [paper abstract]"
+    ~header:[ "app"; "measured"; "paper"; "(ATM measured)" ]
+    rows
+
+let run = function
+  | E1 -> e1 ()
+  | E2 -> e2 ()
+  | E3 -> e3 ()
+  | E4 -> e4 ()
+  | E5 -> e5 ()
+  | E6 -> e6 ()
+  | E7 -> e7 ()
+  | E8 -> e8 ()
+  | E9 -> e9 ()
+
+let run_all () =
+  String.concat "\n"
+    (List.map
+       (fun id ->
+         Printf.sprintf "=== %s: %s ===\n%s" (String.uppercase_ascii (id_name id))
+           (describe id) (run id))
+       all)

@@ -1,0 +1,34 @@
+(** Regeneration of every table and figure in the paper's evaluation
+    (§4–§5).  Each function runs the necessary simulations and renders a
+    plain-text table or chart, quoting the paper's own numbers alongside
+    for shape comparison.  The per-experiment index lives in DESIGN.md;
+    measured-vs-paper records live in EXPERIMENTS.md. *)
+
+(** Experiment identifiers, in paper order. *)
+type id =
+  | E1  (** §4.2 basic operation costs *)
+  | E2  (** Figure 3: speedups, 1–8 processors, ATM *)
+  | E3  (** Figure 4: execution statistics, 8 processors *)
+  | E4  (** Figure 5: execution time breakdown *)
+  | E5  (** Figure 6: Unix overhead breakdown *)
+  | E6  (** Figure 7: TreadMarks overhead breakdown *)
+  | E7  (** Figure 8: Water across communication substrates *)
+  | E8  (** Figures 9–12: lazy versus eager release consistency *)
+  | E9  (** abstract: speedups on the 10 Mbps Ethernet *)
+
+val all : id list
+
+val id_name : id -> string
+
+(** [id_of_name "e3"] — parse a CLI argument.
+    @raise Invalid_argument on unknown ids. *)
+val id_of_name : string -> id
+
+(** [describe id] — one-line description. *)
+val describe : id -> string
+
+(** [run id] — execute the experiment and return its rendered report. *)
+val run : id -> string
+
+(** [run_all ()] — E1 through E9, concatenated. *)
+val run_all : unit -> string

@@ -1,0 +1,162 @@
+open Tmk_sim
+open Tmk_dsm
+
+type app = Water | Jacobi | Tsp | Quicksort | Ilink
+
+let all_apps = [ Water; Jacobi; Tsp; Quicksort; Ilink ]
+
+let app_name = function
+  | Water -> "Water"
+  | Jacobi -> "Jacobi"
+  | Tsp -> "TSP"
+  | Quicksort -> "Quicksort"
+  | Ilink -> "ILINK"
+
+let app_of_name s =
+  match String.lowercase_ascii s with
+  | "water" -> Water
+  | "jacobi" -> Jacobi
+  | "tsp" -> Tsp
+  | "quicksort" | "qsort" -> Quicksort
+  | "ilink" -> Ilink
+  | other -> invalid_arg (Printf.sprintf "Harness.app_of_name: unknown application %S" other)
+
+type metrics = {
+  m_app : app;
+  m_nprocs : int;
+  m_protocol : Config.protocol;
+  m_net : string;
+  m_time_s : float;
+  m_barriers_per_sec : float;
+  m_locks_per_sec : float;
+  m_msgs_per_sec : float;
+  m_kbytes_per_sec : float;
+  m_diffs_per_sec : float;
+  m_comp_pct : float;
+  m_unix_comm_pct : float;
+  m_unix_mem_pct : float;
+  m_tmk_mem_pct : float;
+  m_tmk_consistency_pct : float;
+  m_tmk_other_pct : float;
+  m_idle_pct : float;
+  m_raw : Api.run_result;
+}
+
+let unix_pct m = m.m_unix_comm_pct +. m.m_unix_mem_pct
+let tmk_pct m = m.m_tmk_mem_pct +. m.m_tmk_consistency_pct +. m.m_tmk_other_pct
+
+(* Experiment workloads: scaled-down versions of the paper's inputs (343
+   molecules -> 125, 2000x1000 grid -> 256x192, 19 cities -> 12, 256K
+   integers -> 32K, 12 CLP families -> 32 synthetic pedigrees), with
+   per-operation costs set so the 8-processor communication/computation
+   ratios fall in the same regimes as Figure 4. *)
+let water_params =
+  {
+    Tmk_apps.Water.default with
+    Tmk_apps.Water.nmol = 216;
+    steps = 3;
+    flops_per_pair = 600;
+    flops_per_molecule = 30;
+  }
+
+let jacobi_params =
+  {
+    Tmk_apps.Jacobi.default with
+    Tmk_apps.Jacobi.rows = 128;
+    cols = 512;
+    iters = 16;
+    flops_per_point = 320;
+  }
+
+let tsp_params = { Tmk_apps.Tsp.default with Tmk_apps.Tsp.ncities = 12; prefix_depth = 3 }
+
+let quicksort_params =
+  {
+    Tmk_apps.Quicksort.default with
+    Tmk_apps.Quicksort.n = 131_072;
+    threshold = 1024;
+    flops_per_compare = 8;
+  }
+
+let ilink_params =
+  {
+    Tmk_apps.Ilink.default with
+    Tmk_apps.Ilink.families = 96;
+    iterations = 6;
+    flops_per_unit = 500;
+  }
+
+let workload_description = function
+  | Water ->
+    Printf.sprintf "%d mols, %d steps" water_params.Tmk_apps.Water.nmol
+      water_params.Tmk_apps.Water.steps
+  | Jacobi ->
+    Printf.sprintf "%dx%d floats, %d iters" jacobi_params.Tmk_apps.Jacobi.rows
+      jacobi_params.Tmk_apps.Jacobi.cols jacobi_params.Tmk_apps.Jacobi.iters
+  | Tsp -> Printf.sprintf "%d-city tour" tsp_params.Tmk_apps.Tsp.ncities
+  | Quicksort -> Printf.sprintf "%d integers" quicksort_params.Tmk_apps.Quicksort.n
+  | Ilink -> Printf.sprintf "%d pedigrees" ilink_params.Tmk_apps.Ilink.families
+
+let pages_for = function
+  | Water -> Tmk_apps.Water.pages_needed water_params
+  | Jacobi -> Tmk_apps.Jacobi.pages_needed jacobi_params
+  | Tsp -> Tmk_apps.Tsp.pages_needed tsp_params
+  | Quicksort -> Tmk_apps.Quicksort.pages_needed quicksort_params
+  | Ilink -> Tmk_apps.Ilink.pages_needed ilink_params
+
+let config ~app ~nprocs ~protocol ~net =
+  { Config.default with Config.nprocs; pages = pages_for app; protocol; net; seed = 1994L }
+
+(* Timing runs skip the result read-back: the paper measures the
+   application, not the experimenter copying the answer out. *)
+let body app ctx =
+  match app with
+  | Water -> ignore (Tmk_apps.Water.parallel ~collect:false ctx water_params)
+  | Jacobi -> ignore (Tmk_apps.Jacobi.parallel ~collect:false ctx jacobi_params)
+  | Tsp -> ignore (Tmk_apps.Tsp.parallel ctx tsp_params)
+  | Quicksort -> ignore (Tmk_apps.Quicksort.parallel ~collect:false ctx quicksort_params)
+  | Ilink -> ignore (Tmk_apps.Ilink.parallel ctx ilink_params)
+
+let run_cfg ~app cfg =
+  let nprocs = cfg.Config.nprocs in
+  let raw = Api.run cfg (body app) in
+  let time_s = Vtime.to_s raw.Api.total_time in
+  let per_sec n = float_of_int n /. time_s in
+  let total_busy cat =
+    let acc = ref 0 in
+    for p = 0 to nprocs - 1 do
+      acc := !acc + raw.Api.busy.(p).(Category.index cat)
+    done;
+    !acc
+  in
+  let denominator = float_of_int (nprocs * raw.Api.total_time) in
+  let pct cat = 100.0 *. float_of_int (total_busy cat) /. denominator in
+  let idle_total = Array.fold_left ( + ) 0 raw.Api.idle in
+  let s = raw.Api.total_stats in
+  {
+    m_app = app;
+    m_nprocs = nprocs;
+    m_protocol = cfg.Config.protocol;
+    m_net = Tmk_net.Params.name cfg.Config.net;
+    m_time_s = time_s;
+    m_barriers_per_sec = per_sec s.Stats.barriers /. float_of_int nprocs;
+    m_locks_per_sec = per_sec s.Stats.lock_acquires;
+    m_msgs_per_sec = per_sec raw.Api.messages;
+    m_kbytes_per_sec = per_sec raw.Api.bytes /. 1024.0;
+    m_diffs_per_sec = per_sec s.Stats.diffs_created;
+    m_comp_pct = pct Category.Computation;
+    m_unix_comm_pct = pct Category.Unix_comm;
+    m_unix_mem_pct = pct Category.Unix_mem;
+    m_tmk_mem_pct = pct Category.Tmk_mem;
+    m_tmk_consistency_pct = pct Category.Tmk_consistency;
+    m_tmk_other_pct = pct Category.Tmk_other;
+    m_idle_pct = 100.0 *. float_of_int idle_total /. denominator;
+    m_raw = raw;
+  }
+
+let run ~app ~nprocs ~protocol ~net = run_cfg ~app (config ~app ~nprocs ~protocol ~net)
+
+let speedup ~app ~nprocs ~protocol ~net =
+  let base = run ~app ~nprocs:1 ~protocol ~net in
+  let par = run ~app ~nprocs ~protocol ~net in
+  base.m_time_s /. par.m_time_s

@@ -1,0 +1,83 @@
+(** Experiment runner: executes the five applications under a chosen
+    cluster configuration and extracts the statistics the paper reports
+    (execution time, synchronization and communication rates, execution
+    time breakdowns, diff counts). *)
+
+open Tmk_dsm
+
+(** The five §4.3 applications. *)
+type app = Water | Jacobi | Tsp | Quicksort | Ilink
+
+(** [all_apps] in the paper's reporting order. *)
+val all_apps : app list
+
+val app_name : app -> string
+
+(** [app_of_name s] — inverse of {!app_name} (case-insensitive).
+    @raise Invalid_argument on unknown names. *)
+val app_of_name : string -> app
+
+(** Per-run measurements, cluster-wide (rates are totals divided by the
+    run's makespan, matching Figure 4). *)
+type metrics = {
+  m_app : app;
+  m_nprocs : int;
+  m_protocol : Config.protocol;
+  m_net : string;
+  m_time_s : float;  (** execution time (simulated seconds) *)
+  m_barriers_per_sec : float;
+  m_locks_per_sec : float;
+  m_msgs_per_sec : float;
+  m_kbytes_per_sec : float;
+  m_diffs_per_sec : float;  (** diff creation rate (Figure 12) *)
+  m_comp_pct : float;  (** Figure 5 components, percent of nprocs × time *)
+  m_unix_comm_pct : float;
+  m_unix_mem_pct : float;
+  m_tmk_mem_pct : float;
+  m_tmk_consistency_pct : float;
+  m_tmk_other_pct : float;
+  m_idle_pct : float;
+  m_raw : Api.run_result;
+}
+
+(** [unix_pct m] / [tmk_pct m] — the grouped Figure 5 bars. *)
+val unix_pct : metrics -> float
+
+val tmk_pct : metrics -> float
+
+(** Experiment-scale workload parameters (larger than the unit-test
+    sizes; chosen so the 8-processor communication-to-computation ratios
+    land in the paper's regimes — see EXPERIMENTS.md). *)
+val water_params : Tmk_apps.Water.params
+
+val jacobi_params : Tmk_apps.Jacobi.params
+val tsp_params : Tmk_apps.Tsp.params
+val quicksort_params : Tmk_apps.Quicksort.params
+val ilink_params : Tmk_apps.Ilink.params
+
+(** [workload_description app] — a short human-readable input summary. *)
+val workload_description : app -> string
+
+(** [config ~app ~nprocs ~protocol ~net] — a cluster configuration sized
+    for [app]'s experiment workload. *)
+val config :
+  app:app -> nprocs:int -> protocol:Config.protocol -> net:Tmk_net.Params.t -> Config.t
+
+(** [body app] — the application's SPMD body at experiment scale (result
+    collection disabled), for callers that need a custom {!Config.t}
+    (ablations). *)
+val body : app -> Api.ctx -> unit
+
+(** [run ~app ~nprocs ~protocol ~net] — execute and measure. *)
+val run :
+  app:app -> nprocs:int -> protocol:Config.protocol -> net:Tmk_net.Params.t -> metrics
+
+(** [run_cfg ~app cfg] — like {!run} with full control of the cluster
+    configuration (seed, GC threshold, diffing policy, loss...). *)
+val run_cfg : app:app -> Config.t -> metrics
+
+(** [speedup ~app ~nprocs ~protocol ~net] — [time(1)/time(nprocs)]; the
+    uniprocessor baseline runs the same program on one processor (all
+    synchronization local). *)
+val speedup :
+  app:app -> nprocs:int -> protocol:Config.protocol -> net:Tmk_net.Params.t -> float

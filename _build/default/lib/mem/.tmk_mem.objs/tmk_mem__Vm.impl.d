@@ -1,0 +1,1 @@
+lib/mem/vm.ml: Array Bytes Char Int64 List Printf Tmk_util

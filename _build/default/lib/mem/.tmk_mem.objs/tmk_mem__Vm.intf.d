@@ -1,0 +1,1 @@
+lib/mem/vm.mli: Bytes Tmk_util

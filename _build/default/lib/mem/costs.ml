@@ -1,0 +1,13 @@
+open Tmk_sim
+
+(* DECstation-5000/240 (40 MHz R3400): bcopy of a 4 KB page ≈ 35 µs; a
+   compare scan is similar per byte with extra branching. *)
+let mprotect = Vtime.us 25
+let sigsegv = Vtime.us 45
+let twin_copy = Vtime.us 35
+
+let diff_create page_bytes = Vtime.add (Vtime.us 15) (Vtime.ns (page_bytes * 15))
+
+let diff_apply payload_bytes = Vtime.add (Vtime.us 10) (Vtime.ns (payload_bytes * 12))
+
+let page_copy = Vtime.us 35

@@ -1,0 +1,34 @@
+(** Memory-management cost constants.
+
+    Splits follow the paper's accounting: kernel-side costs (mprotect,
+    SIGSEGV generation/delivery) are charged to [Unix_mem]; user-level
+    change detection (twin copy, diff construction and application) to
+    [Tmk_mem].  The paper reports that for Water less than 0.8% of time is
+    kernel memory management and less than 2.2% is user-level detection
+    ("most of this time is spent copying the page and constructing the
+    diff"), which these constants reproduce at the measured fault and diff
+    rates. *)
+
+open Tmk_sim
+
+(** [mprotect] — one protection change on one page. *)
+val mprotect : Vtime.t
+
+(** [sigsegv] — generating and delivering one access-violation signal to
+    the user-level handler. *)
+val sigsegv : Vtime.t
+
+(** [twin_copy] — bcopy of one 4096-byte page into a twin. *)
+val twin_copy : Vtime.t
+
+(** [diff_create page_bytes] — comparing a page against its twin
+    (word-by-word scan of the whole page) and building the runlength
+    encoding. *)
+val diff_create : int -> Vtime.t
+
+(** [diff_apply payload_bytes] — patching a page with a received diff;
+    proportional to the diff payload, plus a fixed dispatch cost. *)
+val diff_apply : int -> Vtime.t
+
+(** [page_copy] — copying a full page into or out of a message buffer. *)
+val page_copy : Vtime.t

@@ -1,0 +1,92 @@
+(** Software MMU: a paged address space with per-page protection.
+
+    Substitutes for the [mmap]/[mprotect]/SIGSEGV machinery the real
+    TreadMarks uses (§3.7).  Shared memory is a flat byte buffer split into
+    4096-byte pages, each in one of three states mirroring the hardware
+    protections.  Every typed accessor checks the page's protection and, on
+    a violation, invokes the registered fault handler — the analogue of the
+    SIGSEGV handler — then retries the access.  The fault handler runs in
+    the faulting process's context and may block (e.g. to fetch diffs from
+    other processors) and change protections before returning.
+
+    The accessors themselves model ordinary user-mode loads and stores and
+    charge no simulated time; only the protocol activity that faults
+    trigger costs time, exactly as on real hardware. *)
+
+(** Page protection, as set by [mprotect] on the real system. *)
+type prot = No_access | Read_only | Read_write
+
+(** Kind of access that faulted. *)
+type access = Read | Write
+
+type t
+
+(** [page_size] is 4096 bytes, the DECstation's virtual-memory page. *)
+val page_size : int
+
+(** [create ~pages] makes an address space of [pages] pages, zero-filled,
+    all [Read_write] (the DSM sets initial protections itself), with a
+    fault handler that raises. *)
+val create : pages:int -> t
+
+(** [npages t] / [size_bytes t] — capacity. *)
+val npages : t -> int
+
+val size_bytes : t -> int
+
+(** [set_fault_handler t f] installs the SIGSEGV-handler analogue.  [f]
+    must change the page's protection so the retried access succeeds.
+    @raise Fault_loop if the access still faults after [f] returns. *)
+val set_fault_handler : t -> (access -> int -> unit) -> unit
+
+exception Fault_loop of { page : int; kind : access }
+
+(** [prot t page] / [set_prot t page p] — read and change protection.
+    Charging the [mprotect] cost is the caller's business. *)
+val prot : t -> int -> prot
+
+val set_prot : t -> int -> prot -> unit
+
+(** [page_of_addr addr] is [addr / page_size]. *)
+val page_of_addr : int -> int
+
+(** [addr_of_page page] is [page * page_size]. *)
+val addr_of_page : int -> int
+
+(** {2 Typed accessors} — byte-addressed; 8-byte accesses must not cross a
+    page boundary (the apps keep naturally-aligned data).
+
+    @raise Invalid_argument on out-of-range or straddling accesses. *)
+
+val read_u8 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+val read_i64 : t -> int -> int64
+val write_i64 : t -> int -> int64 -> unit
+
+(** [read_int]/[write_int] store an OCaml [int] in 8 bytes. *)
+val read_int : t -> int -> int
+
+val write_int : t -> int -> int -> unit
+
+(** [read_f64]/[write_f64] store a [float] in 8 bytes (IEEE bits). *)
+val read_f64 : t -> int -> float
+
+val write_f64 : t -> int -> float -> unit
+
+(** {2 Page-granularity operations for the DSM layer} — these bypass
+    protection (the DSM manipulates pages it has deliberately protected),
+    like kernel-assisted copies in the real system. *)
+
+(** [page_snapshot t page] is a fresh copy of the page's 4096 bytes. *)
+val page_snapshot : t -> int -> Bytes.t
+
+(** [install_page t page bytes] overwrites the page's contents. *)
+val install_page : t -> int -> Bytes.t -> unit
+
+(** [patch t page rle] applies a diff to the page in place, bypassing
+    protection. *)
+val patch : t -> int -> Tmk_util.Rle.t -> unit
+
+(** [diff_against t page ~twin] is the runlength encoding of the page's
+    current contents against [twin]. *)
+val diff_against : t -> int -> twin:Bytes.t -> Tmk_util.Rle.t

@@ -1,0 +1,1 @@
+lib/net/params.ml: Printf Tmk_sim Vtime

@@ -1,0 +1,1 @@
+lib/net/transport.ml: Array Category Engine Hashtbl List Option Params Tmk_sim Tmk_util Vtime

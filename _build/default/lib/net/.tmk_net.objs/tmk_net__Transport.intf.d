@@ -1,0 +1,1 @@
+lib/net/transport.mli: Engine Params Tmk_sim Tmk_util

@@ -1,0 +1,241 @@
+open Tmk_sim
+
+type counters = { mutable msgs : int; mutable bytes : int }
+
+type t = {
+  engine : Engine.t;
+  params : Params.t;
+  prng : Tmk_util.Prng.t;
+  link_free : Vtime.t array;  (* per-source ATM link, or slot 0 = shared bus *)
+  per_proc : counters array;
+  by_label : (string, counters) Hashtbl.t;  (* message mix by protocol operation *)
+  mutable retransmissions : int;
+  mutable next_msg_id : int;
+  delivered : (int, unit) Hashtbl.t;  (* duplicate suppression, lossy mode only *)
+}
+
+let create ~engine ~params ~prng =
+  let n = Engine.nprocs engine in
+  {
+    engine;
+    params;
+    prng;
+    link_free = Array.make (max n 1) Vtime.zero;
+    per_proc = Array.init n (fun _ -> { msgs = 0; bytes = 0 });
+    by_label = Hashtbl.create 16;
+    retransmissions = 0;
+    next_msg_id = 0;
+    delivered = Hashtbl.create 64;
+  }
+
+let engine t = t.engine
+let params t = t.params
+
+let lossy t = t.params.Params.loss_rate > 0.0
+
+let fresh_id t =
+  let id = t.next_msg_id in
+  t.next_msg_id <- id + 1;
+  id
+
+(* ------------------------------------------------------------------ *)
+(* Medium: arbitration, loss, statistics.                             *)
+
+(* Hand one frame to the medium at [at]; [on_arrival] fires at the
+   receiver's network interface (no CPU charged yet). *)
+let transmit ?(label = "other") t ~src ~bytes ~at ~on_arrival =
+  let p = t.params in
+  let frame = Params.frame_bytes p bytes in
+  let c = t.per_proc.(src) in
+  c.msgs <- c.msgs + 1;
+  c.bytes <- c.bytes + frame;
+  (let lc =
+     match Hashtbl.find_opt t.by_label label with
+     | Some lc -> lc
+     | None ->
+       let lc = { msgs = 0; bytes = 0 } in
+       Hashtbl.add t.by_label label lc;
+       lc
+   in
+   lc.msgs <- lc.msgs + 1;
+   lc.bytes <- lc.bytes + frame);
+  Engine.schedule t.engine ~at (fun () ->
+      let slot = if p.Params.shared_medium then 0 else src in
+      let free_at = t.link_free.(slot) in
+      (* A frame finding the medium busy pays the contention penalty
+         (deference + collisions + backoff) on top of waiting its turn. *)
+      let start =
+        if free_at > at then Vtime.add free_at p.Params.busy_access_delay
+        else at
+      in
+      let occupancy = Vtime.ns (frame * p.Params.wire_ns_per_byte) in
+      t.link_free.(slot) <- Vtime.add start occupancy;
+      let dropped = lossy t && Tmk_util.Prng.float t.prng 1.0 < p.Params.loss_rate in
+      if not dropped then
+        let arrival = Vtime.add (Vtime.add start occupancy) p.Params.wire_latency in
+        Engine.schedule t.engine ~at:arrival (fun () -> on_arrival arrival))
+
+(* Deliver a request frame into [dst]'s SIGIO handler: charge the
+   interrupt/dispatch/receive path, then run the payload. *)
+let deliver_to_handler t ~dst ~bytes ~arrival ~deliver =
+  Engine.post_handler t.engine ~pid:dst ~at:arrival (fun h ->
+      Engine.hcharge h Category.Unix_comm
+        (Params.deliver_handler_cpu t.params ~fresh:(Engine.hfresh h));
+      Engine.hcharge h Category.Unix_comm (Params.recv_cost t.params bytes);
+      deliver h)
+
+(* ------------------------------------------------------------------ *)
+(* Reliable one-way messages.                                          *)
+
+(* In lossy mode each one-way message is acknowledged; the sender
+   retransmits on a timer until the ack lands.  Acks and retransmissions
+   consume CPU through self-posted handlers so the charges land on the
+   right processor even though the original caller has moved on. *)
+let rec oneway ?label t ~src ~dst ~bytes ~at ~deliver =
+  if not (lossy t) then
+    transmit ?label t ~src ~bytes ~at ~on_arrival:(fun arrival ->
+        deliver_to_handler t ~dst ~bytes ~arrival ~deliver)
+  else begin
+    let id = fresh_id t in
+    let acked = ref false in
+    let rec attempt ~at =
+      transmit ?label t ~src ~bytes ~at ~on_arrival:(fun arrival ->
+          deliver_to_handler t ~dst ~bytes ~arrival ~deliver:(fun h ->
+              if not (Hashtbl.mem t.delivered id) then begin
+                Hashtbl.add t.delivered id ();
+                deliver h
+              end;
+              send_ack t h ~dst:src ~on_ack:(fun () -> acked := true)));
+      let timeout = Vtime.add at t.params.Params.retransmit_timeout in
+      let (_cancel : unit -> unit) =
+        Engine.schedule_cancellable t.engine ~at:timeout (fun () ->
+            if not !acked then begin
+              t.retransmissions <- t.retransmissions + 1;
+              (* The user-level timer fires on [src]: charge the resend. *)
+              Engine.post_handler t.engine ~pid:src ~at:timeout (fun h ->
+                  Engine.hcharge h Category.Unix_comm (Params.send_cost t.params bytes);
+                  attempt ~at:(Engine.hnow h))
+            end)
+      in
+      ()
+    in
+    attempt ~at
+  end
+
+(* Acks are fire-and-forget minimum-size frames; a lost ack just causes a
+   (suppressed) duplicate. *)
+and send_ack t h ~dst ~on_ack =
+  Engine.hcharge h Category.Unix_comm (Params.send_cost t.params 0);
+  transmit ~label:"ack" t ~src:(Engine.hpid h) ~bytes:0 ~at:(Engine.hnow h)
+    ~on_arrival:(fun arrival ->
+      Engine.post_handler t.engine ~pid:dst ~at:arrival (fun ha ->
+          Engine.hcharge ha Category.Unix_comm
+            (Params.deliver_handler_cpu t.params ~fresh:(Engine.hfresh ha));
+          Engine.hcharge ha Category.Unix_comm (Params.recv_cost t.params 0);
+          on_ack ()))
+
+let send ?label t ~src ~dst ~bytes ~deliver =
+  Engine.advance Category.Unix_comm (Params.send_cost t.params bytes);
+  oneway ?label t ~src ~dst ~bytes ~at:(Engine.now t.engine) ~deliver
+
+let hsend ?label t h ~dst ~bytes ~deliver =
+  Engine.hcharge h Category.Unix_comm (Params.send_cost t.params bytes);
+  oneway ?label t ~src:(Engine.hpid h) ~dst ~bytes ~at:(Engine.hnow h) ~deliver
+
+(* ------------------------------------------------------------------ *)
+(* Messages that wake a blocked process.                               *)
+
+type 'a mailbox = (int * 'a) Engine.Ivar.t
+
+let mailbox () = Engine.Ivar.create ()
+
+(* The data lands in the mailbox at wire arrival; the interrupt/resume
+   and receive CPU are charged by [await_value] when the process resumes,
+   which is when that kernel work happens on the real system.  In lossy
+   mode the frame additionally runs a (cheap) handler on [dst] to source
+   the acknowledgement. *)
+let value_message ?label t ~src ~dst ~bytes ~at mb v =
+  if not (lossy t) then
+    transmit ?label t ~src ~bytes ~at ~on_arrival:(fun arrival ->
+        if not (Engine.Ivar.is_filled mb) then
+          Engine.fill t.engine mb ~at:arrival (bytes, v))
+  else begin
+    let id = fresh_id t in
+    let acked = ref false in
+    let rec attempt ~at =
+      transmit ?label t ~src ~bytes ~at ~on_arrival:(fun arrival ->
+          if (not (Hashtbl.mem t.delivered id)) && not (Engine.Ivar.is_filled mb) then begin
+            Hashtbl.add t.delivered id ();
+            Engine.fill t.engine mb ~at:arrival (bytes, v)
+          end;
+          Engine.post_handler t.engine ~pid:dst ~at:arrival (fun h ->
+              send_ack t h ~dst:src ~on_ack:(fun () -> acked := true)));
+      let timeout = Vtime.add at t.params.Params.retransmit_timeout in
+      let (_cancel : unit -> unit) =
+        Engine.schedule_cancellable t.engine ~at:timeout (fun () ->
+            if not !acked then begin
+              t.retransmissions <- t.retransmissions + 1;
+              Engine.post_handler t.engine ~pid:src ~at:timeout (fun h ->
+                  Engine.hcharge h Category.Unix_comm (Params.send_cost t.params bytes);
+                  attempt ~at:(Engine.hnow h))
+            end)
+      in
+      ()
+    in
+    attempt ~at
+  end
+
+let send_value ?label t ~src ~dst ~bytes mb v =
+  Engine.advance Category.Unix_comm (Params.send_cost t.params bytes);
+  value_message ?label t ~src ~dst ~bytes ~at:(Engine.now t.engine) mb v
+
+let hsend_value ?label t h ~dst ~bytes mb v =
+  Engine.hcharge h Category.Unix_comm (Params.send_cost t.params bytes);
+  value_message ?label t ~src:(Engine.hpid h) ~dst ~bytes ~at:(Engine.hnow h) mb v
+
+let await_value t mb =
+  let bytes, v = Engine.await mb in
+  Engine.advance Category.Unix_comm (Params.deliver_blocked_cpu t.params);
+  Engine.advance Category.Unix_comm (Params.recv_cost t.params bytes);
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Request/response.                                                   *)
+
+type 'a promise = 'a mailbox
+
+let call ?label t ~src ~dst ~bytes ~serve =
+  let mb = mailbox () in
+  let reply_label = Option.map (fun l -> l ^ "-reply") label in
+  Engine.advance Category.Unix_comm (Params.send_cost t.params bytes);
+  oneway ?label t ~src ~dst ~bytes ~at:(Engine.now t.engine) ~deliver:(fun h ->
+      let reply_bytes, reply = serve h in
+      hsend_value ?label:reply_label t h ~dst:src ~bytes:reply_bytes mb reply);
+  mb
+
+let await_reply = await_value
+
+let rpc ?label t ~src ~dst ~bytes ~serve =
+  await_reply t (call ?label t ~src ~dst ~bytes ~serve)
+
+(* ------------------------------------------------------------------ *)
+(* Statistics.                                                         *)
+
+let messages_sent t = Array.fold_left (fun acc c -> acc + c.msgs) 0 t.per_proc
+let bytes_sent t = Array.fold_left (fun acc c -> acc + c.bytes) 0 t.per_proc
+let messages_of t pid = t.per_proc.(pid).msgs
+let bytes_of t pid = t.per_proc.(pid).bytes
+let retransmissions t = t.retransmissions
+
+let message_mix t =
+  Hashtbl.fold (fun label c acc -> (label, c.msgs, c.bytes) :: acc) t.by_label []
+  |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+
+let reset_stats t =
+  Array.iter
+    (fun c ->
+      c.msgs <- 0;
+      c.bytes <- 0)
+    t.per_proc;
+  Hashtbl.reset t.by_label;
+  t.retransmissions <- 0

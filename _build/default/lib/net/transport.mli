@@ -1,0 +1,136 @@
+(** Simulated interprocessor communication.
+
+    Models the path a TreadMarks message takes on the real system:
+
+    + sender CPU: kernel send plus programmed-I/O per-byte cost, charged to
+      [Unix_comm] in the caller's context (application process or SIGIO
+      handler);
+    + the medium: per-source link arbitration on the ATM switch, or a
+      single shared bus on the Ethernet; frames occupy the medium for
+      [frame_bytes × wire_ns_per_byte] and can be dropped when a loss rate
+      is configured;
+    + receiver CPU: either the SIGIO-handler path (interrupt + signal
+      dispatch + receive; back-to-back messages skip the dispatch, see
+      {!Tmk_sim.Engine.hfresh}) for request messages, or the
+      blocked-receive path (interrupt + resume + receive) for replies to a
+      waiting process.
+
+    Reliability: the real TreadMarks runs "operation-specific, user-level
+    protocols on top of UDP/IP and AAL3/4 to insure delivery" (§3.7).
+    Here, when [loss_rate = 0] (the default) frames always arrive and no
+    acknowledgements are sent; with a positive loss rate every one-way
+    message is acknowledged and retransmitted on a timer, and duplicates
+    are suppressed by message id, giving exactly-once delivery of the
+    [deliver] callback.
+
+    Message payloads are OCaml closures/values; the [bytes] argument is
+    the payload size used for costing and statistics, which the DSM layer
+    computes from the protocol encoding it would use on the wire. *)
+
+open Tmk_sim
+
+type t
+
+(** [create ~engine ~params ~prng] builds a transport over [engine]'s
+    processors.  [prng] drives loss draws only. *)
+val create : engine:Engine.t -> params:Params.t -> prng:Tmk_util.Prng.t -> t
+
+val engine : t -> Engine.t
+val params : t -> Params.t
+
+(** [send t ~src ~dst ~bytes ~deliver] — one-way message from the
+    application process currently running on [src].  Charges send CPU via
+    {!Engine.advance}, so it must be called from process context.
+    [deliver] runs in a handler context on [dst]. *)
+val send :
+  ?label:string ->
+  t ->
+  src:Engine.pid ->
+  dst:Engine.pid ->
+  bytes:int ->
+  deliver:(Engine.hctx -> unit) ->
+  unit
+
+(** [hsend t h ~dst ~bytes ~deliver] — one-way message sent from handler
+    context [h]; departs at [hnow h] after the send CPU charge. *)
+val hsend :
+  ?label:string ->
+  t ->
+  Engine.hctx ->
+  dst:Engine.pid ->
+  bytes:int ->
+  deliver:(Engine.hctx -> unit) ->
+  unit
+
+(** Mailbox for messages that wake a blocked process (replies, lock
+    grants, barrier releases). *)
+type 'a mailbox
+
+(** [mailbox ()] makes an empty mailbox. *)
+val mailbox : unit -> 'a mailbox
+
+(** [send_value t ~src ~dst ~bytes mb v] — one-way message carrying [v]
+    into [mb] on [dst]; application-context variant. *)
+val send_value :
+  ?label:string -> t -> src:Engine.pid -> dst:Engine.pid -> bytes:int -> 'a mailbox -> 'a -> unit
+
+(** [hsend_value t h ~dst ~bytes mb v] — handler-context variant. *)
+val hsend_value :
+  ?label:string -> t -> Engine.hctx -> dst:Engine.pid -> bytes:int -> 'a mailbox -> 'a -> unit
+
+(** [await_value t mb] — process context: block until a value lands in
+    [mb], charge the blocked-receive delivery CPU, and return it.  A
+    mailbox delivers exactly one value. *)
+val await_value : t -> 'a mailbox -> 'a
+
+(** Outstanding reply of an asynchronous {!call}. *)
+type 'a promise
+
+(** [call t ~src ~dst ~bytes ~serve] — request/response: [serve] runs in a
+    handler context on [dst] and returns [(reply_bytes, reply)]; the reply
+    is sent back to [src].  Returns immediately; several calls may be
+    outstanding (the access-miss protocol fetches diffs "in parallel",
+    §3.5). *)
+val call :
+  ?label:string ->
+  t ->
+  src:Engine.pid ->
+  dst:Engine.pid ->
+  bytes:int ->
+  serve:(Engine.hctx -> int * 'a) ->
+  'a promise
+
+(** [await_reply t p] — process context: block for the reply, charge
+    delivery CPU, return it. *)
+val await_reply : t -> 'a promise -> 'a
+
+(** [rpc t ~src ~dst ~bytes ~serve] is [await_reply t (call t ...)]. *)
+val rpc :
+  ?label:string ->
+  t ->
+  src:Engine.pid ->
+  dst:Engine.pid ->
+  bytes:int ->
+  serve:(Engine.hctx -> int * 'a) ->
+  'a
+
+(** {2 Statistics}
+
+    Counters cover every frame handed to the medium, including
+    retransmissions and acknowledgements; bytes are on-wire frame sizes
+    (payload + protocol header, padded to the minimum frame). *)
+
+val messages_sent : t -> int
+val bytes_sent : t -> int
+val messages_of : t -> Engine.pid -> int
+val bytes_of : t -> Engine.pid -> int
+val retransmissions : t -> int
+
+(** [message_mix t] — frames and on-wire bytes per message label (the
+    [?label] given at each send; replies get ["<label>-reply"], transport
+    acknowledgements ["ack"], unlabelled traffic ["other"]), most frequent
+    first. *)
+val message_mix : t -> (string * int * int) list
+
+(** [reset_stats t] zeroes all counters. *)
+val reset_stats : t -> unit

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Category Effect List Printf Queue Tmk_util Vtime

@@ -1,0 +1,36 @@
+type t =
+  | Computation
+  | Unix_comm
+  | Unix_mem
+  | Tmk_mem
+  | Tmk_consistency
+  | Tmk_other
+
+let all = [ Computation; Unix_comm; Unix_mem; Tmk_mem; Tmk_consistency; Tmk_other ]
+let count = List.length all
+
+let index = function
+  | Computation -> 0
+  | Unix_comm -> 1
+  | Unix_mem -> 2
+  | Tmk_mem -> 3
+  | Tmk_consistency -> 4
+  | Tmk_other -> 5
+
+let name = function
+  | Computation -> "computation"
+  | Unix_comm -> "unix-comm"
+  | Unix_mem -> "unix-mem"
+  | Tmk_mem -> "tmk-mem"
+  | Tmk_consistency -> "tmk-consistency"
+  | Tmk_other -> "tmk-other"
+
+let is_unix = function
+  | Unix_comm | Unix_mem -> true
+  | Computation | Tmk_mem | Tmk_consistency | Tmk_other -> false
+
+let is_treadmarks = function
+  | Tmk_mem | Tmk_consistency | Tmk_other -> true
+  | Computation | Unix_comm | Unix_mem -> false
+
+let pp ppf t = Format.pp_print_string ppf (name t)

@@ -1,0 +1,61 @@
+type t = { words : Bytes.t; capacity : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { words = Bytes.make ((n + 7) / 8) '\000'; capacity = n }
+
+let capacity t = t.capacity
+
+let check t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Bitset: index out of range"
+
+let add t i =
+  check t i;
+  let b = Char.code (Bytes.get t.words (i / 8)) in
+  Bytes.set t.words (i / 8) (Char.chr (b lor (1 lsl (i mod 8))))
+
+let remove t i =
+  check t i;
+  let b = Char.code (Bytes.get t.words (i / 8)) in
+  Bytes.set t.words (i / 8) (Char.chr (b land lnot (1 lsl (i mod 8)) land 0xFF))
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.words (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let iter f t =
+  for i = 0 to t.capacity - 1 do
+    if mem t i then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let cardinal t = fold (fun _ n -> n + 1) t 0
+let is_empty t =
+  let n = Bytes.length t.words in
+  let rec all_zero i = i >= n || (Bytes.get t.words i = '\000' && all_zero (i + 1)) in
+  all_zero 0
+
+let clear t = Bytes.fill t.words 0 (Bytes.length t.words) '\000'
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let copy t = { words = Bytes.copy t.words; capacity = t.capacity }
+
+let union_into ~src ~dst =
+  if src.capacity <> dst.capacity then
+    invalid_arg "Bitset.union_into: capacity mismatch";
+  for i = 0 to Bytes.length src.words - 1 do
+    let b = Char.code (Bytes.get src.words i) lor Char.code (Bytes.get dst.words i) in
+    Bytes.set dst.words i (Char.chr b)
+  done
+
+let equal a b = a.capacity = b.capacity && Bytes.equal a.words b.words
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Format.pp_print_int)
+    (to_list t)

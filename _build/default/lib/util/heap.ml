@@ -1,0 +1,83 @@
+(* Each element carries the sequence number of its insertion; comparison
+   falls back on it so equal-priority elements are FIFO. *)
+type 'a entry = { value : 'a; seq : int }
+
+type 'a t = {
+  compare : 'a -> 'a -> int;
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ~compare = { compare; data = [||]; size = 0; next_seq = 0 }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let entry_lt h a b =
+  let c = h.compare a.value b.value in
+  c < 0 || (c = 0 && a.seq < b.seq)
+
+(* Only called with a non-empty backing array (the first push allocates
+   it), so slot 0 is a safe dummy for the unreachable tail cells. *)
+let grow h =
+  let cap = Array.length h.data in
+  let data = Array.make (cap * 2) h.data.(0) in
+  Array.blit h.data 0 data 0 h.size;
+  h.data <- data
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt h h.data.(i) h.data.(parent) then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && entry_lt h h.data.(l) h.data.(!smallest) then smallest := l;
+  if r < h.size && entry_lt h h.data.(r) h.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h x =
+  let entry = { value = x; seq = h.next_seq } in
+  h.next_seq <- h.next_seq + 1;
+  if Array.length h.data = 0 then h.data <- Array.make 16 entry
+  else if h.size = Array.length h.data then grow h;
+  h.data.(h.size) <- entry;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop h =
+  if h.size = 0 then raise Not_found;
+  let top = h.data.(0) in
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    h.data.(0) <- h.data.(h.size);
+    sift_down h 0
+  end;
+  top.value
+
+let pop_opt h = if h.size = 0 then None else Some (pop h)
+let peek_opt h = if h.size = 0 then None else Some h.data.(0).value
+
+let clear h =
+  h.size <- 0;
+  h.data <- [||]
+
+let to_sorted_list h =
+  let rec drain acc = match pop_opt h with
+    | None -> List.rev acc
+    | Some x -> drain (x :: acc)
+  in
+  drain []

@@ -1,0 +1,38 @@
+(** Imperative binary min-heap keyed by a user-supplied comparison.
+
+    Backbone of the discrete-event queue in [Tmk_sim.Engine]: events are
+    popped in virtual-time order.  Insertion order is used as a tiebreaker
+    so that simultaneous events dequeue deterministically (FIFO among
+    equals), which is what makes whole-cluster runs replayable. *)
+
+type 'a t
+
+(** [create ~compare] makes an empty heap ordered by [compare] (smallest
+    first).  Elements comparing equal dequeue in insertion order. *)
+val create : compare:('a -> 'a -> int) -> 'a t
+
+(** [length h] is the number of queued elements. *)
+val length : 'a t -> int
+
+(** [is_empty h] is [length h = 0]. *)
+val is_empty : 'a t -> bool
+
+(** [push h x] inserts [x]. *)
+val push : 'a t -> 'a -> unit
+
+(** [pop h] removes and returns the smallest element.
+    @raise Not_found if the heap is empty. *)
+val pop : 'a t -> 'a
+
+(** [pop_opt h] is [Some (pop h)], or [None] when empty. *)
+val pop_opt : 'a t -> 'a option
+
+(** [peek_opt h] is the smallest element without removing it. *)
+val peek_opt : 'a t -> 'a option
+
+(** [clear h] removes every element. *)
+val clear : 'a t -> unit
+
+(** [to_sorted_list h] drains the heap, returning elements smallest
+    first. *)
+val to_sorted_list : 'a t -> 'a list

@@ -1,0 +1,45 @@
+(** Deterministic splittable pseudo-random number generator.
+
+    The whole reproduction must be replayable from a single seed: workload
+    generation, application scheduling decisions, and any randomised test
+    input all draw from this generator.  We use SplitMix64 (Steele, Lea &
+    Flood, OOPSLA 2014), which is tiny, fast, has a 64-bit state, and
+    supports {e splitting}: deriving an independent stream for a
+    sub-component so that adding draws in one module does not perturb the
+    stream seen by another. *)
+
+type t
+
+(** [create seed] makes a fresh generator from a 64-bit seed. *)
+val create : int64 -> t
+
+(** [split t] derives a generator whose stream is independent of further
+    draws from [t].  [t] itself advances by one step. *)
+val split : t -> t
+
+(** [split_named t name] splits deterministically on a label, so call sites
+    are robust to reordering. *)
+val split_named : t -> string -> t
+
+(** [bits64 t] draws 64 uniformly distributed bits. *)
+val bits64 : t -> int64
+
+(** [int t bound] draws uniformly from [0, bound).  [bound] must be
+    positive. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] draws uniformly from the inclusive range [lo, hi]. *)
+val int_in : t -> int -> int -> int
+
+(** [float t bound] draws uniformly from [0, bound). *)
+val float : t -> float -> float
+
+(** [bool t] draws a fair coin flip. *)
+val bool : t -> bool
+
+(** [shuffle t arr] permutes [arr] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [pick t arr] draws a uniformly random element of the non-empty array
+    [arr]. *)
+val pick : t -> 'a array -> 'a

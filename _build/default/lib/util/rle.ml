@@ -1,0 +1,63 @@
+type run = { offset : int; bytes : Bytes.t }
+type t = run list
+
+let header_bytes = 4
+
+let encode ?(join_gap = 4) ~old_ current =
+  let n = Bytes.length old_ in
+  if Bytes.length current <> n then
+    invalid_arg "Rle.encode: buffers must have equal length";
+  (* Scan for maximal differing runs; then merge runs whose separating gap
+     of equal bytes is shorter than [join_gap]. *)
+  let rec find_diff i =
+    if i >= n then None
+    else if Bytes.unsafe_get old_ i <> Bytes.unsafe_get current i then Some i
+    else find_diff (i + 1)
+  in
+  let rec find_same i =
+    if i >= n then n
+    else if Bytes.unsafe_get old_ i = Bytes.unsafe_get current i then i
+    else find_same (i + 1)
+  in
+  (* Accumulate (start, stop) spans, joining across small gaps. *)
+  let rec spans acc i =
+    match find_diff i with
+    | None -> List.rev acc
+    | Some start ->
+      let stop = find_same (start + 1) in
+      (match acc with
+       | (s0, e0) :: rest when start - e0 < join_gap -> spans ((s0, stop) :: rest) stop
+       | _ -> spans ((start, stop) :: acc) stop)
+  in
+  let to_run (start, stop) =
+    { offset = start; bytes = Bytes.sub current start (stop - start) }
+  in
+  List.map to_run (spans [] 0)
+
+let apply t target =
+  let n = Bytes.length target in
+  let apply_run { offset; bytes } =
+    let len = Bytes.length bytes in
+    if offset < 0 || offset + len > n then invalid_arg "Rle.apply: run out of bounds";
+    Bytes.blit bytes 0 target offset len
+  in
+  List.iter apply_run t
+
+let is_empty t = t = []
+let run_count t = List.length t
+
+let payload_size t =
+  List.fold_left (fun acc r -> acc + Bytes.length r.bytes) 0 t
+
+let encoded_size t = payload_size t + (header_bytes * run_count t)
+
+let overlaps a b =
+  let covers r pos = pos >= r.offset && pos < r.offset + Bytes.length r.bytes in
+  let run_overlap ra rb =
+    covers ra rb.offset || covers rb ra.offset
+  in
+  List.exists (fun ra -> List.exists (run_overlap ra) b) a
+
+let pp ppf t =
+  let pp_run ppf r = Format.fprintf ppf "%d+%d" r.offset (Bytes.length r.bytes) in
+  Format.fprintf ppf "[%a]" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_run) t

@@ -1,0 +1,49 @@
+(** Run-length delta encoding between two equal-length byte buffers.
+
+    TreadMarks represents page modifications as {e diffs}: "a runlength
+    encoded record of the modifications to the page" (paper §2.4), computed
+    by comparing the current page contents against its twin.  This module
+    implements that encoding generically over [Bytes.t]; [Tmk_mem.Diff]
+    layers page identity and interval metadata on top. *)
+
+(** One modified run: [bytes] replaces the region starting at [offset]. *)
+type run = { offset : int; bytes : Bytes.t }
+
+type t = run list
+
+(** [encode ~old_ current] computes the runs where [current] differs from
+    [old_].  Runs are maximal, disjoint, and sorted by increasing offset.
+    Runs separated by fewer than [join_gap] identical bytes are merged,
+    mirroring the wire-efficiency tradeoff of a real implementation (a run
+    header costs header bytes; tiny gaps are cheaper to resend).
+    [join_gap] defaults to 4.
+    @raise Invalid_argument if the buffers have different lengths. *)
+val encode : ?join_gap:int -> old_:Bytes.t -> Bytes.t -> t
+
+(** [apply t target] overwrites [target] with each run.
+    @raise Invalid_argument if a run falls outside [target]. *)
+val apply : t -> Bytes.t -> unit
+
+(** [is_empty t] holds when no byte differs. *)
+val is_empty : t -> bool
+
+(** [run_count t] is the number of runs. *)
+val run_count : t -> int
+
+(** [payload_size t] is the total number of modified bytes carried. *)
+val payload_size : t -> int
+
+(** [encoded_size t] is the wire size: per-run header ([header_bytes]) plus
+    payload. *)
+val encoded_size : t -> int
+
+(** Size in bytes of one run header on the wire (offset + length, 2 bytes
+    each — pages are 4 KB so 16-bit fields suffice). *)
+val header_bytes : int
+
+(** [overlaps a b] holds when some byte position is covered by both
+    encodings. *)
+val overlaps : t -> t -> bool
+
+(** [pp] formats a diff as [\[off+len; ...\]] for debugging. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+(** Streaming summary statistics (count, mean, min, max, variance).
+
+    Uses Welford's online algorithm so long event streams can be summarised
+    without retaining samples. *)
+
+type t
+
+(** [create ()] makes an empty accumulator. *)
+val create : unit -> t
+
+(** [add t x] folds one observation in. *)
+val add : t -> float -> unit
+
+(** [count t] is the number of observations. *)
+val count : t -> int
+
+(** [mean t] is the arithmetic mean, or [nan] when empty. *)
+val mean : t -> float
+
+(** [min_value t] / [max_value t] are extreme observations, or [nan] when
+    empty. *)
+val min_value : t -> float
+
+val max_value : t -> float
+
+(** [variance t] is the unbiased sample variance, or [nan] with fewer than
+    two observations. *)
+val variance : t -> float
+
+(** [stddev t] is [sqrt (variance t)]. *)
+val stddev : t -> float
+
+(** [total t] is the running sum of observations. *)
+val total : t -> float
+
+(** [merge a b] is a fresh accumulator equivalent to having observed both
+    streams. *)
+val merge : t -> t -> t
+
+(** [pp] formats as [n=.. mean=.. min=.. max=..]. *)
+val pp : Format.formatter -> t -> unit

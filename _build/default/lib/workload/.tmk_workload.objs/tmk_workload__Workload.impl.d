@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Float Tmk_util

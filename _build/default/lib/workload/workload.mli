@@ -1,0 +1,34 @@
+(** Deterministic input generators for the five applications.
+
+    The paper's exact inputs are either impractically large for a
+    simulation (2000×1000 Jacobi grid, 256K-element Quicksort) or
+    unavailable (the CLP pedigree data used by ILINK); every generator
+    here produces a scaled, seeded equivalent that preserves the property
+    the evaluation depends on — neighbour-only communication for Jacobi,
+    a pruned irregular search tree for TSP, recursive task generation for
+    Quicksort, dense all-pairs interaction for Water, and skewed
+    per-family costs (the documented load imbalance) for ILINK. *)
+
+(** [grid ~rows ~cols ~seed] — Jacobi boundary/interior initial values:
+    hot top edge, cold elsewhere, plus small seeded noise so diffs are
+    non-trivial. *)
+val grid : rows:int -> cols:int -> seed:int64 -> float array array
+
+(** [cities ~n ~seed] — TSP instance: [n] city coordinates in the unit
+    square and the symmetric rounded-integer distance matrix. *)
+val cities : n:int -> seed:int64 -> (float * float) array * int array array
+
+(** [int_array ~n ~seed] — Quicksort input: [n] pseudo-random integers. *)
+val int_array : n:int -> seed:int64 -> int array
+
+(** Water molecule initial state. *)
+type molecule = { px : float; py : float; pz : float; vx : float; vy : float; vz : float }
+
+(** [molecules ~n ~seed] — molecules on a perturbed cubic lattice with
+    small random velocities. *)
+val molecules : n:int -> seed:int64 -> molecule array
+
+(** [pedigree_sizes ~families ~seed] — ILINK family sizes drawn from a
+    skewed distribution (most families small, a few large), reproducing
+    the load imbalance of §4.4. *)
+val pedigree_sizes : families:int -> seed:int64 -> int array

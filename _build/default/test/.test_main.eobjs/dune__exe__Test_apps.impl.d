@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Api Array Config Float Ilink Jacobi List Option Quicksort Stats Tmk_apps Tmk_dsm Tmk_sim Tmk_workload Tsp Water

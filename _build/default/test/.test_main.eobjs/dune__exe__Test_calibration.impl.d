@@ -1,0 +1,1 @@
+test/test_calibration.ml: Alcotest Array Category Config Engine Float Node Protocol Tmk_dsm Tmk_mem Tmk_net Tmk_sim Tmk_util Vtime

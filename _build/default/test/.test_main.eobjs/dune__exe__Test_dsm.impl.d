@@ -1,0 +1,1 @@
+test/test_dsm.ml: Alcotest Api Array Config Fun List Node Printf Protocol QCheck QCheck_alcotest Stats String Tmk_dsm Tmk_mem Tmk_net Vector_time Wire

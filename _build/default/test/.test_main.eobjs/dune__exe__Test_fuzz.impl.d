@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Api Array Config Int64 List Printf QCheck QCheck_alcotest Tmk_dsm Tmk_mem Tmk_net

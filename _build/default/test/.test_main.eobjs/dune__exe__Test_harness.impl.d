@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Config Experiments Float Harness List String Tmk_dsm Tmk_harness Tmk_net

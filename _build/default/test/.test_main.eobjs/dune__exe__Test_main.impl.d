@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_apps Test_calibration Test_dsm Test_fuzz Test_harness Test_mem Test_net Test_node Test_sc Test_sim Test_util

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Bytes Costs List QCheck QCheck_alcotest Tmk_mem Tmk_util Vm

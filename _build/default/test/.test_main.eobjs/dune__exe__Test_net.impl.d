@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Engine List Params Tmk_net Tmk_sim Tmk_util Transport Vtime

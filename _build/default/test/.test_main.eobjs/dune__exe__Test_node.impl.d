@@ -1,0 +1,1 @@
+test/test_node.ml: Alcotest Array Bytes Int64 List Node Stats Tmk_dsm Tmk_mem Tmk_util Vector_time

@@ -1,0 +1,1 @@
+test/test_sc.ml: Alcotest Api Config Stats Tmk_dsm Tmk_mem

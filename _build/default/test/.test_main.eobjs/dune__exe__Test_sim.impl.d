@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Buffer Category Engine Format List Printf QCheck QCheck_alcotest String Tmk_sim Vtime

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitset Bytes Float Gen Hashtbl Heap List Printf Prng QCheck QCheck_alcotest Rle String Summary Tablefmt Tmk_util

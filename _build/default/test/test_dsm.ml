@@ -1,0 +1,478 @@
+(* Protocol tests: vector timestamps, end-to-end shared-memory semantics
+   under LRC and ERC, multi-writer merging, lazy diffs, locks, barriers,
+   garbage collection, determinism, and behaviour under frame loss. *)
+
+open Tmk_dsm
+
+let check = Alcotest.check
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Vector timestamps *)
+
+let vt_gen n =
+  QCheck.make
+    ~print:(fun a -> String.concat "," (List.map string_of_int (Array.to_list a)))
+    QCheck.Gen.(array_size (return n) (int_range 0 20))
+
+let vt_of_array a =
+  let vt = Vector_time.create (Array.length a) in
+  Array.iteri (fun i v -> Vector_time.set vt i v) a;
+  vt
+
+let vt_leq_reflexive =
+  qtest "vt leq reflexive" (vt_gen 4) (fun a ->
+      let vt = vt_of_array a in
+      Vector_time.leq vt vt)
+
+let vt_leq_antisymmetric =
+  qtest "vt leq antisymmetric" QCheck.(pair (vt_gen 4) (vt_gen 4)) (fun (a, b) ->
+      let x = vt_of_array a and y = vt_of_array b in
+      (not (Vector_time.leq x y && Vector_time.leq y x)) || Vector_time.equal x y)
+
+let vt_max_is_lub =
+  qtest "vt max_into computes the lub" QCheck.(pair (vt_gen 4) (vt_gen 4)) (fun (a, b) ->
+      let x = vt_of_array a and y = vt_of_array b in
+      let m = Vector_time.copy x in
+      Vector_time.max_into ~src:y ~dst:m;
+      Vector_time.leq x m && Vector_time.leq y m
+      && Array.for_all2 (fun v w -> v >= w || v >= 0) a b
+      (* minimality: each entry equals one of the inputs *)
+      && List.for_all
+           (fun q -> Vector_time.get m q = max a.(q) b.(q))
+           [ 0; 1; 2; 3 ])
+
+let vt_compare_total_extends =
+  qtest "vt compare_total extends leq" QCheck.(pair (vt_gen 4) (vt_gen 4)) (fun (a, b) ->
+      let x = vt_of_array a and y = vt_of_array b in
+      if Vector_time.equal x y then Vector_time.compare_total x y = 0
+      else if Vector_time.leq x y then Vector_time.compare_total x y < 0
+      else if Vector_time.leq y x then Vector_time.compare_total x y > 0
+      else Vector_time.compare_total x y = -Vector_time.compare_total y x)
+
+let wire_sizes () =
+  check Alcotest.int "notice" 2 Wire.write_notice_bytes;
+  check Alcotest.int "vt" 32 (Vector_time.bytes 8);
+  check Alcotest.int "interval hdr" 34 (Wire.interval_header_bytes ~nprocs:8);
+  (* two intervals with 3 and 0 notices *)
+  check Alcotest.int "intervals" (34 + 6 + 34) (Wire.intervals_bytes ~nprocs:8 [ 3; 0 ]);
+  check Alcotest.int "page reply" (2 + 4096) Wire.page_reply_bytes;
+  check Alcotest.bool "grant grows" true
+    (Wire.lock_grant_bytes ~nprocs:8 [ 5 ] > Wire.lock_grant_bytes ~nprocs:8 [])
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end programs *)
+
+let cfg ?(nprocs = 4) ?(pages = 8) ?(protocol = Config.Lrc) ?(gc_threshold = max_int)
+    ?(net = Tmk_net.Params.atm_aal34) () =
+  { Config.default with nprocs; pages; protocol; gc_threshold; net; seed = 99L }
+
+(* Producer/consumer through a barrier: everyone sees processor 0's
+   initialization. *)
+let broadcast_program c () =
+  let seen = Array.make c.Config.nprocs false in
+  let result =
+    Api.run c (fun ctx ->
+        let arr = Api.falloc ctx 100 in
+        if Api.pid ctx = 0 then
+          for i = 0 to 99 do
+            Api.fset ctx arr i (float_of_int (i * i))
+          done;
+        Api.barrier ctx 0;
+        let ok = ref true in
+        for i = 0 to 99 do
+          if Api.fget ctx arr i <> float_of_int (i * i) then ok := false
+        done;
+        seen.(Api.pid ctx) <- !ok)
+  in
+  check Alcotest.bool "all saw the data" true (Array.for_all Fun.id seen);
+  check Alcotest.bool "time advanced" true (result.Api.total_time > 0)
+
+let broadcast_lrc () = broadcast_program (cfg ()) ()
+let broadcast_erc () = broadcast_program (cfg ~protocol:Config.Erc ()) ()
+let broadcast_8procs () = broadcast_program (cfg ~nprocs:8 ()) ()
+let broadcast_1proc () = broadcast_program (cfg ~nprocs:1 ()) ()
+let broadcast_ethernet () = broadcast_program (cfg ~net:Tmk_net.Params.ethernet_udp ()) ()
+
+(* The signature multiple-writer test: every processor writes a disjoint
+   slice of ONE page concurrently; after the barrier everyone sees every
+   slice (false sharing handled by diff merging). *)
+let multi_writer_merge protocol () =
+  let n = 4 in
+  let c = cfg ~nprocs:n ~protocol () in
+  let result =
+    Api.run c (fun ctx ->
+        let arr = Api.ialloc ctx 64 in
+        (* 64 ints = 512 bytes: all in one page *)
+        Api.barrier ctx 0;
+        let p = Api.pid ctx in
+        for i = 0 to 15 do
+          Api.iset ctx arr ((p * 16) + i) ((100 * p) + i)
+        done;
+        Api.barrier ctx 1;
+        for q = 0 to n - 1 do
+          for i = 0 to 15 do
+            if Api.iget ctx arr ((q * 16) + i) <> (100 * q) + i then
+              Alcotest.failf "processor %d sees wrong value for writer %d slot %d" p q i
+          done
+        done)
+  in
+  (* Each processor twinned the page once: 4 twins, and diffs were created
+     for the concurrent writers. *)
+  check Alcotest.bool "twins" true (result.Api.total_stats.Stats.twins_created >= n);
+  check Alcotest.bool "diffs" true (result.Api.total_stats.Stats.diffs_created >= n - 1)
+
+let multi_writer_lrc () = multi_writer_merge Config.Lrc ()
+let multi_writer_erc () = multi_writer_merge Config.Erc ()
+
+(* Lock-ordered counter: mutual exclusion and write visibility through
+   acquire/release chains. *)
+let lock_counter protocol () =
+  let n = 4 and rounds = 10 in
+  let c = cfg ~nprocs:n ~protocol () in
+  let finals = Array.make n 0 in
+  let _result =
+    Api.run c (fun ctx ->
+        let counter = Api.ialloc ctx 1 in
+        if Api.pid ctx = 0 then Api.iset ctx counter 0 0;
+        Api.barrier ctx 0;
+        for _ = 1 to rounds do
+          Api.with_lock ctx 7 (fun () ->
+              Api.iset ctx counter 0 (Api.iget ctx counter 0 + 1))
+        done;
+        Api.barrier ctx 1;
+        finals.(Api.pid ctx) <- Api.iget ctx counter 0)
+  in
+  Array.iteri
+    (fun p v -> check Alcotest.int (Printf.sprintf "final count at %d" p) (n * rounds) v)
+    finals
+
+let lock_counter_lrc () = lock_counter Config.Lrc ()
+let lock_counter_erc () = lock_counter Config.Erc ()
+
+(* Causal transitivity: p0 -> (lock) -> p1 -> (lock) -> p2 must carry p0's
+   write to p2 even though p0 and p2 never synchronize directly. *)
+let causal_chain () =
+  let c = cfg ~nprocs:3 () in
+  let got = ref (-1) in
+  let _ =
+    Api.run c (fun ctx ->
+        let x = Api.ialloc ctx 1 in
+        let y = Api.ialloc ctx 1 in
+        match Api.pid ctx with
+        | 0 ->
+          Api.with_lock ctx 1 (fun () -> Api.iset ctx x 0 41);
+          (* hand the token onwards *)
+          Api.barrier ctx 9
+        | 1 ->
+          (* wait until p0 is done: poll through the lock *)
+          let rec wait () =
+            let v = Api.with_lock ctx 1 (fun () -> Api.iget ctx x 0) in
+            if v <> 41 then begin
+              Api.compute_ns ctx 1000;
+              wait ()
+            end
+          in
+          wait ();
+          Api.with_lock ctx 2 (fun () -> Api.iset ctx y 0 (Api.iget ctx x 0 + 1));
+          Api.barrier ctx 9
+        | _ ->
+          let rec wait () =
+            let v = Api.with_lock ctx 2 (fun () -> Api.iget ctx y 0) in
+            if v = 42 then got := Api.with_lock ctx 1 (fun () -> Api.iget ctx x 0)
+            else begin
+              Api.compute_ns ctx 1000;
+              wait ()
+            end
+          in
+          wait ();
+          Api.barrier ctx 9)
+  in
+  check Alcotest.int "p2 sees p0's write" 41 !got
+
+(* Verify the lazy-diff property through counters on a two-phase
+   program (diffs appear only when a reader demands them). *)
+let lazy_diff_counts () =
+  let c = cfg ~nprocs:2 () in
+  (* Phase A: p0 writes and both just hit a barrier repeatedly with no
+     reader: no diffs should ever be created, only write notices. *)
+  let r1 =
+    Api.run c (fun ctx ->
+        let arr = Api.ialloc ctx 8 in
+        for b = 0 to 4 do
+          if Api.pid ctx = 0 then Api.iset ctx arr 0 b;
+          Api.barrier ctx b
+        done)
+  in
+  check Alcotest.int "no reader, no diffs" 0 r1.Api.total_stats.Stats.diffs_created;
+  (* Under ERC the same program must diff at every flush. *)
+  let r2 =
+    Api.run
+      { c with Config.protocol = Config.Erc }
+      (fun ctx ->
+        let arr = Api.ialloc ctx 8 in
+        for b = 0 to 4 do
+          if Api.pid ctx = 0 then Api.iset ctx arr 0 b;
+          Api.barrier ctx b
+        done)
+  in
+  (* p1 never reads, so p1 caches nothing and the copyset is {0}: eager
+     flushes find no other cacher either. Force caching by reading once. *)
+  ignore r2;
+  let r3 =
+    Api.run
+      { c with Config.protocol = Config.Erc }
+      (fun ctx ->
+        let arr = Api.ialloc ctx 8 in
+        if Api.pid ctx = 0 then Api.iset ctx arr 0 1;
+        Api.barrier ctx 0;
+        ignore (Api.iget ctx arr 0);
+        Api.barrier ctx 1;
+        for b = 2 to 6 do
+          if Api.pid ctx = 0 then Api.iset ctx arr 0 b;
+          Api.barrier ctx b
+        done)
+  in
+  let r4 =
+    Api.run c (fun ctx ->
+        let arr = Api.ialloc ctx 8 in
+        if Api.pid ctx = 0 then Api.iset ctx arr 0 1;
+        Api.barrier ctx 0;
+        ignore (Api.iget ctx arr 0);
+        Api.barrier ctx 1;
+        for b = 2 to 6 do
+          if Api.pid ctx = 0 then Api.iset ctx arr 0 b;
+          Api.barrier ctx b
+        done)
+  in
+  (* Same program: eager created a diff per write round; lazy created one
+     only when p1 actually fetched (after barrier 0). *)
+  check Alcotest.bool "eager diffs more than lazy" true
+    (r3.Api.total_stats.Stats.diffs_created > r4.Api.total_stats.Stats.diffs_created)
+
+(* A cached lock reacquired by the same processor exchanges no messages. *)
+let cached_lock_no_messages () =
+  let c = cfg ~nprocs:2 () in
+  let r =
+    Api.run c (fun ctx ->
+        if Api.pid ctx = 0 then
+          (* lock 0 is managed by processor 0: always local *)
+          for _ = 1 to 50 do
+            Api.with_lock ctx 0 (fun () -> Api.compute_ns ctx 10)
+          done)
+  in
+  check Alcotest.int "no messages at all" 0 r.Api.messages;
+  check Alcotest.int "50 acquires" 50 r.Api.stats.(0).Stats.lock_acquires;
+  check Alcotest.int "0 remote" 0 r.Api.stats.(0).Stats.lock_remote
+
+(* Lock manager forwarding: the grant must come from the last holder, and
+   the requester must see its writes. *)
+let lock_forwarding_chain () =
+  let c = cfg ~nprocs:3 () in
+  let r =
+    Api.run c (fun ctx ->
+        let x = Api.ialloc ctx 1 in
+        (* lock 1 is managed by processor 1; the token starts there. *)
+        (match Api.pid ctx with
+        | 0 ->
+          Api.with_lock ctx 1 (fun () -> Api.iset ctx x 0 7);
+          Api.barrier ctx 5
+        | 1 -> Api.barrier ctx 5
+        | _ -> Api.barrier ctx 5);
+        (* After the barrier, processor 2 acquires: manager (1) forwards to
+           the last requester (0). *)
+        if Api.pid ctx = 2 then
+          check Alcotest.int "forwarded grant carries data" 7
+            (Api.with_lock ctx 1 (fun () -> Api.iget ctx x 0));
+        Api.barrier ctx 6)
+  in
+  check Alcotest.bool "remote acquires happened" true (r.Api.total_stats.Stats.lock_remote >= 2)
+
+(* ERC moves more messages and data than LRC on a write-heavy
+   lock-migrating workload (Figures 10/11's shape). *)
+let erc_more_traffic_than_lrc () =
+  let program ctx =
+    let arr = Api.ialloc ctx 128 in
+    if Api.pid ctx = 0 then
+      for i = 0 to 127 do
+        Api.iset ctx arr i 0
+      done;
+    Api.barrier ctx 0;
+    (* Everyone reads everything once so all processors cache the pages. *)
+    let s = ref 0 in
+    for i = 0 to 127 do
+      s := !s + Api.iget ctx arr i
+    done;
+    Api.barrier ctx 1;
+    for round = 2 to 11 do
+      Api.with_lock ctx 9 (fun () -> Api.iset ctx arr (Api.pid ctx) round);
+      Api.barrier ctx round
+    done
+  in
+  let lazy_r = Api.run (cfg ~nprocs:4 ~pages:4 ()) program in
+  let eager_r = Api.run (cfg ~nprocs:4 ~pages:4 ~protocol:Config.Erc ()) program in
+  check Alcotest.bool "eager sends more messages" true
+    (eager_r.Api.messages > lazy_r.Api.messages);
+  check Alcotest.bool "eager sends more bytes" true (eager_r.Api.bytes > lazy_r.Api.bytes);
+  check Alcotest.bool "eager makes more diffs" true
+    (eager_r.Api.total_stats.Stats.diffs_created > lazy_r.Api.total_stats.Stats.diffs_created)
+
+(* Garbage collection: trigger it with a tiny threshold and verify the
+   records are reclaimed and the memory still behaves. *)
+let gc_reclaims_and_preserves () =
+  let c = cfg ~nprocs:4 ~pages:8 ~gc_threshold:10 () in
+  let r =
+    Api.run c (fun ctx ->
+        let arr = Api.ialloc ctx 64 in
+        for round = 0 to 9 do
+          (* every processor writes its slice, then a barrier *)
+          for i = 0 to 15 do
+            Api.iset ctx arr ((Api.pid ctx * 16) + i) ((round * 1000) + i)
+          done;
+          Api.barrier ctx round
+        done;
+        (* final check: all slices visible everywhere *)
+        for q = 0 to 3 do
+          for i = 0 to 15 do
+            if Api.iget ctx arr ((q * 16) + i) <> 9000 + i then
+              Alcotest.failf "stale data after GC (writer %d slot %d)" q i
+          done
+        done;
+        Api.barrier ctx 100)
+  in
+  check Alcotest.bool "gc ran" true (r.Api.total_stats.Stats.gc_runs > 0);
+  check Alcotest.bool "records discarded" true
+    (r.Api.total_stats.Stats.records_discarded > 0);
+  (* Every node's live record count was reset by its last GC. *)
+  let nodes_ok =
+    List.for_all
+      (fun p ->
+        (Protocol.node r.Api.cluster p).Node.live_records
+        < 200 (* far below what 10 unrecycled rounds would accumulate *))
+      [ 0; 1; 2; 3 ]
+  in
+  check Alcotest.bool "live records bounded" true nodes_ok
+
+(* Determinism: identical configurations give bit-identical outcomes. *)
+let deterministic_runs () =
+  let program ctx =
+    let arr = Api.ialloc ctx 64 in
+    for round = 0 to 3 do
+      Api.with_lock ctx 2 (fun () ->
+          Api.iset ctx arr (Api.pid ctx) round);
+      Api.barrier ctx round
+    done
+  in
+  let r1 = Api.run (cfg ()) program in
+  let r2 = Api.run (cfg ()) program in
+  check Alcotest.int "same time" r1.Api.total_time r2.Api.total_time;
+  check Alcotest.int "same messages" r1.Api.messages r2.Api.messages;
+  check Alcotest.int "same bytes" r1.Api.bytes r2.Api.bytes
+
+(* The protocol survives a lossy medium: user-level retransmission keeps
+   the execution correct. *)
+let correct_under_loss () =
+  let net = Tmk_net.Params.with_loss Tmk_net.Params.atm_aal34 0.15 in
+  let c = cfg ~nprocs:3 ~net () in
+  let r =
+    Api.run c (fun ctx ->
+        let counter = Api.ialloc ctx 1 in
+        if Api.pid ctx = 0 then Api.iset ctx counter 0 0;
+        Api.barrier ctx 0;
+        for _ = 1 to 5 do
+          Api.with_lock ctx 4 (fun () ->
+              Api.iset ctx counter 0 (Api.iget ctx counter 0 + 1))
+        done;
+        Api.barrier ctx 1;
+        check Alcotest.int "count under loss" 15 (Api.iget ctx counter 0))
+  in
+  check Alcotest.bool "retransmissions happened" true (r.Api.retransmissions > 0)
+
+(* SPMD allocation discipline is enforced. *)
+let malloc_divergence_detected () =
+  let c = cfg ~nprocs:2 () in
+  (match
+     Api.run c (fun ctx ->
+         if Api.pid ctx = 0 then ignore (Api.malloc ctx ~bytes:64)
+         else ignore (Api.malloc ctx ~bytes:128))
+   with
+  | _ -> Alcotest.fail "expected divergence failure"
+  | exception Invalid_argument msg ->
+    let contains s sub =
+      let n = String.length sub in
+      let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+      go 0
+    in
+    check Alcotest.bool "mentions divergence" true (contains msg "diverge"))
+
+let malloc_page_align () =
+  let c = cfg ~nprocs:1 ~pages:4 () in
+  ignore
+    (Api.run c (fun ctx ->
+         let a = Api.malloc ctx ~bytes:100 in
+         let b = Api.malloc ~align:Tmk_mem.Vm.page_size ctx ~bytes:100 in
+         check Alcotest.int "first at 0" 0 a;
+         check Alcotest.int "second page-aligned" 4096 b))
+
+let out_of_memory_detected () =
+  let c = cfg ~nprocs:1 ~pages:1 () in
+  ignore
+    (Api.run c (fun ctx ->
+         match Api.malloc ctx ~bytes:8192 with
+         | _ -> Alcotest.fail "expected out of memory"
+         | exception Invalid_argument _ -> ()))
+
+(* Read-only sharing: many readers of the same page cause exactly one
+   page fetch each and no diffs at all. *)
+let read_sharing_no_diffs () =
+  let c = cfg ~nprocs:4 () in
+  let r =
+    Api.run c (fun ctx ->
+        let arr = Api.falloc ctx 100 in
+        if Api.pid ctx = 0 then
+          for i = 0 to 99 do
+            Api.fset ctx arr i 1.0
+          done;
+        Api.barrier ctx 0;
+        let s = ref 0.0 in
+        for i = 0 to 99 do
+          s := !s +. Api.fget ctx arr i
+        done;
+        Api.barrier ctx 1;
+        check (Alcotest.float 0.0) "sum" 100.0 !s)
+  in
+  (* p0's single diff may be created when readers fetch; but no reader
+     creates diffs. *)
+  check Alcotest.bool "at most p0's diffs" true (r.Api.total_stats.Stats.diffs_created <= 1);
+  check Alcotest.bool "three fetches" true (r.Api.total_stats.Stats.page_fetches >= 3)
+
+let suite =
+  [
+    vt_leq_reflexive;
+    vt_leq_antisymmetric;
+    vt_max_is_lub;
+    vt_compare_total_extends;
+    Alcotest.test_case "wire sizes" `Quick wire_sizes;
+    Alcotest.test_case "broadcast lrc" `Quick broadcast_lrc;
+    Alcotest.test_case "broadcast erc" `Quick broadcast_erc;
+    Alcotest.test_case "broadcast 8 procs" `Quick broadcast_8procs;
+    Alcotest.test_case "broadcast 1 proc" `Quick broadcast_1proc;
+    Alcotest.test_case "broadcast ethernet" `Quick broadcast_ethernet;
+    Alcotest.test_case "multi-writer merge lrc" `Quick multi_writer_lrc;
+    Alcotest.test_case "multi-writer merge erc" `Quick multi_writer_erc;
+    Alcotest.test_case "lock counter lrc" `Quick lock_counter_lrc;
+    Alcotest.test_case "lock counter erc" `Quick lock_counter_erc;
+    Alcotest.test_case "causal chain" `Quick causal_chain;
+    Alcotest.test_case "lazy diff counts" `Quick lazy_diff_counts;
+    Alcotest.test_case "cached lock no messages" `Quick cached_lock_no_messages;
+    Alcotest.test_case "lock forwarding chain" `Quick lock_forwarding_chain;
+    Alcotest.test_case "erc more traffic" `Quick erc_more_traffic_than_lrc;
+    Alcotest.test_case "gc reclaims and preserves" `Quick gc_reclaims_and_preserves;
+    Alcotest.test_case "deterministic runs" `Quick deterministic_runs;
+    Alcotest.test_case "correct under loss" `Quick correct_under_loss;
+    Alcotest.test_case "malloc divergence detected" `Quick malloc_divergence_detected;
+    Alcotest.test_case "malloc page align" `Quick malloc_page_align;
+    Alcotest.test_case "out of memory detected" `Quick out_of_memory_detected;
+    Alcotest.test_case "read sharing no diffs" `Quick read_sharing_no_diffs;
+  ]

@@ -1,0 +1,198 @@
+(* Protocol fuzzer: randomized SPMD programs whose outcome is known by
+   construction, executed under every protocol.
+
+   Each scenario runs some rounds; in every round each processor writes a
+   randomly assigned set of shared slots (scattered across pages, so
+   concurrent writers collide on pages but never on words — the
+   multiple-writer case) and applies lock-protected increments to shared
+   counters (the ordered read-modify-write case); rounds are separated by
+   barriers.  Afterwards every slot must hold its last-assigned value on
+   every processor and every counter the sum of all increments.  This
+   exercises twins, diff creation and merging, invalidations, cold misses,
+   diff-fetch planning, lock forwarding and barrier deltas under schedules
+   no hand-written test would find. *)
+
+open Tmk_dsm
+
+type scenario = {
+  sc_nprocs : int;
+  sc_pages : int;
+  sc_rounds : int;
+  sc_slots : int array;  (* slot index -> 8-aligned byte address *)
+  sc_writes : (int * int * int) list array;  (* per round: (slot, writer, value) *)
+  sc_incs : int array array;  (* incs.(round).(pid): increment for the counter *)
+  sc_protocol : Config.protocol;
+  sc_updates : bool;  (* hybrid update protocol (LRC only) *)
+  sc_seed : int64;
+}
+
+let protocol_gen =
+  QCheck.Gen.oneofl [ Config.Lrc; Config.Erc; Config.Sc ]
+
+let scenario_gen =
+  let open QCheck.Gen in
+  int_range 2 4 >>= fun nprocs ->
+  int_range 2 4 >>= fun pages ->
+  int_range 1 4 >>= fun rounds ->
+  int_range 4 24 >>= fun nslots ->
+  (* distinct 8-aligned addresses, none on the counter page (the last) *)
+  let space_words = (pages - 1) * 512 in
+  let rec pick_addrs chosen n st =
+    if n = 0 then chosen
+    else
+      let w = int_range 0 (space_words - 1) st in
+      if List.mem w chosen then pick_addrs chosen n st
+      else pick_addrs (w :: chosen) (n - 1) st
+  in
+  (fun st -> pick_addrs [] nslots st) >>= fun words ->
+  let slots = Array.of_list (List.map (fun w -> w * 8) words) in
+  let nslots = Array.length slots in
+  (* per round: each slot gets one random writer and value *)
+  let round_writes st =
+    List.init nslots (fun s -> (s, int_range 0 (nprocs - 1) st, int_range 0 10_000 st))
+  in
+  (fun st -> Array.init rounds (fun _ -> round_writes st)) >>= fun writes ->
+  (fun st -> Array.init rounds (fun _ -> Array.init nprocs (fun _ -> int_range 0 100 st)))
+  >>= fun incs ->
+  protocol_gen >>= fun protocol ->
+  bool >>= fun updates ->
+  map
+    (fun seed ->
+      {
+        sc_nprocs = nprocs;
+        sc_pages = pages;
+        sc_rounds = rounds;
+        sc_slots = slots;
+        sc_writes = writes;
+        sc_incs = incs;
+        sc_protocol = protocol;
+        sc_updates = (updates && protocol = Config.Lrc);
+        sc_seed = Int64.of_int (abs seed);
+      })
+    int
+
+let print_scenario s =
+  Printf.sprintf "{procs=%d pages=%d rounds=%d slots=%d protocol=%s%s seed=%Ld}" s.sc_nprocs
+    s.sc_pages s.sc_rounds (Array.length s.sc_slots)
+    (Config.protocol_name s.sc_protocol)
+    (if s.sc_updates then "+updates" else "")
+    s.sc_seed
+
+(* Expected final state. *)
+let expectation s =
+  let final = Array.make (Array.length s.sc_slots) 0 in
+  Array.iter (List.iter (fun (slot, _, v) -> final.(slot) <- v)) s.sc_writes;
+  let counter_total = Array.fold_left (fun acc per -> acc + Array.fold_left ( + ) 0 per) 0 s.sc_incs in
+  (final, counter_total)
+
+let run_scenario s =
+  let expected_slots, expected_counter = expectation s in
+  let cfg =
+    {
+      Config.default with
+      Config.nprocs = s.sc_nprocs;
+      pages = s.sc_pages;
+      protocol = s.sc_protocol;
+      lrc_updates = s.sc_updates;
+      seed = s.sc_seed;
+    }
+  in
+  let ok = ref true in
+  let note fmt = Printf.ksprintf (fun msg -> ok := false; print_endline msg) fmt in
+  let _ =
+    Api.run cfg (fun ctx ->
+        let pid = Api.pid ctx in
+        (* slots live in the low pages; the counter gets the last page *)
+        let counter_addr = (s.sc_pages - 1) * Tmk_mem.Vm.page_size in
+        if pid = 0 then begin
+          Array.iter (fun addr -> Api.write_int ctx addr 0) s.sc_slots;
+          Api.write_int ctx counter_addr 0
+        end;
+        Api.barrier ctx 0;
+        for round = 0 to s.sc_rounds - 1 do
+          List.iter
+            (fun (slot, writer, value) ->
+              if writer = pid then Api.write_int ctx s.sc_slots.(slot) value)
+            s.sc_writes.(round);
+          let inc = s.sc_incs.(round).(pid) in
+          if inc > 0 then
+            Api.with_lock ctx 1 (fun () ->
+                Api.write_int ctx counter_addr (Api.read_int ctx counter_addr + inc));
+          Api.barrier ctx (round + 1)
+        done;
+        (* every processor verifies the whole final state *)
+        Array.iteri
+          (fun slot addr ->
+            let got = Api.read_int ctx addr in
+            if got <> expected_slots.(slot) then
+              note "pid %d slot %d (addr %d): got %d want %d [%s]" pid slot addr got
+                expected_slots.(slot) (print_scenario s))
+          s.sc_slots;
+        let got = Api.with_lock ctx 1 (fun () -> Api.read_int ctx counter_addr) in
+        if got <> expected_counter then
+          note "pid %d counter: got %d want %d [%s]" pid got expected_counter
+            (print_scenario s))
+  in
+  !ok
+
+let fuzz_protocols =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"random programs match their expectation"
+       (QCheck.make ~print:print_scenario scenario_gen)
+       run_scenario)
+
+(* The same scenarios again under a lossy medium: the reliability layer
+   must keep them exact. *)
+let fuzz_lossy =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:15 ~name:"random programs survive 10% frame loss"
+       (QCheck.make ~print:print_scenario scenario_gen)
+       (fun s ->
+         (* every protocol, including SC: all messages go through the
+            transport's reliable one-way primitives *)
+         let cfg_net = Tmk_net.Params.with_loss Tmk_net.Params.atm_aal34 0.10 in
+         let s = { s with sc_seed = Int64.add s.sc_seed 1L } in
+         let expected_slots, expected_counter = expectation s in
+         let cfg =
+           {
+             Config.default with
+             Config.nprocs = s.sc_nprocs;
+             pages = s.sc_pages;
+             protocol = s.sc_protocol;
+             lrc_updates = s.sc_updates;
+             seed = s.sc_seed;
+             net = cfg_net;
+           }
+         in
+         let ok = ref true in
+         let _ =
+           Api.run cfg (fun ctx ->
+               let pid = Api.pid ctx in
+               let counter_addr = (s.sc_pages - 1) * Tmk_mem.Vm.page_size in
+               if pid = 0 then begin
+                 Array.iter (fun addr -> Api.write_int ctx addr 0) s.sc_slots;
+                 Api.write_int ctx counter_addr 0
+               end;
+               Api.barrier ctx 0;
+               for round = 0 to s.sc_rounds - 1 do
+                 List.iter
+                   (fun (slot, writer, value) ->
+                     if writer = pid then Api.write_int ctx s.sc_slots.(slot) value)
+                   s.sc_writes.(round);
+                 let inc = s.sc_incs.(round).(pid) in
+                 if inc > 0 then
+                   Api.with_lock ctx 1 (fun () ->
+                       Api.write_int ctx counter_addr (Api.read_int ctx counter_addr + inc));
+                 Api.barrier ctx (round + 1)
+               done;
+               Array.iteri
+                 (fun slot addr ->
+                   if Api.read_int ctx addr <> expected_slots.(slot) then ok := false)
+                 s.sc_slots;
+               if Api.with_lock ctx 1 (fun () -> Api.read_int ctx counter_addr)
+                  <> expected_counter
+               then ok := false)
+         in
+         !ok))
+
+let suite = [ fuzz_protocols; fuzz_lossy ]

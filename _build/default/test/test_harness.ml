@@ -1,0 +1,81 @@
+(* Harness and experiment-driver tests: metric extraction sanity, id
+   parsing, and light end-to-end runs (the heavyweight sweeps live in
+   bench/main.exe, not the test suite). *)
+
+open Tmk_dsm
+open Tmk_harness
+
+let check = Alcotest.check
+
+let app_names_roundtrip () =
+  List.iter
+    (fun app ->
+      check Alcotest.bool "roundtrip" true
+        (Harness.app_of_name (Harness.app_name app) = app))
+    Harness.all_apps;
+  check Alcotest.bool "qsort alias" true (Harness.app_of_name "qsort" = Harness.Quicksort);
+  Alcotest.check_raises "unknown app"
+    (Invalid_argument "Harness.app_of_name: unknown application \"mandelbrot\"") (fun () ->
+      ignore (Harness.app_of_name "mandelbrot"))
+
+let metrics_consistent () =
+  let m =
+    Harness.run ~app:Harness.Ilink ~nprocs:4 ~protocol:Config.Lrc
+      ~net:Tmk_net.Params.atm_aal34
+  in
+  check Alcotest.bool "time positive" true (m.Harness.m_time_s > 0.0);
+  let total =
+    m.Harness.m_comp_pct +. Harness.unix_pct m +. Harness.tmk_pct m +. m.Harness.m_idle_pct
+  in
+  check Alcotest.bool "percentages sum to ~100" true (Float.abs (total -. 100.0) < 0.5);
+  check Alcotest.bool "ilink has no locks" true (m.Harness.m_locks_per_sec = 0.0);
+  check Alcotest.bool "ilink has barriers" true (m.Harness.m_barriers_per_sec > 0.0)
+
+let water_shape () =
+  let m =
+    Harness.run ~app:Harness.Water ~nprocs:4 ~protocol:Config.Lrc
+      ~net:Tmk_net.Params.atm_aal34
+  in
+  check Alcotest.bool "water locks heavily" true (m.Harness.m_locks_per_sec > 100.0);
+  check Alcotest.bool "water msgs heavy" true (m.Harness.m_msgs_per_sec > 500.0)
+
+let jacobi_parallelizes () =
+  let atm = Tmk_net.Params.atm_aal34 in
+  let t1 =
+    (Harness.run ~app:Harness.Jacobi ~nprocs:1 ~protocol:Config.Lrc ~net:atm).Harness.m_time_s
+  in
+  let t4 =
+    (Harness.run ~app:Harness.Jacobi ~nprocs:4 ~protocol:Config.Lrc ~net:atm).Harness.m_time_s
+  in
+  check Alcotest.bool "speedup > 3 at 4 procs" true (t1 /. t4 > 3.0)
+
+let experiment_ids () =
+  List.iter
+    (fun id ->
+      check Alcotest.bool "id roundtrip" true
+        (Experiments.id_of_name (Experiments.id_name id) = id);
+      check Alcotest.bool "describe nonempty" true (String.length (Experiments.describe id) > 0))
+    Experiments.all;
+  Alcotest.check_raises "unknown id"
+    (Invalid_argument "Experiments.id_of_name: unknown experiment \"e42\"") (fun () ->
+      ignore (Experiments.id_of_name "e42"))
+
+let e1_report_renders () =
+  let report = Experiments.run Experiments.E1 in
+  check Alcotest.bool "mentions paper values" true
+    (List.for_all
+       (fun needle ->
+         let n = String.length needle in
+         let rec go i = i + n <= String.length report && (String.sub report i n = needle || go (i + 1)) in
+         go 0)
+       [ "827"; "1149"; "2186"; "2792"; "lock acquire" ])
+
+let suite =
+  [
+    Alcotest.test_case "app names roundtrip" `Quick app_names_roundtrip;
+    Alcotest.test_case "metrics consistent" `Quick metrics_consistent;
+    Alcotest.test_case "water shape" `Quick water_shape;
+    Alcotest.test_case "jacobi parallelizes" `Slow jacobi_parallelizes;
+    Alcotest.test_case "experiment ids" `Quick experiment_ids;
+    Alcotest.test_case "e1 report renders" `Quick e1_report_renders;
+  ]

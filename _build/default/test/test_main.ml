@@ -1,0 +1,17 @@
+(* Aggregates every suite; `dune runtest` runs this executable. *)
+
+let () =
+  Alcotest.run "treadmarks"
+    [
+      ("util", Test_util.suite);
+      ("sim", Test_sim.suite);
+      ("net", Test_net.suite);
+      ("mem", Test_mem.suite);
+      ("dsm", Test_dsm.suite);
+      ("node", Test_node.suite);
+      ("sc", Test_sc.suite);
+      ("calibration", Test_calibration.suite);
+      ("apps", Test_apps.suite);
+      ("harness", Test_harness.suite);
+      ("fuzz", Test_fuzz.suite);
+    ]

@@ -1,0 +1,156 @@
+(* Software-MMU tests: typed accessors, protection faults, page
+   snapshot/patch machinery. *)
+
+open Tmk_mem
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let accessors_roundtrip () =
+  let vm = Vm.create ~pages:4 in
+  Vm.write_u8 vm 0 0xAB;
+  check Alcotest.int "u8" 0xAB (Vm.read_u8 vm 0);
+  Vm.write_i64 vm 8 0x1122334455667788L;
+  check Alcotest.int64 "i64" 0x1122334455667788L (Vm.read_i64 vm 8);
+  Vm.write_int vm 16 (-123456789);
+  check Alcotest.int "int" (-123456789) (Vm.read_int vm 16);
+  Vm.write_f64 vm 24 3.14159;
+  check (Alcotest.float 0.0) "f64" 3.14159 (Vm.read_f64 vm 24);
+  (* Last valid slot of the last page. *)
+  let last = Vm.size_bytes vm - 8 in
+  Vm.write_f64 vm last 2.5;
+  check (Alcotest.float 0.0) "end of space" 2.5 (Vm.read_f64 vm last)
+
+let bounds_checks () =
+  let vm = Vm.create ~pages:1 in
+  Alcotest.check_raises "negative" (Invalid_argument "Vm: address -1 out of range")
+    (fun () -> ignore (Vm.read_u8 vm (-1)));
+  Alcotest.check_raises "past end" (Invalid_argument "Vm: address 4089 out of range")
+    (fun () -> ignore (Vm.read_i64 vm 4089));
+  let vm2 = Vm.create ~pages:2 in
+  Alcotest.check_raises "straddle"
+    (Invalid_argument "Vm: access at 4092 straddles a page boundary") (fun () ->
+      ignore (Vm.read_i64 vm2 4092))
+
+let read_fault_dispatch () =
+  let vm = Vm.create ~pages:2 in
+  Vm.write_int vm 4096 77;
+  Vm.set_prot vm 1 Vm.No_access;
+  let faults = ref [] in
+  Vm.set_fault_handler vm (fun kind page ->
+      faults := (kind, page) :: !faults;
+      Vm.set_prot vm page Vm.Read_only);
+  check Alcotest.int "read retried" 77 (Vm.read_int vm 4096);
+  check Alcotest.bool "one read fault" true (!faults = [ (Vm.Read, 1) ]);
+  (* Second read: no further fault. *)
+  ignore (Vm.read_int vm 4096);
+  check Alcotest.int "still one fault" 1 (List.length !faults)
+
+let write_fault_on_read_only () =
+  let vm = Vm.create ~pages:1 in
+  Vm.set_prot vm 0 Vm.Read_only;
+  let faulted = ref false in
+  Vm.set_fault_handler vm (fun kind page ->
+      check Alcotest.bool "write kind" true (kind = Vm.Write);
+      faulted := true;
+      Vm.set_prot vm page Vm.Read_write);
+  Vm.write_int vm 0 5;
+  check Alcotest.bool "fault ran" true !faulted;
+  check Alcotest.int "write landed" 5 (Vm.read_int vm 0)
+
+let fault_loop_detected () =
+  let vm = Vm.create ~pages:1 in
+  Vm.set_prot vm 0 Vm.No_access;
+  Vm.set_fault_handler vm (fun _ _ -> (* forgets to fix the protection *) ());
+  (match Vm.read_u8 vm 0 with
+  | _ -> Alcotest.fail "expected Fault_loop"
+  | exception Vm.Fault_loop { page = 0; kind = Vm.Read } -> ()
+  | exception _ -> Alcotest.fail "wrong exception")
+
+let snapshot_install_roundtrip () =
+  let vm = Vm.create ~pages:2 in
+  for i = 0 to 511 do
+    Vm.write_int vm (4096 + (i * 8)) (i * i)
+  done;
+  let snap = Vm.page_snapshot vm 1 in
+  let vm2 = Vm.create ~pages:2 in
+  Vm.install_page vm2 1 snap;
+  for i = 0 to 511 do
+    check Alcotest.int "copied" (i * i) (Vm.read_int vm2 (4096 + (i * 8)))
+  done
+
+let install_wrong_size () =
+  let vm = Vm.create ~pages:1 in
+  Alcotest.check_raises "wrong size" (Invalid_argument "Vm.install_page: wrong page size")
+    (fun () -> Vm.install_page vm 0 (Bytes.create 100))
+
+let diff_patch_roundtrip () =
+  let vm = Vm.create ~pages:1 in
+  Vm.write_int vm 0 1;
+  Vm.write_int vm 1000 2;
+  let twin = Vm.page_snapshot vm 0 in
+  (* Modify after twinning. *)
+  Vm.write_int vm 8 42;
+  Vm.write_int vm 2000 43;
+  let diff = Vm.diff_against vm 0 ~twin in
+  check Alcotest.bool "nonempty" false (Tmk_util.Rle.is_empty diff);
+  (* A second VM holding the twin contents catches up via the diff. *)
+  let vm2 = Vm.create ~pages:1 in
+  Vm.install_page vm2 0 twin;
+  Vm.patch vm2 0 diff;
+  check Alcotest.bool "pages equal" true
+    (Bytes.equal (Vm.page_snapshot vm 0) (Vm.page_snapshot vm2 0))
+
+let diff_patch_random =
+  qtest "random writes diff/patch to equality"
+    QCheck.(pair int64 (list_of_size (QCheck.Gen.int_range 0 40) (pair (int_range 0 511) small_int)))
+    (fun (seed, writes) ->
+      ignore seed;
+      let vm = Vm.create ~pages:1 in
+      (* Seed page with a pattern. *)
+      for i = 0 to 511 do
+        Vm.write_int vm (i * 8) i
+      done;
+      let twin = Vm.page_snapshot vm 0 in
+      List.iter (fun (slot, v) -> Vm.write_int vm (slot * 8) v) writes;
+      let diff = Vm.diff_against vm 0 ~twin in
+      let vm2 = Vm.create ~pages:1 in
+      Vm.install_page vm2 0 twin;
+      Vm.patch vm2 0 diff;
+      Bytes.equal (Vm.page_snapshot vm 0) (Vm.page_snapshot vm2 0))
+
+let identical_page_empty_diff () =
+  let vm = Vm.create ~pages:1 in
+  Vm.write_int vm 0 9;
+  let twin = Vm.page_snapshot vm 0 in
+  check Alcotest.bool "empty" true (Tmk_util.Rle.is_empty (Vm.diff_against vm 0 ~twin))
+
+let costs_sane () =
+  check Alcotest.bool "mprotect>0" true (Costs.mprotect > 0);
+  check Alcotest.bool "sigsegv>0" true (Costs.sigsegv > 0);
+  check Alcotest.bool "twin>0" true (Costs.twin_copy > 0);
+  check Alcotest.bool "diff grows" true (Costs.diff_create 4096 > Costs.diff_create 0);
+  check Alcotest.bool "apply grows" true (Costs.diff_apply 4096 > Costs.diff_apply 0)
+
+let page_addr_conversions () =
+  check Alcotest.int "page_of_addr" 2 (Vm.page_of_addr 8192);
+  check Alcotest.int "page_of_addr mid" 2 (Vm.page_of_addr 8200);
+  check Alcotest.int "addr_of_page" 8192 (Vm.addr_of_page 2);
+  check Alcotest.int "page_size" 4096 Vm.page_size
+
+let suite =
+  [
+    Alcotest.test_case "accessors roundtrip" `Quick accessors_roundtrip;
+    Alcotest.test_case "bounds checks" `Quick bounds_checks;
+    Alcotest.test_case "read fault dispatch" `Quick read_fault_dispatch;
+    Alcotest.test_case "write fault on read-only" `Quick write_fault_on_read_only;
+    Alcotest.test_case "fault loop detected" `Quick fault_loop_detected;
+    Alcotest.test_case "snapshot/install roundtrip" `Quick snapshot_install_roundtrip;
+    Alcotest.test_case "install wrong size" `Quick install_wrong_size;
+    Alcotest.test_case "diff/patch roundtrip" `Quick diff_patch_roundtrip;
+    diff_patch_random;
+    Alcotest.test_case "identical page empty diff" `Quick identical_page_empty_diff;
+    Alcotest.test_case "costs sane" `Quick costs_sane;
+    Alcotest.test_case "page addr conversions" `Quick page_addr_conversions;
+  ]

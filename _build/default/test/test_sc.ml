@@ -1,0 +1,99 @@
+(* Direct tests of the sequentially-consistent single-writer baseline:
+   ownership transfer, read replication, invalidation on write, request
+   queuing, and its contrast with the multiple-writer protocol. *)
+
+open Tmk_dsm
+module Vm = Tmk_mem.Vm
+
+let check = Alcotest.check
+
+let cfg ?(nprocs = 4) ?(pages = 4) () =
+  { Config.default with Config.nprocs; pages; protocol = Config.Sc; seed = 21L }
+
+let ownership_transfers () =
+  let r =
+    Api.run (cfg ()) (fun ctx ->
+        let x = Api.ialloc ctx 4 in
+        (* write ownership moves 0 -> 1 -> 2 -> 3, reads follow *)
+        for round = 0 to 3 do
+          if Api.pid ctx = round then Api.iset ctx x 0 (100 + round);
+          Api.barrier ctx round;
+          check Alcotest.int "everyone reads the new value" (100 + round) (Api.iget ctx x 0);
+          Api.barrier ctx (100 + round)
+        done)
+  in
+  check Alcotest.bool "pages moved" true (r.Api.total_stats.Stats.page_fetches > 4)
+
+let write_upgrade_in_place () =
+  (* a processor that holds a read copy and becomes the writer must not
+     transfer the page (it is current), only the ownership *)
+  let r =
+    Api.run (cfg ~nprocs:2 ()) (fun ctx ->
+        let x = Api.ialloc ctx 4 in
+        if Api.pid ctx = 0 then Api.iset ctx x 0 5;
+        Api.barrier ctx 0;
+        (* p1 reads (replicates), then writes (upgrade) *)
+        if Api.pid ctx = 1 then begin
+          check Alcotest.int "read" 5 (Api.iget ctx x 0);
+          Api.iset ctx x 0 6
+        end;
+        Api.barrier ctx 1;
+        check Alcotest.int "write visible" 6 (Api.iget ctx x 0))
+  in
+  ignore r
+
+let concurrent_writers_serialize () =
+  (* all processors hammer the same word under a lock: single-writer
+     transfers serialize the updates, the count must be exact *)
+  let n = 4 and rounds = 8 in
+  let _ =
+    Api.run (cfg ~nprocs:n ()) (fun ctx ->
+        let x = Api.ialloc ctx 4 in
+        if Api.pid ctx = 0 then Api.iset ctx x 0 0;
+        Api.barrier ctx 0;
+        for _ = 1 to rounds do
+          Api.with_lock ctx 3 (fun () -> Api.iset ctx x 0 (Api.iget ctx x 0 + 1))
+        done;
+        Api.barrier ctx 1;
+        check Alcotest.int "count" (n * rounds) (Api.iget ctx x 0))
+  in
+  ()
+
+let no_twins_no_diffs () =
+  let r =
+    Api.run (cfg ()) (fun ctx ->
+        let x = Api.ialloc ctx 64 in
+        if Api.pid ctx = 0 then
+          for i = 0 to 63 do
+            Api.iset ctx x i i
+          done;
+        Api.barrier ctx 0;
+        ignore (Api.iget ctx x (Api.pid ctx)))
+  in
+  check Alcotest.int "no twins under SC" 0 r.Api.total_stats.Stats.twins_created;
+  check Alcotest.int "no diffs under SC" 0 r.Api.total_stats.Stats.diffs_created
+
+let deterministic () =
+  let run () =
+    let r =
+      Api.run (cfg ()) (fun ctx ->
+          let x = Api.ialloc ctx 16 in
+          for round = 0 to 4 do
+            Api.iset ctx x (Api.pid ctx * 4) round;
+            Api.barrier ctx round
+          done)
+    in
+    (r.Api.total_time, r.Api.messages)
+  in
+  check
+    Alcotest.(pair int int)
+    "same outcome" (run ()) (run ())
+
+let suite =
+  [
+    Alcotest.test_case "ownership transfers" `Quick ownership_transfers;
+    Alcotest.test_case "write upgrade in place" `Quick write_upgrade_in_place;
+    Alcotest.test_case "concurrent writers serialize" `Quick concurrent_writers_serialize;
+    Alcotest.test_case "no twins no diffs" `Quick no_twins_no_diffs;
+    Alcotest.test_case "deterministic" `Quick deterministic;
+  ]

@@ -1,0 +1,325 @@
+(* Tests of the discrete-event engine: time accounting, handler CPU
+   stealing, ivar blocking, determinism, deadlock detection. *)
+
+open Tmk_sim
+
+let check = Alcotest.check
+let us = Vtime.us
+
+(* A single process that computes 100us finishes at 100us. *)
+let single_advance () =
+  let e = Engine.create ~nprocs:1 in
+  Engine.spawn e 0 (fun () -> Engine.advance Category.Computation (us 100));
+  Engine.run e;
+  check Alcotest.int "finish" (us 100) (Engine.finish_time e 0);
+  check Alcotest.int "busy computation" (us 100) (Engine.busy e 0 Category.Computation);
+  check Alcotest.int "busy total" (us 100) (Engine.busy_total e 0)
+
+let sequential_advances () =
+  let e = Engine.create ~nprocs:1 in
+  Engine.spawn e 0 (fun () ->
+      Engine.advance Category.Computation (us 10);
+      Engine.advance Category.Unix_comm (us 20);
+      Engine.advance Category.Tmk_mem (us 30));
+  Engine.run e;
+  check Alcotest.int "finish" (us 60) (Engine.finish_time e 0);
+  check Alcotest.int "comp" (us 10) (Engine.busy e 0 Category.Computation);
+  check Alcotest.int "unix" (us 20) (Engine.busy e 0 Category.Unix_comm);
+  check Alcotest.int "tmk" (us 30) (Engine.busy e 0 Category.Tmk_mem)
+
+(* Two processes advance independently in parallel virtual time. *)
+let parallel_processes () =
+  let e = Engine.create ~nprocs:2 in
+  Engine.spawn e 0 (fun () -> Engine.advance Category.Computation (us 100));
+  Engine.spawn e 1 (fun () -> Engine.advance Category.Computation (us 250));
+  Engine.run e;
+  check Alcotest.int "p0" (us 100) (Engine.finish_time e 0);
+  check Alcotest.int "p1" (us 250) (Engine.finish_time e 1);
+  check Alcotest.int "makespan" (us 250) (Engine.end_time e)
+
+(* An ivar filled by a scheduled event wakes the waiting process at the
+   fill time. *)
+let ivar_blocking () =
+  let e = Engine.create ~nprocs:1 in
+  let iv = Engine.Ivar.create () in
+  let seen = ref 0 in
+  Engine.spawn e 0 (fun () ->
+      Engine.advance Category.Computation (us 10);
+      seen := Engine.await iv;
+      Engine.advance Category.Computation (us 5));
+  Engine.schedule e ~at:(us 300) (fun () -> Engine.fill e iv ~at:(us 300) 42);
+  Engine.run e;
+  check Alcotest.int "value" 42 !seen;
+  check Alcotest.int "finish" (us 305) (Engine.finish_time e 0);
+  (* Blocked time (10..300) is idle: busy is only 15us. *)
+  check Alcotest.int "busy" (us 15) (Engine.busy_total e 0)
+
+let ivar_already_filled () =
+  let e = Engine.create ~nprocs:1 in
+  let iv = Engine.Ivar.create () in
+  Engine.fill e iv ~at:Vtime.zero 7;
+  check Alcotest.bool "filled" true (Engine.Ivar.is_filled iv);
+  check Alcotest.bool "peek" true (Engine.Ivar.peek iv = Some 7);
+  let got = ref 0 in
+  Engine.spawn e 0 (fun () ->
+      got := Engine.await iv;
+      Engine.advance Category.Computation (us 1));
+  Engine.run e;
+  check Alcotest.int "value" 7 !got;
+  check Alcotest.int "no wait" (us 1) (Engine.finish_time e 0)
+
+let ivar_double_fill () =
+  let e = Engine.create ~nprocs:1 in
+  let iv = Engine.Ivar.create () in
+  Engine.fill e iv ~at:Vtime.zero 1;
+  Alcotest.check_raises "double fill"
+    (Invalid_argument "Engine.fill: ivar already filled") (fun () ->
+      Engine.fill e iv ~at:Vtime.zero 2)
+
+(* A handler posted mid-chunk steals CPU: the app's chunk completion is
+   pushed back by the handler service time. *)
+let handler_steals_from_chunk () =
+  let e = Engine.create ~nprocs:1 in
+  Engine.spawn e 0 (fun () -> Engine.advance Category.Computation (us 100));
+  Engine.post_handler e ~pid:0 ~at:(us 40) (fun h ->
+      Engine.hcharge h Category.Unix_comm (us 25));
+  Engine.run e;
+  (* 100us of app work + 25us stolen = 125us finish. *)
+  check Alcotest.int "finish postponed" (us 125) (Engine.finish_time e 0);
+  check Alcotest.int "handler charge" (us 25) (Engine.busy e 0 Category.Unix_comm);
+  check Alcotest.int "app charge" (us 100) (Engine.busy e 0 Category.Computation)
+
+(* A handler while the app is blocked does NOT delay it beyond its own
+   service (idle overlap). *)
+let handler_during_idle () =
+  let e = Engine.create ~nprocs:1 in
+  let iv = Engine.Ivar.create () in
+  Engine.spawn e 0 (fun () -> ignore (Engine.await iv));
+  Engine.post_handler e ~pid:0 ~at:(us 10) (fun h ->
+      Engine.hcharge h Category.Unix_comm (us 30));
+  Engine.schedule e ~at:(us 100) (fun () -> Engine.fill e iv ~at:(us 100) ());
+  Engine.run e;
+  check Alcotest.int "finish at fill" (us 100) (Engine.finish_time e 0)
+
+(* If the awaited reply arrives while a handler occupies the CPU, the app
+   resumes when the handler completes. *)
+let resume_waits_for_handler () =
+  let e = Engine.create ~nprocs:1 in
+  let iv = Engine.Ivar.create () in
+  Engine.spawn e 0 (fun () -> ignore (Engine.await iv));
+  Engine.post_handler e ~pid:0 ~at:(us 90) (fun h ->
+      Engine.hcharge h Category.Unix_comm (us 50));
+  Engine.schedule e ~at:(us 100) (fun () -> Engine.fill e iv ~at:(us 100) ());
+  Engine.run e;
+  (* Handler runs 90..140; fill at 100; resume at 140. *)
+  check Alcotest.int "resume after handler" (us 140) (Engine.finish_time e 0)
+
+(* Handlers on one processor serialise FIFO. *)
+let handlers_serialise () =
+  let e = Engine.create ~nprocs:1 in
+  let order = ref [] in
+  let log h tag =
+    order := (tag, Engine.hnow h) :: !order;
+    Engine.hcharge h Category.Unix_comm (us 10)
+  in
+  Engine.post_handler e ~pid:0 ~at:(us 5) (fun h -> log h "a");
+  Engine.post_handler e ~pid:0 ~at:(us 5) (fun h -> log h "b");
+  Engine.post_handler e ~pid:0 ~at:(us 7) (fun h -> log h "c");
+  Engine.spawn e 0 (fun () -> ());
+  Engine.run e;
+  let got = List.rev !order in
+  check
+    Alcotest.(list (pair string int))
+    "fifo with serialised starts"
+    [ ("a", us 5); ("b", us 15); ("c", us 25) ]
+    got
+
+(* hnow advances as the handler charges. *)
+let hnow_tracks_charges () =
+  let e = Engine.create ~nprocs:1 in
+  let samples = ref [] in
+  Engine.post_handler e ~pid:0 ~at:(us 100) (fun h ->
+      samples := Engine.hnow h :: !samples;
+      Engine.hcharge h Category.Tmk_mem (us 7);
+      samples := Engine.hnow h :: !samples;
+      Engine.hcharge h Category.Tmk_other (us 3);
+      samples := Engine.hnow h :: !samples);
+  Engine.spawn e 0 (fun () -> ());
+  Engine.run e;
+  check Alcotest.(list int) "hnow" [ us 100; us 107; us 110 ] (List.rev !samples)
+
+(* Deadlock: a process waiting on an ivar nobody fills. *)
+let deadlock_detection () =
+  let e = Engine.create ~nprocs:2 in
+  let iv = Engine.Ivar.create () in
+  Engine.spawn e 0 (fun () -> ignore (Engine.await iv));
+  Engine.spawn e 1 (fun () -> Engine.advance Category.Computation (us 5));
+  (match Engine.run e with
+  | () -> Alcotest.fail "expected deadlock"
+  | exception Engine.Deadlock [ 0 ] -> ()
+  | exception Engine.Deadlock other ->
+    Alcotest.failf "wrong pids: %s" (String.concat "," (List.map string_of_int other)))
+
+(* Cancelled events do not run. *)
+let cancellable_events () =
+  let e = Engine.create ~nprocs:1 in
+  let fired = ref false in
+  let cancel = Engine.schedule_cancellable e ~at:(us 50) (fun () -> fired := true) in
+  Engine.schedule e ~at:(us 10) (fun () -> cancel ());
+  Engine.spawn e 0 (fun () -> ());
+  Engine.run e;
+  check Alcotest.bool "not fired" false !fired
+
+(* Scheduling in the past is rejected. *)
+let no_past_events () =
+  let e = Engine.create ~nprocs:1 in
+  Engine.spawn e 0 (fun () ->
+      Engine.advance Category.Computation (us 10);
+      (* now = 10us; scheduling at 5us must fail *)
+      match Engine.schedule e ~at:(us 5) (fun () -> ()) with
+      | () -> Alcotest.fail "expected invalid_arg"
+      | exception Invalid_argument _ -> ());
+  Engine.run e
+
+(* Determinism: identical runs produce identical traces. *)
+let deterministic_trace () =
+  let run_once () =
+    let e = Engine.create ~nprocs:4 in
+    let buf = Buffer.create 256 in
+    Engine.set_trace e (fun at msg -> Buffer.add_string buf (Printf.sprintf "%d:%s;" at msg));
+    let ivs = Array.init 4 (fun _ -> Engine.Ivar.create ()) in
+    for p = 0 to 3 do
+      Engine.spawn e p (fun () ->
+          Engine.advance Category.Computation (us (10 * (p + 1)));
+          Engine.trace e (Printf.sprintf "p%d-computed" p);
+          (* everyone signals the next processor, ring-style *)
+          Engine.fill e ivs.((p + 1) mod 4) ~at:(Engine.now e) p;
+          let from = Engine.await ivs.(p) in
+          Engine.trace e (Printf.sprintf "p%d-got-%d" p from))
+    done;
+    Engine.run e;
+    Buffer.contents buf
+  in
+  check Alcotest.string "same trace" (run_once ()) (run_once ())
+
+(* Two processes exchanging through ivars: time of a "round trip". *)
+let ping_pong_timing () =
+  let e = Engine.create ~nprocs:2 in
+  let ping = Engine.Ivar.create () and pong = Engine.Ivar.create () in
+  Engine.spawn e 0 (fun () ->
+      Engine.advance Category.Computation (us 10);
+      Engine.fill e ping ~at:(Engine.now e) ();
+      ignore (Engine.await pong);
+      Engine.advance Category.Computation (us 1));
+  Engine.spawn e 1 (fun () ->
+      ignore (Engine.await ping);
+      Engine.advance Category.Computation (us 20);
+      Engine.fill e pong ~at:(Engine.now e) ());
+  Engine.run e;
+  check Alcotest.int "p0 finish" (us 31) (Engine.finish_time e 0);
+  check Alcotest.int "p1 finish" (us 30) (Engine.finish_time e 1)
+
+(* Multiple handler thefts extend the same chunk cumulatively. *)
+let multiple_thefts () =
+  let e = Engine.create ~nprocs:1 in
+  Engine.spawn e 0 (fun () -> Engine.advance Category.Computation (us 100));
+  Engine.post_handler e ~pid:0 ~at:(us 10) (fun h -> Engine.hcharge h Category.Unix_comm (us 20));
+  Engine.post_handler e ~pid:0 ~at:(us 50) (fun h -> Engine.hcharge h Category.Unix_comm (us 30));
+  Engine.run e;
+  check Alcotest.int "finish" (us 150) (Engine.finish_time e 0)
+
+(* A handler arriving during the theft-extension window still extends. *)
+let theft_during_extension () =
+  let e = Engine.create ~nprocs:1 in
+  Engine.spawn e 0 (fun () -> Engine.advance Category.Computation (us 100));
+  (* First handler at 95 extends chunk to 125; second at 110 (within the
+     extension) extends to 145. *)
+  Engine.post_handler e ~pid:0 ~at:(us 95) (fun h -> Engine.hcharge h Category.Unix_comm (us 25));
+  Engine.post_handler e ~pid:0 ~at:(us 110) (fun h -> Engine.hcharge h Category.Unix_comm (us 20));
+  Engine.run e;
+  check Alcotest.int "finish" (us 145) (Engine.finish_time e 0)
+
+let vtime_pp () =
+  let s v = Format.asprintf "%a" Vtime.pp v in
+  check Alcotest.string "ns" "12ns" (s (Vtime.ns 12));
+  check Alcotest.string "us" "1.50us" (s (Vtime.ns 1500));
+  check Alcotest.string "ms" "2.000ms" (s (Vtime.ms 2));
+  check Alcotest.string "s" "3.0000s" (s (Vtime.s 3))
+
+let vtime_conversions () =
+  check (Alcotest.float 1e-12) "to_us" 1.5 (Vtime.to_us (Vtime.ns 1500));
+  check (Alcotest.float 1e-12) "to_ms" 0.25 (Vtime.to_ms (Vtime.us 250));
+  check (Alcotest.float 1e-12) "to_s" 2.0 (Vtime.to_s (Vtime.s 2));
+  check Alcotest.int "of_us_float rounds" 1500 (Vtime.of_us_float 1.4999)
+
+(* Property: for any schedule of app advances and handler charges, the
+   per-category busy sums equal exactly what was charged, processes finish
+   no earlier than their total app time, and the engine is deterministic. *)
+let random_schedule_accounting =
+  let gen =
+    QCheck.Gen.(
+      int_range 1 4 >>= fun nprocs ->
+      list_size (int_range 0 20)
+        (triple (int_range 0 (nprocs - 1)) (int_range 1 500) (int_range 0 1))
+      >>= fun ops -> return (nprocs, ops))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"random schedules account exactly"
+       (QCheck.make
+          ~print:(fun (n, ops) -> Printf.sprintf "nprocs=%d ops=%d" n (List.length ops))
+          gen)
+       (fun (nprocs, ops) ->
+         let e = Engine.create ~nprocs in
+         (* split ops: per-proc app advances, plus handlers posted at fixed
+            times *)
+         let app_time = Array.make nprocs 0 in
+         let handler_time = Array.make nprocs 0 in
+         List.iteri
+           (fun i (p, dt, kind) ->
+             if kind = 0 then app_time.(p) <- app_time.(p) + us dt
+             else begin
+               handler_time.(p) <- handler_time.(p) + us dt;
+               Engine.post_handler e ~pid:p ~at:(us (i * 37)) (fun h ->
+                   Engine.hcharge h Category.Unix_comm (us dt))
+             end)
+           ops;
+         for p = 0 to nprocs - 1 do
+           let total = app_time.(p) in
+           Engine.spawn e p (fun () ->
+               if total > 0 then Engine.advance Category.Computation total)
+         done;
+         Engine.run e;
+         let ok = ref true in
+         for p = 0 to nprocs - 1 do
+           if Engine.busy e p Category.Computation <> app_time.(p) then ok := false;
+           if Engine.busy e p Category.Unix_comm <> handler_time.(p) then ok := false;
+           if Engine.finish_time e p < app_time.(p) then ok := false;
+           (* handlers can only delay the app by at most their total *)
+           if Engine.finish_time e p > app_time.(p) + handler_time.(p) then ok := false
+         done;
+         !ok))
+
+let suite =
+  [
+    random_schedule_accounting;
+    Alcotest.test_case "single advance" `Quick single_advance;
+    Alcotest.test_case "sequential advances" `Quick sequential_advances;
+    Alcotest.test_case "parallel processes" `Quick parallel_processes;
+    Alcotest.test_case "ivar blocking" `Quick ivar_blocking;
+    Alcotest.test_case "ivar already filled" `Quick ivar_already_filled;
+    Alcotest.test_case "ivar double fill" `Quick ivar_double_fill;
+    Alcotest.test_case "handler steals from chunk" `Quick handler_steals_from_chunk;
+    Alcotest.test_case "handler during idle" `Quick handler_during_idle;
+    Alcotest.test_case "resume waits for handler" `Quick resume_waits_for_handler;
+    Alcotest.test_case "handlers serialise" `Quick handlers_serialise;
+    Alcotest.test_case "hnow tracks charges" `Quick hnow_tracks_charges;
+    Alcotest.test_case "deadlock detection" `Quick deadlock_detection;
+    Alcotest.test_case "cancellable events" `Quick cancellable_events;
+    Alcotest.test_case "no past events" `Quick no_past_events;
+    Alcotest.test_case "deterministic trace" `Quick deterministic_trace;
+    Alcotest.test_case "ping pong timing" `Quick ping_pong_timing;
+    Alcotest.test_case "multiple thefts" `Quick multiple_thefts;
+    Alcotest.test_case "theft during extension" `Quick theft_during_extension;
+    Alcotest.test_case "vtime pp" `Quick vtime_pp;
+    Alcotest.test_case "vtime conversions" `Quick vtime_conversions;
+  ]

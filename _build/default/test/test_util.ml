@@ -1,0 +1,373 @@
+(* Unit and property tests for Tmk_util: PRNG, heap, RLE, bitset, summary
+   statistics, table rendering. *)
+
+open Tmk_util
+
+let check = Alcotest.check
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let prng_deterministic () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let prng_seed_sensitivity () =
+  let a = Prng.create 42L and b = Prng.create 43L in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Prng.bits64 a <> Prng.bits64 b then differs := true
+  done;
+  check Alcotest.bool "streams differ" true !differs
+
+let prng_split_independent () =
+  (* Draws from the split stream must not depend on how many draws were
+     later made from the parent. *)
+  let parent1 = Prng.create 7L in
+  let child1 = Prng.split parent1 in
+  let _ = Prng.bits64 parent1 in
+  let parent2 = Prng.create 7L in
+  let child2 = Prng.split parent2 in
+  for _ = 1 to 50 do
+    let _ = Prng.bits64 parent2 in
+    ()
+  done;
+  for _ = 1 to 20 do
+    check Alcotest.int64 "child streams equal" (Prng.bits64 child1) (Prng.bits64 child2)
+  done
+
+let prng_split_named_stable () =
+  let p1 = Prng.create 9L and p2 = Prng.create 9L in
+  let a = Prng.split_named p1 "jacobi" and b = Prng.split_named p2 "jacobi" in
+  check Alcotest.int64 "named split deterministic" (Prng.bits64 a) (Prng.bits64 b)
+
+let prng_int_bounds =
+  qtest "Prng.int in bounds"
+    QCheck.(pair int64 (int_range 1 1000))
+    (fun (seed, bound) ->
+      let t = Prng.create seed in
+      let v = Prng.int t bound in
+      v >= 0 && v < bound)
+
+let prng_int_in_bounds =
+  qtest "Prng.int_in in range"
+    QCheck.(triple int64 (int_range (-100) 100) (int_range 0 200))
+    (fun (seed, lo, extent) ->
+      let hi = lo + extent in
+      let t = Prng.create seed in
+      let v = Prng.int_in t lo hi in
+      v >= lo && v <= hi)
+
+let prng_float_bounds =
+  qtest "Prng.float in bounds"
+    QCheck.(pair int64 (float_range 0.001 1000.0))
+    (fun (seed, bound) ->
+      let t = Prng.create seed in
+      let v = Prng.float t bound in
+      v >= 0.0 && v < bound)
+
+let prng_uniformity () =
+  (* Chi-square-ish sanity: 10 buckets over 10_000 draws each land within
+     30% of the expected count. *)
+  let t = Prng.create 2024L in
+  let buckets = Array.make 10 0 in
+  let draws = 10_000 in
+  for _ = 1 to draws do
+    let b = Prng.int t 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun n ->
+      check Alcotest.bool "bucket near uniform" true
+        (abs (n - (draws / 10)) < draws * 3 / 100))
+    buckets
+
+let prng_shuffle_permutation =
+  qtest "shuffle is a permutation"
+    QCheck.(pair int64 (list_of_size (Gen.int_range 0 50) small_int))
+    (fun (seed, xs) ->
+      let arr = Array.of_list xs in
+      Prng.shuffle (Prng.create seed) arr;
+      List.sort compare (Array.to_list arr) = List.sort compare xs)
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let heap_sorts =
+  qtest "heap drains sorted"
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = Heap.create ~compare in
+      List.iter (Heap.push h) xs;
+      Heap.to_sorted_list h = List.sort compare xs)
+
+let heap_fifo_on_ties () =
+  (* Equal priorities must pop in insertion order: the engine's
+     determinism depends on it. *)
+  let h = Heap.create ~compare:(fun (a, _) (b, _) -> compare a b) in
+  List.iter (Heap.push h) [ (1, "a"); (0, "x"); (1, "b"); (1, "c"); (0, "y") ];
+  let order = List.map snd (Heap.to_sorted_list h) in
+  check Alcotest.(list string) "fifo ties" [ "x"; "y"; "a"; "b"; "c" ] order
+
+let heap_interleaved () =
+  let h = Heap.create ~compare in
+  Heap.push h 5;
+  Heap.push h 1;
+  check Alcotest.int "pop 1" 1 (Heap.pop h);
+  Heap.push h 0;
+  Heap.push h 7;
+  check Alcotest.int "pop 0" 0 (Heap.pop h);
+  check Alcotest.int "pop 5" 5 (Heap.pop h);
+  check Alcotest.int "pop 7" 7 (Heap.pop h);
+  check Alcotest.bool "empty" true (Heap.is_empty h)
+
+let heap_empty_pop () =
+  let h = Heap.create ~compare in
+  check Alcotest.bool "pop_opt none" true (Heap.pop_opt h = None);
+  check Alcotest.bool "peek none" true (Heap.peek_opt h = None);
+  Alcotest.check_raises "pop raises" Not_found (fun () -> ignore (Heap.pop h))
+
+let heap_length () =
+  let h = Heap.create ~compare in
+  for i = 1 to 100 do
+    Heap.push h i
+  done;
+  check Alcotest.int "length" 100 (Heap.length h);
+  ignore (Heap.pop h);
+  check Alcotest.int "length after pop" 99 (Heap.length h);
+  Heap.clear h;
+  check Alcotest.int "cleared" 0 (Heap.length h)
+
+(* ------------------------------------------------------------------ *)
+(* Rle *)
+
+let bytes_gen n = QCheck.Gen.(map Bytes.of_string (string_size ~gen:printable (return n)))
+
+let pair_of_buffers =
+  (* Generate a base buffer and a mutation of it. *)
+  let gen =
+    QCheck.Gen.(
+      int_range 1 256 >>= fun n ->
+      bytes_gen n >>= fun base ->
+      list_size (int_range 0 20) (pair (int_range 0 (n - 1)) char) >>= fun edits ->
+      let current = Bytes.copy base in
+      List.iter (fun (i, c) -> Bytes.set current i c) edits;
+      return (base, current))
+  in
+  QCheck.make ~print:(fun (a, b) -> Printf.sprintf "%S / %S" (Bytes.to_string a) (Bytes.to_string b)) gen
+
+let rle_roundtrip =
+  qtest ~count:500 "rle encode/apply roundtrip" pair_of_buffers (fun (base, current) ->
+      let diff = Rle.encode ~old_:base current in
+      let target = Bytes.copy base in
+      Rle.apply diff target;
+      Bytes.equal target current)
+
+let rle_empty_when_equal =
+  qtest "rle of identical buffers is empty" pair_of_buffers (fun (base, _) ->
+      Rle.is_empty (Rle.encode ~old_:base (Bytes.copy base)))
+
+let rle_runs_sorted_disjoint =
+  qtest "rle runs sorted and disjoint" pair_of_buffers (fun (base, current) ->
+      let diff = Rle.encode ~old_:base current in
+      let rec ok = function
+        | [] | [ _ ] -> true
+        | a :: (b :: _ as rest) ->
+          a.Rle.offset + Bytes.length a.Rle.bytes <= b.Rle.offset && ok rest
+      in
+      ok diff)
+
+let rle_join_gap () =
+  (* Two 1-byte changes 2 bytes apart must join into one run with the
+     default gap of 4. *)
+  let base = Bytes.of_string "aaaaaaaaaa" in
+  let cur = Bytes.of_string "abaabaaaaa" in
+  let diff = Rle.encode ~old_:base cur in
+  check Alcotest.int "joined run" 1 (Rle.run_count diff);
+  (* With join_gap 1, they stay separate. *)
+  let diff2 = Rle.encode ~join_gap:1 ~old_:base cur in
+  check Alcotest.int "separate runs" 2 (Rle.run_count diff2)
+
+let rle_sizes () =
+  let base = Bytes.of_string (String.make 64 'x') in
+  let cur = Bytes.copy base in
+  Bytes.set cur 0 'y';
+  Bytes.set cur 32 'z';
+  let diff = Rle.encode ~old_:base cur in
+  check Alcotest.int "payload" 2 (Rle.payload_size diff);
+  check Alcotest.int "encoded" (2 + (2 * Rle.header_bytes)) (Rle.encoded_size diff)
+
+let rle_length_mismatch () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Rle.encode: buffers must have equal length") (fun () ->
+      ignore (Rle.encode ~old_:(Bytes.create 4) (Bytes.create 5)))
+
+let rle_overlap () =
+  let base = Bytes.of_string "aaaaaaaa" in
+  let c1 = Bytes.of_string "bbaaaaaa" in
+  let c2 = Bytes.of_string "aaaaaabb" in
+  let c3 = Bytes.of_string "abbaaaaa" in
+  let d1 = Rle.encode ~old_:base c1 in
+  let d2 = Rle.encode ~old_:base c2 in
+  let d3 = Rle.encode ~old_:base c3 in
+  check Alcotest.bool "disjoint" false (Rle.overlaps d1 d2);
+  check Alcotest.bool "overlapping" true (Rle.overlaps d1 d3)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset *)
+
+let bitset_model =
+  qtest ~count:500 "bitset matches a set model"
+    QCheck.(list (pair bool (int_range 0 63)))
+    (fun ops ->
+      let bs = Bitset.create 64 in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (add, i) ->
+          if add then begin
+            Bitset.add bs i;
+            Hashtbl.replace model i ()
+          end
+          else begin
+            Bitset.remove bs i;
+            Hashtbl.remove model i
+          end)
+        ops;
+      let expected = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) model []) in
+      Bitset.to_list bs = expected && Bitset.cardinal bs = List.length expected)
+
+let bitset_union () =
+  let a = Bitset.create 16 and b = Bitset.create 16 in
+  List.iter (Bitset.add a) [ 1; 3; 5 ];
+  List.iter (Bitset.add b) [ 3; 4 ];
+  Bitset.union_into ~src:a ~dst:b;
+  check Alcotest.(list int) "union" [ 1; 3; 4; 5 ] (Bitset.to_list b);
+  check Alcotest.(list int) "src unchanged" [ 1; 3; 5 ] (Bitset.to_list a)
+
+let bitset_copy_independent () =
+  let a = Bitset.create 8 in
+  Bitset.add a 2;
+  let b = Bitset.copy a in
+  Bitset.add b 3;
+  check Alcotest.bool "copy has" true (Bitset.mem b 2);
+  check Alcotest.bool "original unchanged" false (Bitset.mem a 3)
+
+let bitset_bounds () =
+  let a = Bitset.create 8 in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Bitset: index out of range") (fun () -> Bitset.add a 8)
+
+let bitset_empty () =
+  let a = Bitset.create 10 in
+  check Alcotest.bool "fresh empty" true (Bitset.is_empty a);
+  Bitset.add a 9;
+  check Alcotest.bool "not empty" false (Bitset.is_empty a);
+  Bitset.clear a;
+  check Alcotest.bool "cleared" true (Bitset.is_empty a)
+
+(* ------------------------------------------------------------------ *)
+(* Summary *)
+
+let summary_basic () =
+  let s = Summary.create () in
+  List.iter (Summary.add s) [ 2.0; 4.0; 6.0 ];
+  check (Alcotest.float 1e-9) "mean" 4.0 (Summary.mean s);
+  check (Alcotest.float 1e-9) "min" 2.0 (Summary.min_value s);
+  check (Alcotest.float 1e-9) "max" 6.0 (Summary.max_value s);
+  check (Alcotest.float 1e-9) "variance" 4.0 (Summary.variance s);
+  check (Alcotest.float 1e-9) "total" 12.0 (Summary.total s);
+  check Alcotest.int "count" 3 (Summary.count s)
+
+let summary_merge_equals_combined =
+  qtest "merge equals single stream"
+    QCheck.(pair (list (float_range (-100.0) 100.0)) (list (float_range (-100.0) 100.0)))
+    (fun (xs, ys) ->
+      let a = Summary.create () and b = Summary.create () and c = Summary.create () in
+      List.iter (Summary.add a) xs;
+      List.iter (Summary.add b) ys;
+      List.iter (Summary.add c) (xs @ ys);
+      let m = Summary.merge a b in
+      let close x y =
+        (Float.is_nan x && Float.is_nan y) || Float.abs (x -. y) < 1e-6 *. (1.0 +. Float.abs y)
+      in
+      Summary.count m = Summary.count c
+      && close (Summary.mean m) (Summary.mean c)
+      && close (Summary.variance m) (Summary.variance c))
+
+let summary_empty () =
+  let s = Summary.create () in
+  check Alcotest.bool "mean nan" true (Float.is_nan (Summary.mean s));
+  check Alcotest.bool "variance nan" true (Float.is_nan (Summary.variance s))
+
+(* ------------------------------------------------------------------ *)
+(* Tablefmt *)
+
+let tablefmt_render () =
+  let s =
+    Tablefmt.render ~title:"T" ~header:[ "app"; "x" ] [ [ "water"; "1.0" ]; [ "tsp"; "20" ] ]
+  in
+  check Alcotest.bool "has title" true (String.length s > 0 && String.sub s 0 1 = "T");
+  check Alcotest.bool "has row" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> String.length l >= 5 && String.sub l 0 5 = "water"))
+
+let tablefmt_row_mismatch () =
+  Alcotest.check_raises "row mismatch"
+    (Invalid_argument "Tablefmt.render: row width mismatch") (fun () ->
+      ignore (Tablefmt.render ~title:"t" ~header:[ "a"; "b" ] [ [ "only-one" ] ]))
+
+let tablefmt_charts_do_not_crash () =
+  let _ = Tablefmt.bar_chart ~title:"b" ~unit_:"x" [ ("a", 1.0); ("b", 2.0) ] in
+  let _ =
+    Tablefmt.grouped_bar_chart ~title:"g" ~unit_:"x" ~series:[ "lazy"; "eager" ]
+      [ ("water", [ 1.0; 2.0 ]); ("tsp", [ 3.0; 4.0 ]) ]
+  in
+  let _ =
+    Tablefmt.stacked_bar_chart ~title:"s" ~unit_:"s" ~components:[ "comp"; "unix" ]
+      [ ("water", [ 1.0; 0.5 ]) ]
+  in
+  let _ =
+    Tablefmt.line_chart ~title:"l" ~x_label:"procs" ~y_label:"speedup"
+      ~x:[ 1.0; 2.0; 4.0; 8.0 ]
+      [ ("jacobi", 'j', [ 1.0; 1.9; 3.8; 7.4 ]) ]
+  in
+  ()
+
+let suite =
+  [
+    Alcotest.test_case "prng deterministic" `Quick prng_deterministic;
+    Alcotest.test_case "prng seed sensitivity" `Quick prng_seed_sensitivity;
+    Alcotest.test_case "prng split independent" `Quick prng_split_independent;
+    Alcotest.test_case "prng split_named stable" `Quick prng_split_named_stable;
+    prng_int_bounds;
+    prng_int_in_bounds;
+    prng_float_bounds;
+    Alcotest.test_case "prng uniformity" `Quick prng_uniformity;
+    prng_shuffle_permutation;
+    heap_sorts;
+    Alcotest.test_case "heap fifo on ties" `Quick heap_fifo_on_ties;
+    Alcotest.test_case "heap interleaved" `Quick heap_interleaved;
+    Alcotest.test_case "heap empty pop" `Quick heap_empty_pop;
+    Alcotest.test_case "heap length" `Quick heap_length;
+    rle_roundtrip;
+    rle_empty_when_equal;
+    rle_runs_sorted_disjoint;
+    Alcotest.test_case "rle join gap" `Quick rle_join_gap;
+    Alcotest.test_case "rle sizes" `Quick rle_sizes;
+    Alcotest.test_case "rle length mismatch" `Quick rle_length_mismatch;
+    Alcotest.test_case "rle overlap" `Quick rle_overlap;
+    bitset_model;
+    Alcotest.test_case "bitset union" `Quick bitset_union;
+    Alcotest.test_case "bitset copy" `Quick bitset_copy_independent;
+    Alcotest.test_case "bitset bounds" `Quick bitset_bounds;
+    Alcotest.test_case "bitset empty" `Quick bitset_empty;
+    Alcotest.test_case "summary basic" `Quick summary_basic;
+    summary_merge_equals_combined;
+    Alcotest.test_case "summary empty" `Quick summary_empty;
+    Alcotest.test_case "tablefmt render" `Quick tablefmt_render;
+    Alcotest.test_case "tablefmt row mismatch" `Quick tablefmt_row_mismatch;
+    Alcotest.test_case "tablefmt charts" `Quick tablefmt_charts_do_not_crash;
+  ]
