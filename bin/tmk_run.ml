@@ -11,12 +11,12 @@ module Params = Tmk_net.Params
 let pf = Format.printf
 
 let run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold ~eager_diffs
-    ~updates ~loss =
-  let net = if loss > 0.0 then Params.with_loss net loss else net in
+    ~updates ~faults =
   let override cfg =
     {
       cfg with
       Tmk_dsm.Config.seed;
+      faults;
       gc_threshold = (match gc_threshold with Some g -> g | None -> max_int);
       lazy_diffs = not eager_diffs;
       lrc_updates = updates;
@@ -29,6 +29,7 @@ let run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold ~eager
   pf "cluster     : %d processors, %s, %s release consistency@." nprocs
     m.Tmk_harness.Harness.m_net
     (Tmk_dsm.Config.protocol_name protocol);
+  pf "faults      : %s@." (Tmk_net.Fault_plan.describe faults);
   pf "time        : %.3f simulated seconds@." m.Tmk_harness.Harness.m_time_s;
   if show_speedup && nprocs > 1 then begin
     let base =
@@ -54,7 +55,10 @@ let run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold ~eager
   let s = m.Tmk_harness.Harness.m_raw.Tmk_dsm.Api.total_stats in
   pf "protocol    : %d twins, %d diffs created, %d applied, %d page fetches, %d gc runs@."
     s.Tmk_dsm.Stats.twins_created s.Tmk_dsm.Stats.diffs_created s.Tmk_dsm.Stats.diffs_applied
-    s.Tmk_dsm.Stats.page_fetches s.Tmk_dsm.Stats.gc_runs
+    s.Tmk_dsm.Stats.page_fetches s.Tmk_dsm.Stats.gc_runs;
+  if Tmk_net.Fault_plan.is_faulty faults then
+    pf "reliability : %d retransmissions@."
+      m.Tmk_harness.Harness.m_raw.Tmk_dsm.Api.retransmissions
 
 let app_conv =
   let parse s =
@@ -132,8 +136,33 @@ let cmd =
     Arg.(value & opt float 0.0
          & info [ "loss" ] ~docv:"P" ~doc:"Frame loss probability in [0,1).")
   in
+  let dup =
+    Arg.(value & opt float 0.0
+         & info [ "dup" ] ~docv:"P" ~doc:"Frame duplication probability in [0,1).")
+  in
+  let reorder =
+    Arg.(value & opt float 0.0
+         & info [ "reorder" ] ~docv:"P"
+             ~doc:"Probability a frame is held back by a random delay (reordering) in [0,1).")
+  in
+  let reorder_window =
+    Arg.(value & opt int 200
+         & info [ "reorder-window" ] ~docv:"US"
+             ~doc:"Maximum extra delay of a held-back frame, microseconds.")
+  in
+  let stall =
+    Arg.(value & opt string ""
+         & info [ "stall" ] ~docv:"SPEC"
+             ~doc:"Node stall windows: comma-separated pid@start_us+len_us, e.g. 1@2000+500.")
+  in
+  let unreachable =
+    Arg.(value & opt (list int) []
+         & info [ "unreachable" ] ~docv:"PIDS"
+             ~doc:"Partitioned processors (every frame to or from them is dropped); the run \
+                   terminates with Peer_unreachable once a retry budget is exhausted.")
+  in
   let main app nprocs protocol net show_speedup list verbose seed gc_threshold eager_diffs
-      updates loss =
+      updates loss dup reorder reorder_window stall unreachable =
     if verbose then begin
       Logs.set_reporter (Logs_fmt.reporter ());
       Logs.set_level ~all:true (Some Logs.Debug)
@@ -147,13 +176,43 @@ let cmd =
     else if nprocs < 1 || nprocs > 16 then
       prerr_endline "tmk_run: --procs must be between 1 and 16"
     else
-      run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold ~eager_diffs
-        ~updates ~loss
+      match
+        let open Tmk_net.Fault_plan in
+        let plan = none in
+        let plan = if loss > 0.0 then with_loss plan loss else plan in
+        let plan = if dup > 0.0 then with_dup plan dup else plan in
+        let plan =
+          if reorder > 0.0 then
+            with_reorder ~window:(Tmk_sim.Vtime.us reorder_window) plan reorder
+          else plan
+        in
+        let plan =
+          List.fold_left
+            (fun p s -> with_stall p ~pid:s.st_pid ~start:s.st_start ~len:s.st_len)
+            plan (parse_stalls stall)
+        in
+        List.fold_left with_unreachable plan unreachable
+      with
+      | faults -> (
+        try
+          run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold
+            ~eager_diffs ~updates ~faults
+        with
+        | Tmk_net.Transport.Peer_unreachable _ as e ->
+          prerr_endline ("tmk_run: " ^ Printexc.to_string e);
+          exit 1
+        | Invalid_argument msg ->
+          (* e.g. Config.validate rejecting a fault plan that names pids
+             outside the cluster *)
+          prerr_endline ("tmk_run: " ^ msg);
+          exit 1)
+      | exception Invalid_argument msg -> prerr_endline ("tmk_run: " ^ msg)
   in
   let term =
     Term.(
       const main $ app_arg $ procs $ protocol $ net $ speedup $ list $ verbose $ seed
-      $ gc_threshold $ eager_diffs $ updates $ loss)
+      $ gc_threshold $ eager_diffs $ updates $ loss $ dup $ reorder $ reorder_window
+      $ stall $ unreachable)
   in
   Cmd.v
     (Cmd.info "tmk_run" ~version:"1.0.0"

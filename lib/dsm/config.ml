@@ -5,6 +5,7 @@ type t = {
   pages : int;
   protocol : protocol;
   net : Tmk_net.Params.t;
+  faults : Tmk_net.Fault_plan.t;
   gc_threshold : int;
   seed : int64;
   flop_ns : int;
@@ -18,6 +19,7 @@ let default =
     pages = 256;
     protocol = Lrc;
     net = Tmk_net.Params.atm_aal34;
+    faults = Tmk_net.Fault_plan.none;
     gc_threshold = max_int;
     seed = 1L;
     flop_ns = 200;
@@ -29,6 +31,17 @@ let validate t =
   if t.nprocs < 1 then invalid_arg "Config: nprocs must be >= 1";
   if t.pages < 1 then invalid_arg "Config: pages must be >= 1";
   if t.gc_threshold < 1 then invalid_arg "Config: gc_threshold must be >= 1";
-  if t.flop_ns < 0 then invalid_arg "Config: flop_ns must be >= 0"
+  if t.flop_ns < 0 then invalid_arg "Config: flop_ns must be >= 0";
+  Tmk_net.Fault_plan.validate t.faults;
+  List.iter
+    (fun p ->
+      if p < 0 || p >= t.nprocs then
+        invalid_arg "Config: unreachable pid outside the cluster")
+    t.faults.Tmk_net.Fault_plan.unreachable;
+  List.iter
+    (fun s ->
+      if s.Tmk_net.Fault_plan.st_pid >= t.nprocs then
+        invalid_arg "Config: stall pid outside the cluster")
+    t.faults.Tmk_net.Fault_plan.stalls
 
 let protocol_name = function Lrc -> "lazy" | Erc -> "eager" | Sc -> "sc"

@@ -13,6 +13,9 @@ type t = {
   pages : int;  (** shared address space, in 4096-byte pages *)
   protocol : protocol;
   net : Tmk_net.Params.t;  (** communication substrate *)
+  faults : Tmk_net.Fault_plan.t;
+      (** deterministic fault-injection schedule for the run; the default
+          {!Tmk_net.Fault_plan.none} is the ideal network *)
   gc_threshold : int;
       (** run garbage collection at the next barrier once a node holds more
           than this many consistency records (intervals + notices + diffs);

@@ -196,13 +196,16 @@ let fetch_and_apply_diffs t pid page missing =
       | None -> assert false (* q's own head is undominated or covered *)
     in
     let entries = List.map (fun wn -> (q, wn.Node.wn_interval.Node.iv_id)) wns in
+    (* accumulated in reverse and flipped once below: [prev @ entries] here
+       would be quadratic in the number of lacking processors *)
     let prev = Option.value ~default:[] (Hashtbl.find_opt assignments r) in
-    Hashtbl.replace assignments r (prev @ entries)
+    Hashtbl.replace assignments r (List.rev_append entries prev)
   in
   List.iter assign missing;
   let promises =
     Hashtbl.fold
-      (fun r entries acc ->
+      (fun r rev_entries acc ->
+        let entries = List.rev rev_entries in
         app_charge Category.Tmk_other Cpu.page_request_build;
         let promise =
           Transport.call ~label:"diff-fetch" t.transport ~src:pid ~dst:r
@@ -724,12 +727,20 @@ let barrier t ~pid ~id =
          atomic with respect to this node's handlers; a grant handler
          interleaving between releases merely enlarges later clients'
          deltas, which is safe *)
-      let intervals =
+      (* The timestamp must be snapshotted in the same atomic section as
+         the interval list: the per-client charge below is a scheduling
+         point, and a handler interleaving there (e.g. a fast client's
+         arrival at the NEXT barrier) advances the manager's timestamp
+         past what this release carries.  A release whose br_vt claims
+         intervals it does not contain breaks the acquirer's coverage
+         invariant at the receiving client. *)
+      let intervals, release_vt =
         if lrc then
           atomically (fun charge ->
               let attach = attach_for t node ~receiver:bc.bc_pid ~charge in
-              Node.intervals_since ?attach node bc.bc_vt)
-        else []
+              ( Node.intervals_since ?attach node bc.bc_vt,
+                Vector_time.copy node.Node.vt ))
+        else ([], Vector_time.copy node.Node.vt)
       in
       app_charge Category.Tmk_other Cpu.barrier_release_per_client;
       let bytes =
@@ -738,7 +749,7 @@ let barrier t ~pid ~id =
       in
       Transport.send_value ~label:"barrier-release" t.transport ~src:pid ~dst:bc.bc_pid
         ~bytes bc.bc_mb
-        { br_intervals = intervals; br_vt = Vector_time.copy node.Node.vt; br_gc = run_gc }
+        { br_intervals = intervals; br_vt = release_vt; br_gc = run_gc }
     in
     (* Release in client order for determinism. *)
     List.iter release_one (List.sort (fun a b -> compare a.bc_pid b.bc_pid) clients);
@@ -793,7 +804,9 @@ let create cfg =
   Config.validate cfg;
   let engine = Engine.create ~nprocs:cfg.Config.nprocs in
   let prng = Tmk_util.Prng.split_named (Tmk_util.Prng.create cfg.Config.seed) "net" in
-  let transport = Transport.create ~engine ~params:cfg.Config.net ~prng in
+  let transport =
+    Transport.create ~plan:cfg.Config.faults ~engine ~params:cfg.Config.net ~prng ()
+  in
   let nodes =
     Array.init cfg.Config.nprocs (fun pid ->
         Node.create ~pid ~nprocs:cfg.Config.nprocs ~pages:cfg.Config.pages)

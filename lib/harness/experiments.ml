@@ -3,9 +3,9 @@ open Tmk_dsm
 module Tablefmt = Tmk_util.Tablefmt
 module Params = Tmk_net.Params
 
-type id = E1 | E2 | E3 | E4 | E5 | E6 | E7 | E8 | E9
+type id = E1 | E2 | E3 | E4 | E5 | E6 | E7 | E8 | E9 | E10
 
-let all = [ E1; E2; E3; E4; E5; E6; E7; E8; E9 ]
+let all = [ E1; E2; E3; E4; E5; E6; E7; E8; E9; E10 ]
 
 let id_name = function
   | E1 -> "e1"
@@ -17,6 +17,7 @@ let id_name = function
   | E7 -> "e7"
   | E8 -> "e8"
   | E9 -> "e9"
+  | E10 -> "e10"
 
 let id_of_name s =
   match String.lowercase_ascii s with
@@ -29,6 +30,7 @@ let id_of_name s =
   | "e7" -> E7
   | "e8" -> E8
   | "e9" -> E9
+  | "e10" -> E10
   | other -> invalid_arg (Printf.sprintf "Experiments.id_of_name: unknown experiment %S" other)
 
 let describe = function
@@ -41,6 +43,7 @@ let describe = function
   | E7 -> "Water across communication substrates (Figure 8)"
   | E8 -> "lazy vs eager release consistency (Figures 9-12)"
   | E9 -> "speedups on the 10 Mbps Ethernet (abstract)"
+  | E10 -> "robustness sweep: all applications under 0-20% frame loss (section 3.7)"
 
 let atm = Params.atm_aal34
 
@@ -132,7 +135,7 @@ let e1 () =
   let roundtrip ~handlers =
     let engine = Engine.create ~nprocs:2 in
     let prng = Tmk_util.Prng.create 5L in
-    let transport = Tmk_net.Transport.create ~engine ~params:Params.atm_aal34 ~prng in
+    let transport = Tmk_net.Transport.create ~engine ~params:Params.atm_aal34 ~prng () in
     let t0 = ref Vtime.zero and t1 = ref Vtime.zero in
     if handlers then begin
       (* both directions delivered through SIGIO handlers *)
@@ -265,8 +268,11 @@ let e3 () =
     Tablefmt.render ~title:"Water message mix (protocol operation, frames, on-wire KB)"
       ~header:[ "operation"; "frames"; "KB"; "avg B" ]
       (List.map
-         (fun (label, msgs, bytes) ->
-           [ label; string_of_int msgs; string_of_int (bytes / 1024);
+         (fun e ->
+           let msgs = e.Tmk_net.Transport.mix_msgs
+           and bytes = e.Tmk_net.Transport.mix_bytes in
+           [ e.Tmk_net.Transport.mix_label; string_of_int msgs;
+             string_of_int (bytes / 1024);
              f0 (float_of_int bytes /. float_of_int (max 1 msgs)) ])
          (Tmk_net.Transport.message_mix transport))
   in
@@ -443,6 +449,51 @@ let e9 () =
     ~header:[ "app"; "measured"; "paper"; "(ATM measured)" ]
     rows
 
+(* ------------------------------------------------------------------ *)
+(* E10: robustness sweep                                               *)
+
+let e10_loss_rates = [ 0.0; 0.01; 0.05; 0.10; 0.20 ]
+
+let e10 () =
+  let run_at app rate =
+    let cfg = Harness.config ~app ~nprocs:8 ~protocol:Config.Lrc ~net:atm in
+    let cfg =
+      if rate = 0.0 then cfg
+      else { cfg with Config.faults = Tmk_net.Fault_plan.with_loss Tmk_net.Fault_plan.none rate }
+    in
+    Harness.run_checked ~app cfg
+  in
+  let rows =
+    List.concat_map
+      (fun app ->
+        let base, base_digest = run_at app 0.0 in
+        let base_msgs = base.Harness.m_raw.Api.messages in
+        List.map
+          (fun rate ->
+            let m, digest = if rate = 0.0 then (base, base_digest) else run_at app rate in
+            let msgs = m.Harness.m_raw.Api.messages in
+            let overhead =
+              100.0 *. (float_of_int msgs /. float_of_int base_msgs -. 1.0)
+            in
+            [ Harness.app_name app;
+              Printf.sprintf "%.0f%%" (rate *. 100.0);
+              f2 m.Harness.m_time_s;
+              string_of_int m.Harness.m_raw.Api.retransmissions;
+              string_of_int msgs;
+              Printf.sprintf "%+.0f%%" overhead;
+              (if digest = base_digest then "ok" else "MISMATCH") ])
+          e10_loss_rates)
+      Harness.all_apps
+  in
+  Tablefmt.render
+    ~title:
+      "E10. Robustness sweep: LRC, 8 processors, ATM, frame loss 0-20%\n\
+       (user-level reliability protocol, section 3.7: the DSM answer must be\n\
+       bit-identical at every loss rate; message overhead = extra frames from\n\
+       retransmissions and acknowledgements vs the loss-free run)"
+    ~header:[ "app"; "loss"; "time s"; "retrans"; "frames"; "overhead"; "result" ]
+    rows
+
 let run = function
   | E1 -> e1 ()
   | E2 -> e2 ()
@@ -453,6 +504,7 @@ let run = function
   | E7 -> e7 ()
   | E8 -> e8 ()
   | E9 -> e9 ()
+  | E10 -> e10 ()
 
 let run_all () =
   String.concat "\n"

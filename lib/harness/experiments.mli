@@ -15,6 +15,11 @@ type id =
   | E7  (** Figure 8: Water across communication substrates *)
   | E8  (** Figures 9–12: lazy versus eager release consistency *)
   | E9  (** abstract: speedups on the 10 Mbps Ethernet *)
+  | E10
+      (** robustness sweep (§3.7): the five applications under 0–20% frame
+          loss — execution time, retransmissions, message overhead versus
+          the loss-free baseline, and a digest check that the DSM answer
+          is bit-identical at every loss rate *)
 
 val all : id list
 
@@ -30,5 +35,5 @@ val describe : id -> string
 (** [run id] — execute the experiment and return its rendered report. *)
 val run : id -> string
 
-(** [run_all ()] — E1 through E9, concatenated. *)
+(** [run_all ()] — E1 through E10, concatenated. *)
 val run_all : unit -> string

@@ -117,9 +117,8 @@ let body app ctx =
   | Quicksort -> ignore (Tmk_apps.Quicksort.parallel ~collect:false ctx quicksort_params)
   | Ilink -> ignore (Tmk_apps.Ilink.parallel ctx ilink_params)
 
-let run_cfg ~app cfg =
+let metrics_of_raw ~app cfg raw =
   let nprocs = cfg.Config.nprocs in
-  let raw = Api.run cfg (body app) in
   let time_s = Vtime.to_s raw.Api.total_time in
   let per_sec n = float_of_int n /. time_s in
   let total_busy cat =
@@ -154,7 +153,46 @@ let run_cfg ~app cfg =
     m_raw = raw;
   }
 
+let run_cfg ~app cfg = metrics_of_raw ~app cfg (Api.run cfg (body app))
+
 let run ~app ~nprocs ~protocol ~net = run_cfg ~app (config ~app ~nprocs ~protocol ~net)
+
+(* Checked runs collect the DSM result on processor 0 and hash the
+   schedule-independent part: a correctly synchronized program must
+   produce the same answer whatever the network does to the messages.
+   TSP's [nodes_expanded] is excluded — it depends on when bound updates
+   propagate, which faults legitimately shift. *)
+let run_checked ~app cfg =
+  let digest = ref "" in
+  let put v =
+    if !digest = "" then
+      digest := Stdlib.Digest.to_hex (Stdlib.Digest.string (Marshal.to_string v []))
+  in
+  let checked_body ctx =
+    match app with
+    | Water -> (
+      match Tmk_apps.Water.parallel ~collect:true ctx water_params with
+      | Some r -> put (r.Tmk_apps.Water.energy, r.Tmk_apps.Water.positions)
+      | None -> ())
+    | Jacobi -> (
+      match Tmk_apps.Jacobi.parallel ~collect:true ctx jacobi_params with
+      | Some grid -> put grid
+      | None -> ())
+    | Tsp -> (
+      match Tmk_apps.Tsp.parallel ctx tsp_params with
+      | Some r -> put r.Tmk_apps.Tsp.best
+      | None -> ())
+    | Quicksort -> (
+      match Tmk_apps.Quicksort.parallel ~collect:true ctx quicksort_params with
+      | Some sorted -> put sorted
+      | None -> ())
+    | Ilink -> (
+      match Tmk_apps.Ilink.parallel ctx ilink_params with
+      | Some r -> put (r.Tmk_apps.Ilink.log_likelihood, r.Tmk_apps.Ilink.theta)
+      | None -> ())
+  in
+  let raw = Api.run cfg checked_body in
+  (metrics_of_raw ~app cfg raw, !digest)
 
 let speedup ~app ~nprocs ~protocol ~net =
   let base = run ~app ~nprocs:1 ~protocol ~net in

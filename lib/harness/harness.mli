@@ -73,8 +73,18 @@ val run :
   app:app -> nprocs:int -> protocol:Config.protocol -> net:Tmk_net.Params.t -> metrics
 
 (** [run_cfg ~app cfg] — like {!run} with full control of the cluster
-    configuration (seed, GC threshold, diffing policy, loss...). *)
+    configuration (seed, GC threshold, diffing policy, fault plan...). *)
 val run_cfg : app:app -> Config.t -> metrics
+
+(** [run_checked ~app cfg] — like {!run_cfg} but also collects the DSM
+    result on processor 0 and returns a hex digest of its
+    schedule-independent part (Water energy+positions, Jacobi grid, TSP
+    best tour length, Quicksort sorted array, ILINK likelihood+theta).
+    Two runs of the same workload must digest identically regardless of
+    the fault plan — the robustness criterion of experiment E10.  Note
+    the collection traffic makes the metrics slightly heavier than
+    {!run_cfg}'s. *)
+val run_checked : app:app -> Config.t -> metrics * string
 
 (** [speedup ~app ~nprocs ~protocol ~net] — [time(1)/time(nprocs)]; the
     uniprocessor baseline runs the same program on one processor (all

@@ -1,0 +1,136 @@
+open Tmk_sim
+
+type stall = { st_pid : int; st_start : Vtime.t; st_len : Vtime.t }
+
+type t = {
+  loss : float;
+  dup : float;
+  reorder : float;
+  reorder_window : Vtime.t;
+  link_loss : ((int * int) * float) list;
+  stalls : stall list;
+  unreachable : int list;
+}
+
+let none =
+  {
+    loss = 0.0;
+    dup = 0.0;
+    reorder = 0.0;
+    reorder_window = Vtime.us 200;
+    link_loss = [];
+    stalls = [];
+    unreachable = [];
+  }
+
+let check_rate name r =
+  if r < 0.0 || r >= 1.0 then
+    invalid_arg (Printf.sprintf "Fault_plan: %s rate %g not in [0,1)" name r)
+
+let validate t =
+  check_rate "loss" t.loss;
+  check_rate "duplication" t.dup;
+  check_rate "reordering" t.reorder;
+  List.iter (fun (_, r) -> check_rate "per-link loss" r) t.link_loss;
+  if t.reorder_window < Vtime.zero then invalid_arg "Fault_plan: negative reorder window";
+  List.iter
+    (fun s ->
+      if s.st_pid < 0 then invalid_arg "Fault_plan: negative stall pid";
+      if s.st_len < Vtime.zero then invalid_arg "Fault_plan: negative stall length")
+    t.stalls
+
+let with_loss t rate =
+  check_rate "loss" rate;
+  { t with loss = rate }
+
+let with_dup t rate =
+  check_rate "duplication" rate;
+  { t with dup = rate }
+
+let with_reorder ?window t rate =
+  check_rate "reordering" rate;
+  let reorder_window = Option.value ~default:t.reorder_window window in
+  { t with reorder = rate; reorder_window }
+
+let with_link_loss t ~src ~dst rate =
+  check_rate "per-link loss" rate;
+  { t with link_loss = ((src, dst), rate) :: t.link_loss }
+
+let with_stall t ~pid ~start ~len =
+  { t with stalls = { st_pid = pid; st_start = start; st_len = len } :: t.stalls }
+
+let with_unreachable t pid = { t with unreachable = pid :: t.unreachable }
+
+let is_faulty t =
+  t.loss > 0.0 || t.dup > 0.0 || t.reorder > 0.0 || t.link_loss <> []
+  || t.unreachable <> []
+
+let loss_for t ~src ~dst =
+  match List.assoc_opt (src, dst) t.link_loss with
+  | Some r -> Float.max r t.loss
+  | None -> t.loss
+
+let unreachable_link t ~src ~dst =
+  List.mem src t.unreachable || List.mem dst t.unreachable
+
+(* A frame arriving (or a timer delivering work) to a stalled processor
+   waits until the end of every stall window covering [at]: the handler
+   loop is paused, as if the process were descheduled or the host
+   momentarily frozen.  Windows may abut or nest, so iterate to a fixed
+   point. *)
+let stall_until t ~pid ~at =
+  let rec settle at =
+    let pushed =
+      List.fold_left
+        (fun acc s ->
+          if s.st_pid = pid && s.st_start <= acc && acc < Vtime.add s.st_start s.st_len
+          then Vtime.add s.st_start s.st_len
+          else acc)
+        at t.stalls
+    in
+    if pushed > at then settle pushed else at
+  in
+  settle at
+
+(* "pid@start_us+len_us", comma-separated, e.g. "1@2000+500,3@0+10000". *)
+let parse_stalls spec =
+  let parse_one s =
+    match String.split_on_char '@' (String.trim s) with
+    | [ pid; rest ] ->
+      (match String.split_on_char '+' rest with
+      | [ start; len ] ->
+        {
+          st_pid = int_of_string pid;
+          st_start = Vtime.us (int_of_string start);
+          st_len = Vtime.us (int_of_string len);
+        }
+      | _ -> invalid_arg (Printf.sprintf "Fault_plan.parse_stalls: bad window %S" s))
+    | _ ->
+      invalid_arg
+        (Printf.sprintf "Fault_plan.parse_stalls: %S is not pid@start_us+len_us" s)
+  in
+  match String.trim spec with
+  | "" -> []
+  | spec -> List.map parse_one (String.split_on_char ',' spec)
+
+let describe t =
+  if not (is_faulty t) && t.stalls = [] then "no faults"
+  else begin
+    let parts = ref [] in
+    let addf fmt = Printf.ksprintf (fun s -> parts := s :: !parts) fmt in
+    if t.loss > 0.0 then addf "loss %.1f%%" (t.loss *. 100.0);
+    if t.dup > 0.0 then addf "dup %.1f%%" (t.dup *. 100.0);
+    if t.reorder > 0.0 then
+      addf "reorder %.1f%% (window %.0fus)" (t.reorder *. 100.0)
+        (Vtime.to_us t.reorder_window);
+    List.iter
+      (fun ((s, d), r) -> addf "link %d->%d loss %.1f%%" s d (r *. 100.0))
+      t.link_loss;
+    List.iter
+      (fun s ->
+        addf "stall p%d @%.0fus +%.0fus" s.st_pid (Vtime.to_us s.st_start)
+          (Vtime.to_us s.st_len))
+      t.stalls;
+    List.iter (fun p -> addf "p%d unreachable" p) t.unreachable;
+    String.concat ", " (List.rev !parts)
+  end

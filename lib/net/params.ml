@@ -21,6 +21,8 @@ type t = {
   busy_access_delay : Vtime.t;
   loss_rate : float;
   retransmit_timeout : Vtime.t;
+  retransmit_backoff_cap : Vtime.t;
+  max_retransmits : int;
 }
 
 (* Calibration: see the interface comment.  The per-byte CPU figures are
@@ -45,6 +47,8 @@ let atm_aal34 =
     busy_access_delay = Vtime.zero;
     loss_rate = 0.0;
     retransmit_timeout = Vtime.ms 20;
+    retransmit_backoff_cap = Vtime.ms 320;
+    max_retransmits = 12;
   }
 
 (* UDP/IP on the same wire: extra protocol-stack CPU per message on both
@@ -85,6 +89,12 @@ let of_names ~network ~protocol =
 let with_loss t rate =
   if rate < 0.0 || rate >= 1.0 then invalid_arg "Params.with_loss: rate in [0,1)";
   { t with loss_rate = rate }
+
+(* Exponential backoff, capped: 20, 40, 80, ... ms.  [attempt] counts
+   transmissions already made, so the first timer uses the base timeout. *)
+let retransmit_delay t ~attempt =
+  let rec grow d k = if k <= 0 || d >= t.retransmit_backoff_cap then d else grow (Vtime.scale d 2) (k - 1) in
+  Vtime.min t.retransmit_backoff_cap (grow t.retransmit_timeout (attempt - 1))
 
 let frame_bytes t payload = max t.min_frame_bytes (payload + t.header_bytes)
 

@@ -67,7 +67,13 @@ type t = {
           backoff waste air time on a loaded Ethernet (zero on the
           point-to-point ATM switch) *)
   loss_rate : float;  (** probability a frame is dropped (default 0) *)
-  retransmit_timeout : Vtime.t;  (** user-level protocol timer *)
+  retransmit_timeout : Vtime.t;  (** user-level protocol timer, first attempt *)
+  retransmit_backoff_cap : Vtime.t;
+      (** ceiling of the exponential backoff: successive retransmission
+          timers double from [retransmit_timeout] up to this cap *)
+  max_retransmits : int;
+      (** retry budget per message; once exhausted the transport raises
+          {!Transport.Peer_unreachable} instead of retransmitting forever *)
 }
 
 (** [atm_aal34] — the paper's primary configuration. *)
@@ -85,8 +91,14 @@ val ethernet_udp : t
 val of_names : network:network -> protocol:protocol -> t
 
 (** [with_loss t rate] enables frame loss (testing the user-level
-    reliability protocol). *)
+    reliability protocol).  Shorthand for a {!Fault_plan} with only a
+    global loss rate: the transport folds it into its effective plan. *)
 val with_loss : t -> float -> t
+
+(** [retransmit_delay t ~attempt] — the timer armed after transmission
+    number [attempt] (1-based): [retransmit_timeout] doubled per further
+    attempt, capped at [retransmit_backoff_cap]. *)
+val retransmit_delay : t -> attempt:int -> Vtime.t
 
 (** [frame_bytes t payload] is the on-wire frame size for a [payload]-byte
     message: header plus padding to the minimum frame. *)

@@ -1,64 +1,117 @@
 open Tmk_sim
 
-type counters = { mutable msgs : int; mutable bytes : int }
+type counters = {
+  mutable msgs : int;
+  mutable bytes : int;
+  mutable retrans : int;  (* frames that were retransmissions *)
+  mutable dups : int;  (* extra copies injected by the medium *)
+}
+
+type mix_entry = {
+  mix_label : string;
+  mix_msgs : int;
+  mix_bytes : int;
+  mix_retrans : int;
+  mix_dups : int;
+}
+
+exception
+  Peer_unreachable of { src : int; dst : int; label : string; attempts : int }
+
+let () =
+  Printexc.register_printer (function
+    | Peer_unreachable { src; dst; label; attempts } ->
+      Some
+        (Printf.sprintf
+           "Transport.Peer_unreachable (%s from %d to %d, %d attempts)" label src
+           dst attempts)
+    | _ -> None)
 
 type t = {
   engine : Engine.t;
   params : Params.t;
+  plan : Fault_plan.t;
   prng : Tmk_util.Prng.t;
   link_free : Vtime.t array;  (* per-source ATM link, or slot 0 = shared bus *)
   per_proc : counters array;
   by_label : (string, counters) Hashtbl.t;  (* message mix by protocol operation *)
   mutable retransmissions : int;
+  mutable dup_frames : int;
+  mutable dups_suppressed : int;
   mutable next_msg_id : int;
-  delivered : (int, unit) Hashtbl.t;  (* duplicate suppression, lossy mode only *)
+  delivered : (int, unit) Hashtbl.t;
+      (* duplicate suppression, reliable mode only; entries are pruned once
+         the ack lands and every outstanding copy has been filtered, so the
+         table holds only in-flight messages, never the whole run's
+         history *)
 }
 
-let create ~engine ~params ~prng =
+let fresh_counters () = { msgs = 0; bytes = 0; retrans = 0; dups = 0 }
+
+let create ?(plan = Fault_plan.none) ~engine ~params ~prng () =
+  Fault_plan.validate plan;
+  (* Params.with_loss is the legacy loss knob: fold it into the plan so
+     the two configuration paths agree. *)
+  let plan =
+    if params.Params.loss_rate > plan.Fault_plan.loss then
+      { plan with Fault_plan.loss = params.Params.loss_rate }
+    else plan
+  in
   let n = Engine.nprocs engine in
   {
     engine;
     params;
+    plan;
     prng;
     link_free = Array.make (max n 1) Vtime.zero;
-    per_proc = Array.init n (fun _ -> { msgs = 0; bytes = 0 });
+    per_proc = Array.init n (fun _ -> fresh_counters ());
     by_label = Hashtbl.create 16;
     retransmissions = 0;
+    dup_frames = 0;
+    dups_suppressed = 0;
     next_msg_id = 0;
     delivered = Hashtbl.create 64;
   }
 
 let engine t = t.engine
 let params t = t.params
+let plan t = t.plan
 
-let lossy t = t.params.Params.loss_rate > 0.0
+(* Delivery faults engage the ack/retransmit protocol; stall-only plans
+   delay service but never lose frames. *)
+let reliable t = Fault_plan.is_faulty t.plan
 
 let fresh_id t =
   let id = t.next_msg_id in
   t.next_msg_id <- id + 1;
   id
 
+let label_counters t label =
+  match Hashtbl.find_opt t.by_label label with
+  | Some lc -> lc
+  | None ->
+    let lc = fresh_counters () in
+    Hashtbl.add t.by_label label lc;
+    lc
+
 (* ------------------------------------------------------------------ *)
-(* Medium: arbitration, loss, statistics.                             *)
+(* Medium: arbitration, faults, statistics.                            *)
 
 (* Hand one frame to the medium at [at]; [on_arrival] fires at the
-   receiver's network interface (no CPU charged yet). *)
-let transmit ?(label = "other") t ~src ~bytes ~at ~on_arrival =
+   receiver's network interface (no CPU charged yet) once per copy the
+   medium actually delivers — zero times when dropped, twice when
+   duplicated.  [on_fate] reports that copy count as soon as the medium
+   decides it (retransmission bookkeeping). *)
+let transmit ?(label = "other") ?(on_fate = fun _ -> ()) t ~src ~dst ~bytes ~at
+    ~on_arrival =
   let p = t.params in
   let frame = Params.frame_bytes p bytes in
   let c = t.per_proc.(src) in
   c.msgs <- c.msgs + 1;
   c.bytes <- c.bytes + frame;
-  (let lc =
-     match Hashtbl.find_opt t.by_label label with
-     | Some lc -> lc
-     | None ->
-       let lc = { msgs = 0; bytes = 0 } in
-       Hashtbl.add t.by_label label lc;
-       lc
-   in
-   lc.msgs <- lc.msgs + 1;
-   lc.bytes <- lc.bytes + frame);
+  let lc = label_counters t label in
+  lc.msgs <- lc.msgs + 1;
+  lc.bytes <- lc.bytes + frame;
   Engine.schedule t.engine ~at (fun () ->
       let slot = if p.Params.shared_medium then 0 else src in
       let free_at = t.link_free.(slot) in
@@ -70,15 +123,55 @@ let transmit ?(label = "other") t ~src ~bytes ~at ~on_arrival =
       in
       let occupancy = Vtime.ns (frame * p.Params.wire_ns_per_byte) in
       t.link_free.(slot) <- Vtime.add start occupancy;
-      let dropped = lossy t && Tmk_util.Prng.float t.prng 1.0 < p.Params.loss_rate in
-      if not dropped then
-        let arrival = Vtime.add (Vtime.add start occupancy) p.Params.wire_latency in
-        Engine.schedule t.engine ~at:arrival (fun () -> on_arrival arrival))
+      let loss = Fault_plan.loss_for t.plan ~src ~dst in
+      let dropped =
+        Fault_plan.unreachable_link t.plan ~src ~dst
+        || (loss > 0.0 && Tmk_util.Prng.float t.prng 1.0 < loss)
+      in
+      if dropped then on_fate 0
+      else begin
+        let copies =
+          if
+            t.plan.Fault_plan.dup > 0.0
+            && Tmk_util.Prng.float t.prng 1.0 < t.plan.Fault_plan.dup
+          then 2
+          else 1
+        in
+        (* Reordering: hold the frame back by a bounded random delay so
+           later frames on the same link can overtake it. *)
+        let held =
+          if
+            t.plan.Fault_plan.reorder > 0.0
+            && Tmk_util.Prng.float t.prng 1.0 < t.plan.Fault_plan.reorder
+          then
+            Vtime.ns
+              (Tmk_util.Prng.int t.prng
+                 (Vtime.add t.plan.Fault_plan.reorder_window (Vtime.ns 1)))
+          else Vtime.zero
+        in
+        on_fate copies;
+        let arrival =
+          Vtime.add (Vtime.add (Vtime.add start occupancy) p.Params.wire_latency) held
+        in
+        Engine.schedule t.engine ~at:arrival (fun () -> on_arrival arrival);
+        if copies = 2 then begin
+          t.dup_frames <- t.dup_frames + 1;
+          lc.dups <- lc.dups + 1;
+          (* The duplicate trails its original back-to-back. *)
+          let again = Vtime.add arrival occupancy in
+          Engine.schedule t.engine ~at:again (fun () -> on_arrival again)
+        end
+      end)
+
+(* Post work into [pid]'s handler loop, deferred past any stall window
+   covering [at] (the loop is paused: frames arrive, service waits). *)
+let post_to t ~pid ~at f =
+  Engine.post_handler t.engine ~pid ~at:(Fault_plan.stall_until t.plan ~pid ~at) f
 
 (* Deliver a request frame into [dst]'s SIGIO handler: charge the
    interrupt/dispatch/receive path, then run the payload. *)
 let deliver_to_handler t ~dst ~bytes ~arrival ~deliver =
-  Engine.post_handler t.engine ~pid:dst ~at:arrival (fun h ->
+  post_to t ~pid:dst ~at:arrival (fun h ->
       Engine.hcharge h Category.Unix_comm
         (Params.deliver_handler_cpu t.params ~fresh:(Engine.hfresh h));
       Engine.hcharge h Category.Unix_comm (Params.recv_cost t.params bytes);
@@ -87,48 +180,89 @@ let deliver_to_handler t ~dst ~bytes ~arrival ~deliver =
 (* ------------------------------------------------------------------ *)
 (* Reliable one-way messages.                                          *)
 
-(* In lossy mode each one-way message is acknowledged; the sender
-   retransmits on a timer until the ack lands.  Acks and retransmissions
-   consume CPU through self-posted handlers so the charges land on the
-   right processor even though the original caller has moved on. *)
-let rec oneway ?label t ~src ~dst ~bytes ~at ~deliver =
-  if not (lossy t) then
-    transmit ?label t ~src ~bytes ~at ~on_arrival:(fun arrival ->
+(* Per-message retransmission state.  [expected]/[checked] count medium
+   copies: [expected] grows at each transmission (adjusted once the
+   medium decides the copy count), [checked] when a copy has passed the
+   duplicate filter.  The dedup entry can be dropped only when the ack
+   has landed AND no copy is still in flight — pruning earlier would let
+   a trailing duplicate deliver a second time. *)
+type rel = {
+  mutable acked : bool;
+  mutable expected : int;
+  mutable checked : int;
+  mutable attempts : int;
+  mutable cancel : unit -> unit;
+}
+
+(* In reliable mode each one-way message is acknowledged; the sender
+   retransmits on an exponentially backed-off timer until the ack lands
+   or the retry budget runs out (Peer_unreachable).  Acks and
+   retransmissions consume CPU through self-posted handlers so the
+   charges land on the right processor even though the original caller
+   has moved on. *)
+let rec oneway ?(label = "other") t ~src ~dst ~bytes ~at ~deliver =
+  if not (reliable t) then
+    transmit ~label t ~src ~dst ~bytes ~at ~on_arrival:(fun arrival ->
         deliver_to_handler t ~dst ~bytes ~arrival ~deliver)
   else begin
     let id = fresh_id t in
-    let acked = ref false in
+    let st = { acked = false; expected = 0; checked = 0; attempts = 0; cancel = ignore } in
+    let maybe_prune () =
+      if st.acked && st.expected = st.checked then Hashtbl.remove t.delivered id
+    in
+    let on_ack () =
+      if not st.acked then begin
+        st.acked <- true;
+        st.cancel ();
+        maybe_prune ()
+      end
+    in
+    let lc = label_counters t label in
     let rec attempt ~at =
-      transmit ?label t ~src ~bytes ~at ~on_arrival:(fun arrival ->
+      st.attempts <- st.attempts + 1;
+      st.expected <- st.expected + 1;
+      if st.attempts > 1 then begin
+        t.retransmissions <- t.retransmissions + 1;
+        lc.retrans <- lc.retrans + 1
+      end;
+      transmit ~label t ~src ~dst ~bytes ~at
+        ~on_fate:(fun copies ->
+          st.expected <- st.expected + (copies - 1);
+          maybe_prune ())
+        ~on_arrival:(fun arrival ->
           deliver_to_handler t ~dst ~bytes ~arrival ~deliver:(fun h ->
               if not (Hashtbl.mem t.delivered id) then begin
                 Hashtbl.add t.delivered id ();
                 deliver h
-              end;
-              send_ack t h ~dst:src ~on_ack:(fun () -> acked := true)));
-      let timeout = Vtime.add at t.params.Params.retransmit_timeout in
-      let (_cancel : unit -> unit) =
+              end
+              else t.dups_suppressed <- t.dups_suppressed + 1;
+              st.checked <- st.checked + 1;
+              maybe_prune ();
+              send_ack t h ~dst:src ~on_ack));
+      let timeout = Vtime.add at (Params.retransmit_delay t.params ~attempt:st.attempts) in
+      st.cancel <-
         Engine.schedule_cancellable t.engine ~at:timeout (fun () ->
-            if not !acked then begin
-              t.retransmissions <- t.retransmissions + 1;
+            if not st.acked then begin
+              if st.attempts >= t.params.Params.max_retransmits then
+                raise (Peer_unreachable { src; dst; label; attempts = st.attempts });
               (* The user-level timer fires on [src]: charge the resend. *)
-              Engine.post_handler t.engine ~pid:src ~at:timeout (fun h ->
-                  Engine.hcharge h Category.Unix_comm (Params.send_cost t.params bytes);
-                  attempt ~at:(Engine.hnow h))
+              post_to t ~pid:src ~at:timeout (fun h ->
+                  if not st.acked then begin
+                    Engine.hcharge h Category.Unix_comm (Params.send_cost t.params bytes);
+                    attempt ~at:(Engine.hnow h)
+                  end)
             end)
-      in
-      ()
     in
     attempt ~at
   end
 
 (* Acks are fire-and-forget minimum-size frames; a lost ack just causes a
-   (suppressed) duplicate. *)
+   (suppressed) duplicate and a re-ack. *)
 and send_ack t h ~dst ~on_ack =
   Engine.hcharge h Category.Unix_comm (Params.send_cost t.params 0);
-  transmit ~label:"ack" t ~src:(Engine.hpid h) ~bytes:0 ~at:(Engine.hnow h)
+  transmit ~label:"ack" t ~src:(Engine.hpid h) ~dst ~bytes:0 ~at:(Engine.hnow h)
     ~on_arrival:(fun arrival ->
-      Engine.post_handler t.engine ~pid:dst ~at:arrival (fun ha ->
+      post_to t ~pid:dst ~at:arrival (fun ha ->
           Engine.hcharge ha Category.Unix_comm
             (Params.deliver_handler_cpu t.params ~fresh:(Engine.hfresh ha));
           Engine.hcharge ha Category.Unix_comm (Params.recv_cost t.params 0);
@@ -149,38 +283,52 @@ type 'a mailbox = (int * 'a) Engine.Ivar.t
 
 let mailbox () = Engine.Ivar.create ()
 
-(* The data lands in the mailbox at wire arrival; the interrupt/resume
-   and receive CPU are charged by [await_value] when the process resumes,
-   which is when that kernel work happens on the real system.  In lossy
-   mode the frame additionally runs a (cheap) handler on [dst] to source
-   the acknowledgement. *)
-let value_message ?label t ~src ~dst ~bytes ~at mb v =
-  if not (lossy t) then
-    transmit ?label t ~src ~bytes ~at ~on_arrival:(fun arrival ->
-        if not (Engine.Ivar.is_filled mb) then
-          Engine.fill t.engine mb ~at:arrival (bytes, v))
+(* The data lands in the mailbox at wire arrival (deferred past any stall
+   window on the receiver); the interrupt/resume and receive CPU are
+   charged by [await_value] when the process resumes, which is when that
+   kernel work happens on the real system.  In reliable mode the frame
+   additionally runs a (cheap) handler on [dst] to source the
+   acknowledgement; the single-use mailbox doubles as the duplicate
+   filter, so no dedup-table entry is needed. *)
+let value_message ?(label = "other") t ~src ~dst ~bytes ~at mb v =
+  let fill_at arrival =
+    let at = Fault_plan.stall_until t.plan ~pid:dst ~at:arrival in
+    if not (Engine.Ivar.is_filled mb) then Engine.fill t.engine mb ~at (bytes, v)
+    else t.dups_suppressed <- t.dups_suppressed + 1
+  in
+  if not (reliable t) then
+    transmit ~label t ~src ~dst ~bytes ~at ~on_arrival:fill_at
   else begin
-    let id = fresh_id t in
-    let acked = ref false in
+    let st = { acked = false; expected = 0; checked = 0; attempts = 0; cancel = ignore } in
+    let on_ack () =
+      if not st.acked then begin
+        st.acked <- true;
+        st.cancel ()
+      end
+    in
+    let lc = label_counters t label in
     let rec attempt ~at =
-      transmit ?label t ~src ~bytes ~at ~on_arrival:(fun arrival ->
-          if (not (Hashtbl.mem t.delivered id)) && not (Engine.Ivar.is_filled mb) then begin
-            Hashtbl.add t.delivered id ();
-            Engine.fill t.engine mb ~at:arrival (bytes, v)
-          end;
-          Engine.post_handler t.engine ~pid:dst ~at:arrival (fun h ->
-              send_ack t h ~dst:src ~on_ack:(fun () -> acked := true)));
-      let timeout = Vtime.add at t.params.Params.retransmit_timeout in
-      let (_cancel : unit -> unit) =
+      st.attempts <- st.attempts + 1;
+      if st.attempts > 1 then begin
+        t.retransmissions <- t.retransmissions + 1;
+        lc.retrans <- lc.retrans + 1
+      end;
+      transmit ~label t ~src ~dst ~bytes ~at ~on_arrival:(fun arrival ->
+          fill_at arrival;
+          post_to t ~pid:dst ~at:arrival (fun h ->
+              send_ack t h ~dst:src ~on_ack));
+      let timeout = Vtime.add at (Params.retransmit_delay t.params ~attempt:st.attempts) in
+      st.cancel <-
         Engine.schedule_cancellable t.engine ~at:timeout (fun () ->
-            if not !acked then begin
-              t.retransmissions <- t.retransmissions + 1;
-              Engine.post_handler t.engine ~pid:src ~at:timeout (fun h ->
-                  Engine.hcharge h Category.Unix_comm (Params.send_cost t.params bytes);
-                  attempt ~at:(Engine.hnow h))
+            if not st.acked then begin
+              if st.attempts >= t.params.Params.max_retransmits then
+                raise (Peer_unreachable { src; dst; label; attempts = st.attempts });
+              post_to t ~pid:src ~at:timeout (fun h ->
+                  if not st.acked then begin
+                    Engine.hcharge h Category.Unix_comm (Params.send_cost t.params bytes);
+                    attempt ~at:(Engine.hnow h)
+                  end)
             end)
-      in
-      ()
     in
     attempt ~at
   end
@@ -226,16 +374,34 @@ let bytes_sent t = Array.fold_left (fun acc c -> acc + c.bytes) 0 t.per_proc
 let messages_of t pid = t.per_proc.(pid).msgs
 let bytes_of t pid = t.per_proc.(pid).bytes
 let retransmissions t = t.retransmissions
+let duplicates_injected t = t.dup_frames
+let duplicates_suppressed t = t.dups_suppressed
+let dedup_entries t = Hashtbl.length t.delivered
 
 let message_mix t =
-  Hashtbl.fold (fun label c acc -> (label, c.msgs, c.bytes) :: acc) t.by_label []
-  |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+  Hashtbl.fold
+    (fun label c acc ->
+      {
+        mix_label = label;
+        mix_msgs = c.msgs;
+        mix_bytes = c.bytes;
+        mix_retrans = c.retrans;
+        mix_dups = c.dups;
+      }
+      :: acc)
+    t.by_label []
+  |> List.sort (fun a b -> compare b.mix_msgs a.mix_msgs)
 
 let reset_stats t =
   Array.iter
     (fun c ->
       c.msgs <- 0;
-      c.bytes <- 0)
+      c.bytes <- 0;
+      c.retrans <- 0;
+      c.dups <- 0)
     t.per_proc;
   Hashtbl.reset t.by_label;
-  t.retransmissions <- 0
+  Hashtbl.reset t.delivered;
+  t.retransmissions <- 0;
+  t.dup_frames <- 0;
+  t.dups_suppressed <- 0

@@ -7,21 +7,35 @@
       handler);
     + the medium: per-source link arbitration on the ATM switch, or a
       single shared bus on the Ethernet; frames occupy the medium for
-      [frame_bytes × wire_ns_per_byte] and can be dropped when a loss rate
-      is configured;
+      [frame_bytes × wire_ns_per_byte] and are then subject to the
+      transport's {!Fault_plan} — loss, duplication, reordering, node
+      stalls, partitioned peers;
     + receiver CPU: either the SIGIO-handler path (interrupt + signal
       dispatch + receive; back-to-back messages skip the dispatch, see
       {!Tmk_sim.Engine.hfresh}) for request messages, or the
       blocked-receive path (interrupt + resume + receive) for replies to a
       waiting process.
 
-    Reliability: the real TreadMarks runs "operation-specific, user-level
-    protocols on top of UDP/IP and AAL3/4 to insure delivery" (§3.7).
-    Here, when [loss_rate = 0] (the default) frames always arrive and no
-    acknowledgements are sent; with a positive loss rate every one-way
-    message is acknowledged and retransmitted on a timer, and duplicates
-    are suppressed by message id, giving exactly-once delivery of the
-    [deliver] callback.
+    {2 Reliability}
+
+    The real TreadMarks runs "operation-specific, user-level protocols on
+    top of UDP/IP and AAL3/4 to insure delivery" (§3.7).  Here, when the
+    fault plan cannot affect delivery ({!Fault_plan.is_faulty} is false —
+    the default) frames always arrive and no acknowledgements are sent.
+    Otherwise every one-way message is acknowledged and retransmitted on a
+    timer with exponential backoff (doubling from
+    [Params.retransmit_timeout] up to [Params.retransmit_backoff_cap]);
+    duplicates — whether retransmission- or medium-induced — are
+    suppressed by message id, giving exactly-once delivery of the
+    [deliver] callback.  The suppression table is pruned as soon as a
+    message's ack has landed and its last in-flight copy has been
+    filtered, so it holds only in-flight messages.  A message still
+    unacknowledged after [Params.max_retransmits] transmissions raises
+    {!Peer_unreachable} (a permanently partitioned peer terminates the
+    run instead of retransmitting forever).
+
+    All fault draws come from the transport's seeded PRNG: a (seed, plan)
+    pair reproduces the run bit-for-bit.
 
     Message payloads are OCaml closures/values; the [bytes] argument is
     the payload size used for costing and statistics, which the DSM layer
@@ -31,17 +45,39 @@ open Tmk_sim
 
 type t
 
+(** Raised (out of {!Engine.run}) when a message exhausts its retry
+    budget — the peer is treated as unreachable. *)
+exception
+  Peer_unreachable of { src : int; dst : int; label : string; attempts : int }
+
 (** [create ~engine ~params ~prng] builds a transport over [engine]'s
-    processors.  [prng] drives loss draws only. *)
-val create : engine:Engine.t -> params:Params.t -> prng:Tmk_util.Prng.t -> t
+    processors.  [prng] drives the fault draws.  [?plan] installs a fault
+    schedule (default {!Fault_plan.none}); a legacy [Params.with_loss]
+    rate is folded into the effective plan, whichever is larger. *)
+val create :
+  ?plan:Fault_plan.t ->
+  engine:Engine.t ->
+  params:Params.t ->
+  prng:Tmk_util.Prng.t ->
+  unit ->
+  t
 
 val engine : t -> Engine.t
 val params : t -> Params.t
 
+(** [plan t] is the effective fault plan (after folding in
+    [Params.loss_rate]). *)
+val plan : t -> Fault_plan.t
+
+(** [reliable t] — true when the plan engages the ack/retransmit
+    protocol. *)
+val reliable : t -> bool
+
 (** [send t ~src ~dst ~bytes ~deliver] — one-way message from the
     application process currently running on [src].  Charges send CPU via
     {!Engine.advance}, so it must be called from process context.
-    [deliver] runs in a handler context on [dst]. *)
+    [deliver] runs in a handler context on [dst] (exactly once, even
+    under faults). *)
 val send :
   ?label:string ->
   t ->
@@ -116,21 +152,49 @@ val rpc :
 
 (** {2 Statistics}
 
-    Counters cover every frame handed to the medium, including
-    retransmissions and acknowledgements; bytes are on-wire frame sizes
-    (payload + protocol header, padded to the minimum frame). *)
+    Counters cover every frame handed to the medium by a sender,
+    including retransmissions and acknowledgements; bytes are on-wire
+    frame sizes (payload + protocol header, padded to the minimum frame).
+    Extra copies injected by a duplicating medium are counted separately
+    (they are not sender traffic). *)
 
 val messages_sent : t -> int
 val bytes_sent : t -> int
 val messages_of : t -> Engine.pid -> int
 val bytes_of : t -> Engine.pid -> int
+
+(** [retransmissions t] — frames re-sent by the reliability protocol. *)
 val retransmissions : t -> int
 
-(** [message_mix t] — frames and on-wire bytes per message label (the
-    [?label] given at each send; replies get ["<label>-reply"], transport
-    acknowledgements ["ack"], unlabelled traffic ["other"]), most frequent
-    first. *)
-val message_mix : t -> (string * int * int) list
+(** [duplicates_injected t] — extra copies the medium fabricated. *)
+val duplicates_injected : t -> int
 
-(** [reset_stats t] zeroes all counters. *)
+(** [duplicates_suppressed t] — deliveries filtered by the duplicate
+    table (or an already-filled mailbox). *)
+val duplicates_suppressed : t -> int
+
+(** [dedup_entries t] — live entries in the duplicate-suppression table;
+    zero once a run has quiesced (every message acked and its copies
+    accounted for). *)
+val dedup_entries : t -> int
+
+(** One row of {!message_mix}: per-label frame/byte totals plus how many
+    of the frames were retransmissions and how many extra copies the
+    medium injected for that label. *)
+type mix_entry = {
+  mix_label : string;
+  mix_msgs : int;
+  mix_bytes : int;
+  mix_retrans : int;
+  mix_dups : int;
+}
+
+(** [message_mix t] — traffic per message label (the [?label] given at
+    each send; replies get ["<label>-reply"], transport acknowledgements
+    ["ack"], unlabelled traffic ["other"]), most frequent first. *)
+val message_mix : t -> mix_entry list
+
+(** [reset_stats t] zeroes all counters and clears the
+    duplicate-suppression table (call only between quiesced phases:
+    clearing while messages are in flight would defeat dedup). *)
 val reset_stats : t -> unit

@@ -42,7 +42,7 @@ and hctx = {
   hfresh : bool;
 }
 
-and event = { time : Vtime.t; thunk : unit -> unit }
+and event = { time : Vtime.t; mutable live : bool; thunk : unit -> unit }
 
 and t = {
   procs : proc array;
@@ -50,7 +50,8 @@ and t = {
   mutable clock : Vtime.t;
   mutable last_event_time : Vtime.t;
   mutable running_pid : pid option;  (* process currently executing, if any *)
-  mutable blocked : int;  (* count of processes suspended on an ivar *)
+  blocked : bool array;  (* per-pid: process suspended on an ivar *)
+  mutable blocked_count : int;
   mutable trace_sink : (Vtime.t -> string -> unit) option;
 }
 
@@ -76,7 +77,8 @@ let create ~nprocs =
     clock = Vtime.zero;
     last_event_time = Vtime.zero;
     running_pid = None;
-    blocked = 0;
+    blocked = Array.make nprocs false;
+    blocked_count = 0;
     trace_sink = None;
   }
 
@@ -92,12 +94,21 @@ let schedule t ~at f =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule: time %d is before now %d" at t.clock);
-  Tmk_util.Heap.push t.events { time = at; thunk = f }
+  Tmk_util.Heap.push t.events { time = at; live = true; thunk = f }
 
+(* A cancelled event is skipped by the main loop without advancing the
+   clock or the makespan: a retransmission timer whose ack already landed
+   must not stretch the run's end time past the last real event. *)
 let schedule_cancellable t ~at f =
-  let cancelled = ref false in
-  schedule t ~at (fun () -> if not !cancelled then f ());
-  fun () -> cancelled := true
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: time %d is before now %d" at t.clock);
+  let ev = { time = at; live = true; thunk = f } in
+  Tmk_util.Heap.push t.events ev;
+  fun () -> ev.live <- false
+
+let pending_events t =
+  Tmk_util.Heap.length t.events
 
 (* ------------------------------------------------------------------ *)
 (* Effects: the process-context operations                            *)
@@ -168,13 +179,15 @@ let spawn t pid main =
                     (* Already available: no time passes. *)
                     continue k v
                   | Ivar.Empty waiters ->
-                    t.blocked <- t.blocked + 1;
+                    t.blocked.(pid) <- true;
+                    t.blocked_count <- t.blocked_count + 1;
                     let waiter v at =
                       (* Resume no earlier than the fill and no earlier
                          than the end of any handler occupying our CPU. *)
                       let resume_at = Vtime.max at proc.handler_busy_until in
                       schedule t ~at:resume_at (fun () ->
-                          t.blocked <- t.blocked - 1;
+                          t.blocked.(pid) <- false;
+                          t.blocked_count <- t.blocked_count - 1;
                           t.running_pid <- Some pid;
                           continue k v;
                           t.running_pid <- None)
@@ -237,14 +250,18 @@ let run t =
   let rec loop () =
     match Tmk_util.Heap.pop_opt t.events with
     | None ->
-      if t.blocked > 0 then begin
+      if t.blocked_count > 0 then begin
+        (* Report the processes actually suspended on an ivar, not every
+           unfinished one: a deadlock under fault injection typically
+           strands one waiter while its peers sit in handler loops. *)
         let stuck =
           Array.to_list t.procs
-          |> List.filter (fun p -> p.spawned && p.finished_at = None)
+          |> List.filter (fun p -> t.blocked.(p.id))
           |> List.map (fun p -> p.id)
         in
         raise (Deadlock stuck)
       end
+    | Some ev when not ev.live -> loop ()
     | Some ev ->
       t.clock <- ev.time;
       t.last_event_time <- ev.time;

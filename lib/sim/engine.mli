@@ -57,8 +57,14 @@ val schedule : t -> at:Vtime.t -> (unit -> unit) -> unit
 
 (** [schedule_cancellable t ~at f] is {!schedule} returning a thunk that
     prevents [f] from running if called before [at] (retransmission
-    timers). *)
+    timers).  A cancelled event is skipped entirely: it neither advances
+    the clock nor counts toward {!end_time}, so dead timers cannot
+    stretch a run's makespan. *)
 val schedule_cancellable : t -> at:Vtime.t -> (unit -> unit) -> (unit -> unit)
+
+(** [pending_events t] is the number of events still queued (including
+    cancelled ones not yet reaped); zero after {!run} returns. *)
+val pending_events : t -> int
 
 (** [spawn t pid main] installs the application process of processor
     [pid]; it starts at time zero when {!run} is called.  At most one
@@ -111,6 +117,9 @@ val hfresh : hctx -> bool
     @raise Deadlock if the queue empties while some process is blocked. *)
 val run : t -> unit
 
+(** The payload lists exactly the processes suspended on an ivar when the
+    event queue ran dry — the real culprits, not merely every unfinished
+    process. *)
 exception Deadlock of pid list
 
 (** [finished t pid] holds once [pid]'s application process returned. *)

@@ -28,7 +28,7 @@ let roundtrip_blocking () =
   let engine = Engine.create ~nprocs:2 in
   let prng = Tmk_util.Prng.create 5L in
   let transport =
-    Tmk_net.Transport.create ~engine ~params:Tmk_net.Params.atm_aal34 ~prng
+    Tmk_net.Transport.create ~engine ~params:Tmk_net.Params.atm_aal34 ~prng ()
   in
   let ping = Tmk_net.Transport.mailbox () and pong = Tmk_net.Transport.mailbox () in
   let t0 = ref Vtime.zero and t1 = ref Vtime.zero in
@@ -47,7 +47,7 @@ let roundtrip_handlers () =
   let engine = Engine.create ~nprocs:2 in
   let prng = Tmk_util.Prng.create 5L in
   let transport =
-    Tmk_net.Transport.create ~engine ~params:Tmk_net.Params.atm_aal34 ~prng
+    Tmk_net.Transport.create ~engine ~params:Tmk_net.Params.atm_aal34 ~prng ()
   in
   let t0 = ref Vtime.zero and t1 = ref Vtime.zero in
   Engine.spawn engine 1 (fun () -> ());

@@ -6,6 +6,7 @@ let () =
       ("util", Test_util.suite);
       ("sim", Test_sim.suite);
       ("net", Test_net.suite);
+      ("faults", Test_faults.suite);
       ("mem", Test_mem.suite);
       ("dsm", Test_dsm.suite);
       ("node", Test_node.suite);

@@ -6,10 +6,10 @@ open Tmk_net
 
 let check = Alcotest.check
 
-let make_cluster ?(nprocs = 2) ?(params = Params.atm_aal34) ?(seed = 1L) () =
+let make_cluster ?plan ?(nprocs = 2) ?(params = Params.atm_aal34) ?(seed = 1L) () =
   let engine = Engine.create ~nprocs in
   let prng = Tmk_util.Prng.create seed in
-  let transport = Transport.create ~engine ~params ~prng in
+  let transport = Transport.create ?plan ~engine ~params ~prng () in
   (engine, transport)
 
 (* Analytic expectation for a zero-payload RPC where the server charges no
@@ -202,18 +202,18 @@ let message_mix_labels () =
       Transport.send tr ~src:0 ~dst:1 ~bytes:5 ~deliver:(fun _ -> ()));
   Engine.run engine;
   let mix = Transport.message_mix tr in
-  let find l = List.find_opt (fun (name, _, _) -> name = l) mix in
+  let find l = List.find_opt (fun e -> e.Transport.mix_label = l) mix in
   (match find "probe" with
-  | Some (_, 1, _) -> ()
+  | Some { Transport.mix_msgs = 1; _ } -> ()
   | _ -> Alcotest.fail "probe counted once");
   (match find "probe-reply" with
-  | Some (_, 1, _) -> ()
+  | Some { Transport.mix_msgs = 1; _ } -> ()
   | _ -> Alcotest.fail "reply counted");
   (match find "other" with
-  | Some (_, 1, _) -> ()
+  | Some { Transport.mix_msgs = 1; _ } -> ()
   | _ -> Alcotest.fail "unlabelled counted as other");
   check Alcotest.int "total matches" (Transport.messages_sent tr)
-    (List.fold_left (fun acc (_, m, _) -> acc + m) 0 mix)
+    (List.fold_left (fun acc e -> acc + e.Transport.mix_msgs) 0 mix)
 
 let params_validation () =
   Alcotest.check_raises "ethernet aal34"
