@@ -11,7 +11,7 @@ module Params = Tmk_net.Params
 let pf = Format.printf
 
 let run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold ~eager_diffs
-    ~updates ~faults =
+    ~updates ~faults ~trace_file ~trace_format ~trace_report ~breakdown =
   let override cfg =
     {
       cfg with
@@ -23,7 +23,12 @@ let run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold ~eager
     }
   in
   let cfg = override (Tmk_harness.Harness.config ~app ~nprocs ~protocol ~net) in
-  let m = Tmk_harness.Harness.run_cfg ~app cfg in
+  let m, sink =
+    if trace_file <> None || trace_report then
+      let m, s = Tmk_harness.Harness.run_traced ~app cfg in
+      (m, Some s)
+    else (Tmk_harness.Harness.run_cfg ~app cfg, None)
+  in
   pf "application : %s (%s)@." (Tmk_harness.Harness.app_name app)
     (Tmk_harness.Harness.workload_description app);
   pf "cluster     : %d processors, %s, %s release consistency@." nprocs
@@ -58,7 +63,24 @@ let run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold ~eager
     s.Tmk_dsm.Stats.page_fetches s.Tmk_dsm.Stats.gc_runs;
   if Tmk_net.Fault_plan.is_faulty faults then
     pf "reliability : %d retransmissions@."
-      m.Tmk_harness.Harness.m_raw.Tmk_dsm.Api.retransmissions
+      m.Tmk_harness.Harness.m_raw.Tmk_dsm.Api.retransmissions;
+  if breakdown then pf "%s@." (Tmk_harness.Harness.breakdown_table m);
+  (* The speedup baseline above runs untraced on purpose: only the main
+     run's configuration carries the sink. *)
+  (match (sink, trace_file) with
+  | Some s, Some file ->
+    let oc = open_out file in
+    (match trace_format with
+    | `Jsonl -> Tmk_trace.Jsonl.write oc s
+    | `Chrome -> Tmk_trace.Chrome.write oc s);
+    close_out oc;
+    pf "trace       : %d events -> %s (%s)@." (Tmk_trace.Sink.length s) file
+      (match trace_format with `Jsonl -> "jsonl" | `Chrome -> "chrome trace_event")
+  | _ -> ());
+  match sink with
+  | Some s when trace_report ->
+    pf "@.%s" (Tmk_trace.Analyze.report (Tmk_trace.Analyze.analyze s))
+  | _ -> ()
 
 let app_conv =
   let parse s =
@@ -161,8 +183,34 @@ let cmd =
              ~doc:"Partitioned processors (every frame to or from them is dropped); the run \
                    terminates with Peer_unreachable once a retry budget is exhausted.")
   in
+  let trace_file =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Record the typed protocol event stream and write it to FILE (see \
+                   --trace-format).")
+  in
+  let trace_format =
+    Arg.(value
+         & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Jsonl
+         & info [ "trace-format" ] ~docv:"FMT"
+             ~doc:"Trace file format: jsonl (one event per line) or chrome (trace_event \
+                   JSON loadable in Perfetto / chrome://tracing, one track per processor).")
+  in
+  let trace_report =
+    Arg.(value & flag
+         & info [ "trace-report" ]
+             ~doc:"Record the event stream and print the analyzer's lock-contention, \
+                   hot-page, barrier-skew and per-processor tables.")
+  in
+  let breakdown =
+    Arg.(value & flag
+         & info [ "breakdown" ]
+             ~doc:"Print a per-processor execution-time table with the idle remainder \
+                   (makespan minus the busy categories) reported explicitly.")
+  in
   let main app nprocs protocol net show_speedup list verbose seed gc_threshold eager_diffs
-      updates loss dup reorder reorder_window stall unreachable =
+      updates loss dup reorder reorder_window stall unreachable trace_file trace_format
+      trace_report breakdown =
     if verbose then begin
       Logs.set_reporter (Logs_fmt.reporter ());
       Logs.set_level ~all:true (Some Logs.Debug)
@@ -196,7 +244,8 @@ let cmd =
       | faults -> (
         try
           run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold
-            ~eager_diffs ~updates ~faults
+            ~eager_diffs ~updates ~faults ~trace_file ~trace_format ~trace_report
+            ~breakdown
         with
         | Tmk_net.Transport.Peer_unreachable _ as e ->
           prerr_endline ("tmk_run: " ^ Printexc.to_string e);
@@ -212,7 +261,7 @@ let cmd =
     Term.(
       const main $ app_arg $ procs $ protocol $ net $ speedup $ list $ verbose $ seed
       $ gc_threshold $ eager_diffs $ updates $ loss $ dup $ reorder $ reorder_window
-      $ stall $ unreachable)
+      $ stall $ unreachable $ trace_file $ trace_format $ trace_report $ breakdown)
   in
   Cmd.v
     (Cmd.info "tmk_run" ~version:"1.0.0"

@@ -11,6 +11,7 @@ type t = {
   flop_ns : int;
   lazy_diffs : bool;
   lrc_updates : bool;
+  trace : Tmk_trace.Sink.t option;
 }
 
 let default =
@@ -25,6 +26,7 @@ let default =
     flop_ns = 200;
     lazy_diffs = true;
     lrc_updates = false;
+    trace = None;
   }
 
 let validate t =

@@ -34,6 +34,11 @@ type t = {
           barrier releases piggyback the diffs of pages the receiver is
           believed to cache, and valid pages are updated in place instead
           of invalidated *)
+  trace : Tmk_trace.Sink.t option;
+      (** typed protocol-event sink; [None] (the default) disables
+          tracing entirely — no events are recorded and no run behaviour
+          changes.  Install a {!Tmk_trace.Sink.t} to capture the full
+          structured stream (see [lib/trace]) *)
 }
 
 (** [default] — 8 processors, 256 pages, LRC on ATM/AAL3/4, GC off,

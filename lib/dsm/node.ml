@@ -49,9 +49,17 @@ type t = {
   mutable dirty : int list;
   mutable live_records : int;
   stats : Stats.t;
+  emit : (Tmk_trace.Event.t -> unit) option;
+      (* typed-trace emission hook; None disables (and must cost nothing) *)
 }
 
-let create ~pid ~nprocs ~pages =
+(* Guard with [tracing] before constructing an event value so a disabled
+   trace allocates nothing. *)
+let tracing t = t.emit <> None
+let emit t ev = match t.emit with None -> () | Some f -> f ev
+let vt_array t vt = Array.init t.nprocs (Vector_time.get vt)
+
+let create ?emit ~pid ~nprocs ~pages () =
   let vm = Vm.create ~pages in
   let make_entry _ =
     let copyset = Bitset.create nprocs in
@@ -79,6 +87,7 @@ let create ~pid ~nprocs ~pages =
     dirty = [];
     live_records = 0;
     stats = Stats.create ();
+    emit;
   }
 
 let write_fault_twin t page ~charge =
@@ -89,7 +98,8 @@ let write_fault_twin t page ~charge =
   charge Category.Unix_mem Costs.mprotect;
   Vm.set_prot t.vm page Vm.Read_write;
   t.dirty <- page :: t.dirty;
-  t.stats.Stats.twins_created <- t.stats.Stats.twins_created + 1
+  t.stats.Stats.twins_created <- t.stats.Stats.twins_created + 1;
+  if tracing t then emit t (Tmk_trace.Event.Twin_create { page })
 
 (* [attach] decides the piggybacked diff for one write notice (hybrid
    update protocol); the plain invalidate protocol attaches nothing. *)
@@ -153,6 +163,10 @@ let rec close_interval ?(eager_diffs = false) t ~charge =
     t.intervals.(t.pid) <- iv :: t.intervals.(t.pid);
     t.live_records <- t.live_records + 1;
     t.dirty <- [];
+    if tracing t then
+      emit t
+        (Tmk_trace.Event.Interval_close
+           { id; notices = List.length iv.iv_notices; vt = vt_array t iv.iv_vt });
     (* Munin-style ablation: create every diff at the release instead of
        on demand (§2.4 argues laziness avoids many of these). *)
     if eager_diffs then List.iter (fun page -> ensure_own_diff t page ~charge) dirty
@@ -179,6 +193,8 @@ and make_diff_now t page ~charge =
     t.stats.Stats.diffs_created <- t.stats.Stats.diffs_created + 1;
     t.stats.Stats.diff_bytes_created <-
       t.stats.Stats.diff_bytes_created + Rle.encoded_size diff;
+    if tracing t then
+      emit t (Tmk_trace.Event.Diff_create { page; bytes = Rle.encoded_size diff });
     t.live_records <- t.live_records + 1;
     (match entry.pg_notices.(t.pid) with
     | wn :: _ when wn.wn_diff = None -> wn.wn_diff <- Some diff
@@ -201,7 +217,8 @@ let invalidate t page ~charge =
   make_diff_now t page ~charge;
   if Vm.prot t.vm page <> Vm.No_access then begin
     charge Category.Unix_mem Costs.mprotect;
-    Vm.set_prot t.vm page Vm.No_access
+    Vm.set_prot t.vm page Vm.No_access;
+    if tracing t then emit t (Tmk_trace.Event.Page_invalidate { page })
   end
 
 let find_notice t ~proc ~interval_id ~page =
@@ -290,7 +307,9 @@ let apply_missing_diffs t page notices ~charge =
       charge Category.Tmk_mem (Costs.diff_apply (Rle.payload_size diff));
       Vm.patch t.vm page diff;
       wn.wn_applied <- true;
-      t.stats.Stats.diffs_applied <- t.stats.Stats.diffs_applied + 1
+      t.stats.Stats.diffs_applied <- t.stats.Stats.diffs_applied + 1;
+      if tracing t then
+        emit t (Tmk_trace.Event.Diff_apply { page; bytes = Rle.payload_size diff })
   in
   List.iter apply ordered;
   charge Category.Unix_mem Costs.mprotect;
@@ -335,9 +354,22 @@ let incorporate t intervals ~charge =
           wn :: t.pages.(page).pg_notices.(mi.mi_proc);
         t.live_records <- t.live_records + (if diff = None then 1 else 2);
         t.stats.Stats.write_notices_in <- t.stats.Stats.write_notices_in + 1;
+        if tracing t then
+          emit t
+            (Tmk_trace.Event.Write_notice_recv
+               { page; proc = mi.mi_proc; interval = mi.mi_id });
         let prev = Option.value ~default:[] (Hashtbl.find_opt fresh_by_page page) in
         Hashtbl.replace fresh_by_page page (wn :: prev)
       in
+      if tracing t then
+        emit t
+          (Tmk_trace.Event.Interval_recv
+             {
+               proc = mi.mi_proc;
+               id = mi.mi_id;
+               notices = List.length mi.mi_pages;
+               vt = vt_array t mi.mi_vt;
+             });
       List.iter add_notice mi.mi_pages;
       t.intervals.(mi.mi_proc) <- iv :: t.intervals.(mi.mi_proc);
       t.live_records <- t.live_records + 1;

@@ -67,12 +67,16 @@ type t = {
   mutable dirty : int list;  (** pages twinned since the last interval creation *)
   mutable live_records : int;  (** intervals + notices + diffs held (GC trigger) *)
   stats : Stats.t;
+  emit : (Tmk_trace.Event.t -> unit) option;
+      (** typed-trace hook; [None] disables emission entirely *)
 }
 
-(** [create ~pid ~nprocs ~pages] — initial state: processor 0 holds every
-    page [Read_only] (it is the initial copyset), everyone else holds
-    nothing ([No_access], no copy). *)
-val create : pid:int -> nprocs:int -> pages:int -> t
+(** [create ?emit ~pid ~nprocs ~pages ()] — initial state: processor 0
+    holds every page [Read_only] (it is the initial copyset), everyone
+    else holds nothing ([No_access], no copy).  [emit], when given,
+    receives the node's bookkeeping events (twin creation, interval
+    close, diff create/apply, invalidations, record receipt). *)
+val create : ?emit:(Tmk_trace.Event.t -> unit) -> pid:int -> nprocs:int -> pages:int -> unit -> t
 
 (** [write_fault_twin t page ~charge] — handle a write fault on a valid
     page: make the twin, upgrade to read-write (§3.7 SIGSEGV handler, twin

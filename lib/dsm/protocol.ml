@@ -85,6 +85,11 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 let app_charge cat dt = Engine.advance cat dt
 let h_charge h cat dt = Engine.hcharge h cat dt
 
+(* Typed-trace emission.  Always guard with [Engine.tracing] (or
+   [Engine.htracing] in handler context) at the call site so the event
+   value is never even allocated when tracing is off. *)
+let emit t ~pid ev = Engine.emit t.engine ~pid ev
+
 (* Application-context protocol bookkeeping must not interleave with this
    processor's request handlers: [Engine.advance] is a scheduling point,
    so charging time in the middle of a mutation sequence would let a
@@ -158,6 +163,8 @@ let fetch_base_lrc t pid page =
         in
         (Wire.page_reply_bytes, (snapshot, Bitset.copy pentry.Node.pg_copyset)))
   in
+  if Engine.tracing t.engine then
+    emit t ~pid (Tmk_trace.Event.Page_fetch { page; from_ = provider });
   atomically (fun charge ->
       Node.validate_page node page bytes ~charge;
       Bitset.union_into ~src:copyset ~dst:entry.Node.pg_copyset;
@@ -207,6 +214,10 @@ let fetch_and_apply_diffs t pid page missing =
       (fun r rev_entries acc ->
         let entries = List.rev rev_entries in
         app_charge Category.Tmk_other Cpu.page_request_build;
+        if Engine.tracing t.engine then
+          emit t ~pid
+            (Tmk_trace.Event.Diff_fetch
+               { page; from_ = r; count = List.length entries });
         let promise =
           Transport.call ~label:"diff-fetch" t.transport ~src:pid ~dst:r
             ~bytes:(Wire.diff_request_bytes (List.length entries))
@@ -273,6 +284,8 @@ let fetch_base_erc t pid page =
   Transport.send ~label:"page-fetch" t.transport ~src:pid ~dst:provider
     ~bytes:Wire.page_request_bytes ~deliver:serve;
   let bytes = Transport.await_value t.transport mb in
+  if Engine.tracing t.engine then
+    emit t ~pid (Tmk_trace.Event.Page_fetch { page; from_ = provider });
   atomically (fun charge ->
       Node.validate_page node page bytes ~charge;
       (match Hashtbl.find_opt t.erc_pending.(pid) page with
@@ -333,7 +346,12 @@ let handle_fault_rc t pid kind page =
   (match kind with
   | Vm.Read -> node.Node.stats.Stats.read_faults <- node.Node.stats.Stats.read_faults + 1
   | Vm.Write -> node.Node.stats.Stats.write_faults <- node.Node.stats.Stats.write_faults + 1);
-  match (Vm.prot node.Node.vm page, kind) with
+  let ekind =
+    match kind with Vm.Read -> Tmk_trace.Event.Read | Vm.Write -> Tmk_trace.Event.Write
+  in
+  if Engine.tracing t.engine then
+    emit t ~pid (Tmk_trace.Event.Page_fault { page; kind = ekind });
+  (match (Vm.prot node.Node.vm page, kind) with
   | Vm.Read_only, Vm.Write ->
     atomically (fun charge -> Node.write_fault_twin node page ~charge)
   | Vm.No_access, Vm.Read -> miss t pid page
@@ -344,7 +362,9 @@ let handle_fault_rc t pid kind page =
        once more. *)
     if Vm.prot node.Node.vm page = Vm.Read_only then
       atomically (fun charge -> Node.write_fault_twin node page ~charge)
-  | (Vm.Read_only | Vm.Read_write), _ -> assert false
+  | (Vm.Read_only | Vm.Read_write), _ -> assert false);
+  if Engine.tracing t.engine then
+    emit t ~pid (Tmk_trace.Event.Page_fault_done { page; kind = ekind })
 
 (* Fault entry: the SC baseline handles its faults entirely in Sc. *)
 let handle_fault t pid kind page =
@@ -383,6 +403,10 @@ let erc_flush t pid =
                     node.Node.stats.Stats.diffs_created + 1;
                   node.Node.stats.Stats.diff_bytes_created <-
                     node.Node.stats.Stats.diff_bytes_created + Rle.encoded_size diff;
+                  if Engine.tracing t.engine then
+                    emit t ~pid
+                      (Tmk_trace.Event.Diff_create
+                         { page; bytes = Rle.encoded_size diff });
                   charge Category.Unix_mem Costs.mprotect;
                   Vm.set_prot node.Node.vm page Vm.Read_only;
                   diff)
@@ -418,7 +442,10 @@ let erc_flush t pid =
             | Some tw -> Rle.apply diff tw
             | None -> ());
             mnode.Node.stats.Stats.diffs_applied <-
-              mnode.Node.stats.Stats.diffs_applied + 1
+              mnode.Node.stats.Stats.diffs_applied + 1;
+            if Engine.htracing h then
+              Engine.hemit h
+                (Tmk_trace.Event.Diff_apply { page; bytes = Rle.payload_size diff })
           end
           else begin
             (* The base copy is still in flight: queue the update. *)
@@ -493,12 +520,30 @@ let grant_payload t granter req ~charge =
 (* Grant from a request handler: the lock was free (cached) at this node. *)
 let grant_from_handler t granter req h =
   let bytes, payload = grant_payload t granter req ~charge:(h_charge h) in
+  if Engine.htracing h then
+    Engine.hemit h
+      (Tmk_trace.Event.Lock_grant
+         {
+           lock = req.lr_lock;
+           requester = req.lr_requester;
+           intervals = List.length payload.g_intervals;
+           bytes;
+         });
   Transport.hsend_value ~label:"lock-grant" t.transport h ~dst:req.lr_requester ~bytes
     req.lr_mb payload
 
 (* Grant from application context (at release time). *)
 let grant_from_app t granter req =
   let bytes, payload = atomically (fun charge -> grant_payload t granter req ~charge) in
+  if Engine.tracing t.engine then
+    emit t ~pid:granter
+      (Tmk_trace.Event.Lock_grant
+         {
+           lock = req.lr_lock;
+           requester = req.lr_requester;
+           intervals = List.length payload.g_intervals;
+           bytes;
+         });
   Transport.send_value ~label:"lock-grant" t.transport ~src:granter ~dst:req.lr_requester
     ~bytes req.lr_mb payload
 
@@ -508,7 +553,13 @@ let transfer_request t target req h =
   Log.debug (fun m ->
       m "[t=%d] lock %d transfer-request at %d from %d (held=%b cached=%b)"
         (Engine.now t.engine) req.lr_lock target req.lr_requester st.held st.cached);
-  if st.held || not st.cached then Queue.add req st.pending
+  if st.held || not st.cached then begin
+    if Engine.htracing h then
+      Engine.hemit h
+        (Tmk_trace.Event.Lock_queued
+           { lock = req.lr_lock; requester = req.lr_requester });
+    Queue.add req st.pending
+  end
   else begin
     st.cached <- false;
     grant_from_handler t target req h
@@ -521,9 +572,17 @@ let manager_handle t mgr req h =
   let target = ms.last_requester in
   assert (target <> req.lr_requester);
   ms.last_requester <- req.lr_requester;
+  if Engine.htracing h then
+    Engine.hemit h
+      (Tmk_trace.Event.Lock_request_recv
+         { lock = req.lr_lock; requester = req.lr_requester });
   if target = mgr then transfer_request t mgr req h
   else begin
     h_charge h Category.Tmk_other Cpu.lock_forward;
+    if Engine.htracing h then
+      Engine.hemit h
+        (Tmk_trace.Event.Lock_forward
+           { lock = req.lr_lock; requester = req.lr_requester; target });
     Transport.hsend ~label:"lock-forward" t.transport h ~dst:target
       ~bytes:(Wire.lock_request_bytes ~nprocs:t.cfg.Config.nprocs)
       ~deliver:(fun h2 -> transfer_request t target req h2)
@@ -533,6 +592,8 @@ let acquire t ~pid ~lock =
   let node = t.nodes.(pid) in
   let st = lock_state_of t pid lock in
   node.Node.stats.Stats.lock_acquires <- node.Node.stats.Stats.lock_acquires + 1;
+  if Engine.tracing t.engine then
+    emit t ~pid (Tmk_trace.Event.Lock_acquire { lock; local = st.cached });
   if st.cached then begin
     (* Mark the lock held before charging: Engine.advance is a scheduling
        point, and a request handler running inside it must see the token
@@ -540,7 +601,9 @@ let acquire t ~pid ~lock =
        SIGIO around the lock internals). *)
     st.held <- true;
     Log.debug (fun m -> m "[t=%d] lock %d local acquire by %d" (Engine.now t.engine) lock pid);
-    app_charge Category.Tmk_other Cpu.lock_local
+    app_charge Category.Tmk_other Cpu.lock_local;
+    if Engine.tracing t.engine then
+      emit t ~pid (Tmk_trace.Event.Lock_acquired { lock; local = true })
   end
   else begin
     node.Node.stats.Stats.lock_remote <- node.Node.stats.Stats.lock_remote + 1;
@@ -569,7 +632,9 @@ let acquire t ~pid ~lock =
       assert (Vector_time.leq grant.g_granter_vt node.Node.vt)
     | Config.Erc | Config.Sc -> app_charge Category.Tmk_consistency Cpu.incorporate_base);
     st.held <- true;
-    st.cached <- true
+    st.cached <- true;
+    if Engine.tracing t.engine then
+      emit t ~pid (Tmk_trace.Event.Lock_acquired { lock; local = false })
   end
 
 let release t ~pid ~lock =
@@ -582,11 +647,17 @@ let release t ~pid ~lock =
   if t.cfg.Config.protocol = Config.Erc then erc_flush t pid;
   st.held <- false;
   match Queue.take_opt st.pending with
-  | None -> () (* token stays cached here *)
+  | None ->
+    (* token stays cached here *)
+    if Engine.tracing t.engine then
+      emit t ~pid (Tmk_trace.Event.Lock_release { lock; granted_to = None })
   | Some req ->
     Log.debug (fun m ->
         m "[t=%d] lock %d release-grant by %d to %d" (Engine.now t.engine) lock pid
           req.lr_requester);
+    if Engine.tracing t.engine then
+      emit t ~pid
+        (Tmk_trace.Event.Lock_release { lock; granted_to = Some req.lr_requester });
     st.cached <- false;
     grant_from_app t pid req;
     (* Any stragglers chase the token to its new holder. *)
@@ -618,6 +689,8 @@ let gc_phase t pid =
   Log.debug (fun m ->
       m "[t=%d] gc at %d (%d live records)" (Engine.now t.engine) pid node.Node.live_records);
   node.Node.stats.Stats.gc_runs <- node.Node.stats.Stats.gc_runs + 1;
+  if Engine.tracing t.engine then
+    emit t ~pid (Tmk_trace.Event.Gc_begin { live = node.Node.live_records });
   (* 1. Validate every page this node modified: flush twins to diffs,
      fetch and apply whatever is missing. *)
   let validate page =
@@ -685,7 +758,9 @@ let gc_phase t pid =
       entry.Node.pg_copyset <- Bitset.copy keepers.(page);
       if not (Bitset.mem keepers.(page) pid) then entry.Node.pg_has_copy <- false)
     node.Node.pages;
-  ignore (Node.discard_all_records node ~charge:app_charge)
+  let discarded = Node.discard_all_records node ~charge:app_charge in
+  if Engine.tracing t.engine then
+    emit t ~pid (Tmk_trace.Event.Gc_end { discarded })
 
 (* ------------------------------------------------------------------ *)
 (* Barriers (§3.4)                                                     *)
@@ -702,13 +777,20 @@ let barrier t ~pid ~id =
   let lrc = t.cfg.Config.protocol = Config.Lrc in
   Log.debug (fun m -> m "[t=%d] barrier %d arrival by %d" (Engine.now t.engine) id pid);
   node.Node.stats.Stats.barriers <- node.Node.stats.Stats.barriers + 1;
+  (* epoch = this processor's global barrier sequence number *)
+  let epoch = node.Node.stats.Stats.barriers - 1 in
+  if Engine.tracing t.engine then
+    emit t ~pid (Tmk_trace.Event.Barrier_arrive { id; epoch });
   if t.cfg.Config.protocol = Config.Erc then erc_flush t pid;
   app_charge Category.Unix_comm Cpu.barrier_arrival_build_kernel;
   app_charge Category.Tmk_other Cpu.barrier_arrival_build_dsm;
   if lrc then atomically (fun charge ->
       Node.close_interval ~eager_diffs:(not t.cfg.Config.lazy_diffs) node ~charge);
   let want_gc = lrc && node.Node.live_records > t.cfg.Config.gc_threshold in
-  if t.cfg.Config.nprocs = 1 then ()
+  if t.cfg.Config.nprocs = 1 then begin
+    if Engine.tracing t.engine then
+      emit t ~pid (Tmk_trace.Event.Barrier_release { id; epoch })
+  end
   else if pid = barrier_manager then begin
     let bs = barrier_state_of t id in
     bs.bs_manager_here <- true;
@@ -753,6 +835,8 @@ let barrier t ~pid ~id =
     in
     (* Release in client order for determinism. *)
     List.iter release_one (List.sort (fun a b -> compare a.bc_pid b.bc_pid) clients);
+    if Engine.tracing t.engine then
+      emit t ~pid (Tmk_trace.Event.Barrier_release { id; epoch });
     if run_gc then gc_phase t pid
   end
   else begin
@@ -792,6 +876,8 @@ let barrier t ~pid ~id =
       assert (Vector_time.leq rel.br_vt node.Node.vt)
     end
     else app_charge Category.Tmk_consistency Cpu.incorporate_base;
+    if Engine.tracing t.engine then
+      emit t ~pid (Tmk_trace.Event.Barrier_release { id; epoch });
     if rel.br_gc then gc_phase t pid
   end
 
@@ -803,13 +889,21 @@ let charge_compute _t ~pid:_ ns = app_charge Category.Computation (Vtime.ns ns)
 let create cfg =
   Config.validate cfg;
   let engine = Engine.create ~nprocs:cfg.Config.nprocs in
+  (match cfg.Config.trace with
+  | Some sink -> Engine.set_sink engine sink
+  | None -> ());
   let prng = Tmk_util.Prng.split_named (Tmk_util.Prng.create cfg.Config.seed) "net" in
   let transport =
     Transport.create ~plan:cfg.Config.faults ~engine ~params:cfg.Config.net ~prng ()
   in
   let nodes =
     Array.init cfg.Config.nprocs (fun pid ->
-        Node.create ~pid ~nprocs:cfg.Config.nprocs ~pages:cfg.Config.pages)
+        let emit =
+          match cfg.Config.trace with
+          | None -> None
+          | Some _ -> Some (fun ev -> Engine.emit engine ~pid ev)
+        in
+        Node.create ?emit ~pid ~nprocs:cfg.Config.nprocs ~pages:cfg.Config.pages ())
   in
   let erc_dir =
     Array.init cfg.Config.pages (fun _ ->

@@ -76,7 +76,12 @@ and grant_at_requester t st rq ~page_bytes ~prot h =
     h_charge h Category.Tmk_mem Costs.page_copy;
     Vm.install_page node.Node.vm st.ps_page bytes;
     node.Node.pages.(st.ps_page).Node.pg_has_copy <- true;
-    node.Node.stats.Stats.page_fetches <- node.Node.stats.Stats.page_fetches + 1
+    node.Node.stats.Stats.page_fetches <- node.Node.stats.Stats.page_fetches + 1;
+    (* the shipped copy always comes from the current owner (ownership
+       records update only afterwards, in [complete]) *)
+    if Engine.htracing h then
+      Engine.hemit h
+        (Tmk_trace.Event.Page_fetch { page = st.ps_page; from_ = st.ps_owner })
   | None -> ());
   h_charge h Category.Unix_mem Costs.mprotect;
   Vm.set_prot node.Node.vm st.ps_page prot;
@@ -176,6 +181,11 @@ let handle_fault t ~pid kind page =
   | Vm.Write -> node.Node.stats.Stats.write_faults <- node.Node.stats.Stats.write_faults + 1);
   node.Node.stats.Stats.remote_misses <- node.Node.stats.Stats.remote_misses + 1;
   let rq_kind = match kind with Vm.Read -> Read_miss | Vm.Write -> Write_miss in
+  let ekind =
+    match kind with Vm.Read -> Tmk_trace.Event.Read | Vm.Write -> Tmk_trace.Event.Write
+  in
+  if Engine.tracing t.engine then
+    Engine.emit t.engine ~pid (Tmk_trace.Event.Page_fault { page; kind = ekind });
   let rq = { rq_pid = pid; rq_kind; rq_done = Engine.Ivar.create () } in
   Engine.advance Category.Tmk_other Cpu.page_request_build;
   let st = t.pstates.(page) in
@@ -183,4 +193,6 @@ let handle_fault t ~pid kind page =
     ~bytes:Wire.page_request_bytes ~deliver:(fun h -> manager_handle t st rq h);
   (* the grant handler runs on this processor and has already charged the
      delivery costs; the application just sleeps until it fires *)
-  Engine.await rq.rq_done
+  Engine.await rq.rq_done;
+  if Engine.tracing t.engine then
+    Engine.emit t.engine ~pid (Tmk_trace.Event.Page_fault_done { page; kind = ekind })

@@ -55,7 +55,7 @@ let add ~into t =
 let pp ppf t =
   Format.fprintf ppf
     "locks=%d (remote %d) barriers=%d faults=r%d/w%d misses=%d twins=%d diffs=c%d/a%d \
-     notices-in=%d intervals-in=%d pages=%d gc=%d"
+     diff-bytes=%d notices-in=%d intervals-in=%d pages=%d gc=%d discarded=%d"
     t.lock_acquires t.lock_remote t.barriers t.read_faults t.write_faults t.remote_misses
-    t.twins_created t.diffs_created t.diffs_applied t.write_notices_in t.intervals_in
-    t.page_fetches t.gc_runs
+    t.twins_created t.diffs_created t.diffs_applied t.diff_bytes_created
+    t.write_notices_in t.intervals_in t.page_fetches t.gc_runs t.records_discarded

@@ -157,6 +157,38 @@ let run_cfg ~app cfg = metrics_of_raw ~app cfg (Api.run cfg (body app))
 
 let run ~app ~nprocs ~protocol ~net = run_cfg ~app (config ~app ~nprocs ~protocol ~net)
 
+(* Traced runs install a fresh sink so experiments can assert on
+   trace-derived metrics (and the CLI can export/analyze the stream). *)
+let run_traced ~app cfg =
+  let sink = Tmk_trace.Sink.create () in
+  let m = run_cfg ~app { cfg with Config.trace = Some sink } in
+  (m, sink)
+
+(* Per-processor execution-time breakdown with idle reported explicitly
+   as makespan − Σ busy categories (the paper's figure decompositions
+   include idle; Category.t does not, so it is derived, never charged). *)
+let breakdown_table m =
+  let raw = m.m_raw in
+  let ms v = Printf.sprintf "%.3f" (Vtime.to_ms v) in
+  let header =
+    [ "cpu"; "comp"; "unix comm"; "unix mem"; "tmk mem"; "tmk cons"; "tmk other";
+      "busy"; "idle"; "total" ]
+  in
+  let row pid =
+    let busy cat = raw.Api.busy.(pid).(Category.index cat) in
+    let busy_sum =
+      Array.fold_left Vtime.add Vtime.zero raw.Api.busy.(pid)
+    in
+    [ string_of_int pid; ms (busy Category.Computation); ms (busy Category.Unix_comm);
+      ms (busy Category.Unix_mem); ms (busy Category.Tmk_mem);
+      ms (busy Category.Tmk_consistency); ms (busy Category.Tmk_other);
+      ms busy_sum; ms raw.Api.idle.(pid); ms raw.Api.total_time ]
+  in
+  Tmk_util.Tablefmt.render
+    ~title:"Per-processor breakdown (ms; idle = makespan − Σ busy)"
+    ~header
+    (List.init m.m_nprocs row)
+
 (* Checked runs collect the DSM result on processor 0 and hash the
    schedule-independent part: a correctly synchronized program must
    produce the same answer whatever the network does to the messages.

@@ -76,6 +76,18 @@ val run :
     configuration (seed, GC threshold, diffing policy, fault plan...). *)
 val run_cfg : app:app -> Config.t -> metrics
 
+(** [run_traced ~app cfg] — like {!run_cfg} but installs a fresh typed
+    trace sink (overriding [cfg.trace]) and returns it alongside the
+    metrics, so callers can export the event stream or assert on
+    trace-derived quantities (lock contention, hot pages, barrier
+    skew — see {!Tmk_trace.Analyze}). *)
+val run_traced : app:app -> Config.t -> metrics * Tmk_trace.Sink.t
+
+(** [breakdown_table m] — a per-processor execution-time table (one row
+    per processor: the six {!Tmk_sim.Category.t} busy columns, their sum,
+    and the idle remainder [makespan − Σ busy] reported explicitly). *)
+val breakdown_table : metrics -> string
+
 (** [run_checked ~app cfg] — like {!run_cfg} but also collects the DSM
     result on processor 0 and returns a hex digest of its
     schedule-independent part (Water energy+positions, Jacobi grid, TSP

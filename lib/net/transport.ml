@@ -102,8 +102,8 @@ let label_counters t label =
    medium actually delivers — zero times when dropped, twice when
    duplicated.  [on_fate] reports that copy count as soon as the medium
    decides it (retransmission bookkeeping). *)
-let transmit ?(label = "other") ?(on_fate = fun _ -> ()) t ~src ~dst ~bytes ~at
-    ~on_arrival =
+let transmit ?(label = "other") ?(retrans = false) ?(on_fate = fun _ -> ()) t
+    ~src ~dst ~bytes ~at ~on_arrival =
   let p = t.params in
   let frame = Params.frame_bytes p bytes in
   let c = t.per_proc.(src) in
@@ -113,6 +113,9 @@ let transmit ?(label = "other") ?(on_fate = fun _ -> ()) t ~src ~dst ~bytes ~at
   lc.msgs <- lc.msgs + 1;
   lc.bytes <- lc.bytes + frame;
   Engine.schedule t.engine ~at (fun () ->
+      if Engine.tracing t.engine then
+        Engine.emit t.engine ~pid:src
+          (Tmk_trace.Event.Frame_send { src; dst; label; bytes = frame; retrans });
       let slot = if p.Params.shared_medium then 0 else src in
       let free_at = t.link_free.(slot) in
       (* A frame finding the medium busy pays the contention penalty
@@ -128,7 +131,12 @@ let transmit ?(label = "other") ?(on_fate = fun _ -> ()) t ~src ~dst ~bytes ~at
         Fault_plan.unreachable_link t.plan ~src ~dst
         || (loss > 0.0 && Tmk_util.Prng.float t.prng 1.0 < loss)
       in
-      if dropped then on_fate 0
+      if dropped then begin
+        if Engine.tracing t.engine then
+          Engine.emit t.engine ~pid:src
+            (Tmk_trace.Event.Frame_drop { src; dst; label; bytes = frame });
+        on_fate 0
+      end
       else begin
         let copies =
           if
@@ -153,13 +161,22 @@ let transmit ?(label = "other") ?(on_fate = fun _ -> ()) t ~src ~dst ~bytes ~at
         let arrival =
           Vtime.add (Vtime.add (Vtime.add start occupancy) p.Params.wire_latency) held
         in
-        Engine.schedule t.engine ~at:arrival (fun () -> on_arrival arrival);
+        let arrive at =
+          Engine.schedule t.engine ~at (fun () ->
+              if Engine.tracing t.engine then
+                Engine.emit t.engine ~pid:dst
+                  (Tmk_trace.Event.Frame_recv { src; dst; label; bytes = frame });
+              on_arrival at)
+        in
+        arrive arrival;
         if copies = 2 then begin
           t.dup_frames <- t.dup_frames + 1;
           lc.dups <- lc.dups + 1;
+          if Engine.tracing t.engine then
+            Engine.emit t.engine ~pid:src
+              (Tmk_trace.Event.Frame_dup { src; dst; label });
           (* The duplicate trails its original back-to-back. *)
-          let again = Vtime.add arrival occupancy in
-          Engine.schedule t.engine ~at:again (fun () -> on_arrival again)
+          arrive (Vtime.add arrival occupancy)
         end
       end)
 
@@ -225,7 +242,7 @@ let rec oneway ?(label = "other") t ~src ~dst ~bytes ~at ~deliver =
         t.retransmissions <- t.retransmissions + 1;
         lc.retrans <- lc.retrans + 1
       end;
-      transmit ~label t ~src ~dst ~bytes ~at
+      transmit ~label ~retrans:(st.attempts > 1) t ~src ~dst ~bytes ~at
         ~on_fate:(fun copies ->
           st.expected <- st.expected + (copies - 1);
           maybe_prune ())
@@ -313,7 +330,8 @@ let value_message ?(label = "other") t ~src ~dst ~bytes ~at mb v =
         t.retransmissions <- t.retransmissions + 1;
         lc.retrans <- lc.retrans + 1
       end;
-      transmit ~label t ~src ~dst ~bytes ~at ~on_arrival:(fun arrival ->
+      transmit ~label ~retrans:(st.attempts > 1) t ~src ~dst ~bytes ~at
+        ~on_arrival:(fun arrival ->
           fill_at arrival;
           post_to t ~pid:dst ~at:arrival (fun h ->
               send_ack t h ~dst:src ~on_ack));

@@ -52,7 +52,7 @@ and t = {
   mutable running_pid : pid option;  (* process currently executing, if any *)
   blocked : bool array;  (* per-pid: process suspended on an ivar *)
   mutable blocked_count : int;
-  mutable trace_sink : (Vtime.t -> string -> unit) option;
+  mutable sink : Tmk_trace.Sink.t option;
 }
 
 let create ~nprocs =
@@ -79,16 +79,46 @@ let create ~nprocs =
     running_pid = None;
     blocked = Array.make nprocs false;
     blocked_count = 0;
-    trace_sink = None;
+    sink = None;
   }
 
 let nprocs t = Array.length t.procs
 let now t = t.clock
 
-let set_trace t f = t.trace_sink <- Some f
+(* ------------------------------------------------------------------ *)
+(* Typed event tracing                                                 *)
+
+let set_sink t s = t.sink <- Some s
+let sink t = t.sink
+let tracing t = t.sink <> None
+
+let emit_at t ~time ~pid ev =
+  match t.sink with
+  | None -> ()
+  | Some s -> Tmk_trace.Sink.emit s ~time ~pid ev
+
+let emit t ~pid ev = emit_at t ~time:t.clock ~pid ev
 
 let trace t msg =
-  match t.trace_sink with None -> () | Some f -> f t.clock msg
+  if tracing t then
+    let pid = match t.running_pid with Some p -> p | None -> -1 in
+    emit t ~pid (Tmk_trace.Event.Mark msg)
+
+(* Compatibility shim for the historic string sink: marks flow through
+   the typed stream and are echoed to [f] as they are recorded. *)
+let set_trace t f =
+  let s =
+    match t.sink with
+    | Some s -> s
+    | None ->
+      let s = Tmk_trace.Sink.create () in
+      set_sink t s;
+      s
+  in
+  Tmk_trace.Sink.on_record s (fun r ->
+      match r.Tmk_trace.Sink.r_ev with
+      | Tmk_trace.Event.Mark msg -> f r.Tmk_trace.Sink.r_time msg
+      | _ -> ())
 
 let schedule t ~at f =
   if at < t.clock then
@@ -154,7 +184,10 @@ let spawn t pid main =
   let body () =
     match_with main ()
       {
-        retc = (fun () -> proc.finished_at <- Some t.clock);
+        retc =
+          (fun () ->
+            proc.finished_at <- Some t.clock;
+            emit t ~pid Tmk_trace.Event.Proc_finish);
         exnc = raise;
         effc =
           (fun (type a) (eff : a Effect.t) ->
@@ -283,6 +316,9 @@ let busy_total t pid = Array.fold_left Vtime.add Vtime.zero t.procs.(pid).busy
 
 let end_time t = t.last_event_time
 
-(* Silence the unused-field warning: hengine exists so handler bodies can
-   reach the engine through their context alone. *)
-let _engine_of_hctx h = h.hengine
+(* Handler-context emission: the handler's own clock (service start plus
+   CPU charged so far) is ahead of the global clock, so events it emits
+   are stamped with [hnow], keeping the stream causally ordered per
+   processor. *)
+let hemit h ev = emit_at h.hengine ~time:(hnow h) ~pid:(hpid h) ev
+let htracing h = tracing h.hengine

@@ -139,11 +139,46 @@ val busy_total : t -> pid -> Vtime.t
     makespan). *)
 val end_time : t -> Vtime.t
 
-(** [set_trace t f] installs a trace sink receiving [(time, message)] for
-    every scheduled event execution and {!trace} call; used by determinism
-    tests. *)
+(** {2 Typed event tracing}
+
+    The engine owns at most one {!Tmk_trace.Sink.t}; every layer of the
+    system (transport, DSM protocol, applications) emits structured
+    events through it.  When no sink is installed, emission is a single
+    [option] test — instrumented code guards event construction with
+    {!tracing} so a disabled trace allocates nothing and perturbs
+    nothing. *)
+
+(** [set_sink t s] installs the typed event sink. *)
+val set_sink : t -> Tmk_trace.Sink.t -> unit
+
+(** [sink t] is the installed sink, if any. *)
+val sink : t -> Tmk_trace.Sink.t option
+
+(** [tracing t] is [true] iff a sink is installed.  Emitting code should
+    test this before building an event value. *)
+val tracing : t -> bool
+
+(** [emit t ~pid ev] records [ev] at the current virtual time on behalf
+    of processor [pid] (use [-1] for engine-level events).  No-op
+    without a sink. *)
+val emit : t -> pid:pid -> Tmk_trace.Event.t -> unit
+
+(** [emit_at t ~time ~pid ev] records [ev] at an explicit time (for
+    contexts whose local clock is ahead of the global one). *)
+val emit_at : t -> time:Vtime.t -> pid:pid -> Tmk_trace.Event.t -> unit
+
+(** [hemit h ev] records [ev] from handler context, stamped with the
+    handler's own clock ({!hnow}) and pid. *)
+val hemit : hctx -> Tmk_trace.Event.t -> unit
+
+(** [htracing h] is {!tracing} reached through a handler context. *)
+val htracing : hctx -> bool
+
+(** [set_trace t f] — compatibility shim over the typed stream: installs
+    a sink if none is present and echoes every {!trace} mark to [f] as
+    [(time, message)].  Used by the string-trace determinism tests. *)
 val set_trace : t -> (Vtime.t -> string -> unit) -> unit
 
-(** [trace t msg] emits a trace line at the current time (no-op without a
-    sink). *)
+(** [trace t msg] records a {!Tmk_trace.Event.Mark} at the current time,
+    attributed to the running process if any (no-op without a sink). *)
 val trace : t -> string -> unit

@@ -1,0 +1,106 @@
+type fault_kind = Read | Write
+
+type t =
+  | Lock_acquire of { lock : int; local : bool }
+  | Lock_acquired of { lock : int; local : bool }
+  | Lock_release of { lock : int; granted_to : int option }
+  | Lock_queued of { lock : int; requester : int }
+  | Lock_request_recv of { lock : int; requester : int }
+  | Lock_forward of { lock : int; requester : int; target : int }
+  | Lock_grant of { lock : int; requester : int; intervals : int; bytes : int }
+  | Barrier_arrive of { id : int; epoch : int }
+  | Barrier_release of { id : int; epoch : int }
+  | Page_fault of { page : int; kind : fault_kind }
+  | Page_fault_done of { page : int; kind : fault_kind }
+  | Twin_create of { page : int }
+  | Page_fetch of { page : int; from_ : int }
+  | Page_invalidate of { page : int }
+  | Diff_create of { page : int; bytes : int }
+  | Diff_apply of { page : int; bytes : int }
+  | Diff_fetch of { page : int; from_ : int; count : int }
+  | Interval_close of { id : int; notices : int; vt : int array }
+  | Interval_recv of { proc : int; id : int; notices : int; vt : int array }
+  | Write_notice_recv of { page : int; proc : int; interval : int }
+  | Frame_send of { src : int; dst : int; label : string; bytes : int; retrans : bool }
+  | Frame_recv of { src : int; dst : int; label : string; bytes : int }
+  | Frame_drop of { src : int; dst : int; label : string; bytes : int }
+  | Frame_dup of { src : int; dst : int; label : string }
+  | Gc_begin of { live : int }
+  | Gc_end of { discarded : int }
+  | Proc_finish
+  | Mark of string
+
+type arg = Int of int | Bool of bool | Str of string | Ints of int array
+
+let fault_kind_name = function Read -> "read" | Write -> "write"
+
+let name = function
+  | Lock_acquire _ -> "lock-acquire"
+  | Lock_acquired _ -> "lock-acquired"
+  | Lock_release _ -> "lock-release"
+  | Lock_queued _ -> "lock-queued"
+  | Lock_request_recv _ -> "lock-request-recv"
+  | Lock_forward _ -> "lock-forward"
+  | Lock_grant _ -> "lock-grant"
+  | Barrier_arrive _ -> "barrier-arrive"
+  | Barrier_release _ -> "barrier-release"
+  | Page_fault _ -> "page-fault"
+  | Page_fault_done _ -> "page-fault-done"
+  | Twin_create _ -> "twin-create"
+  | Page_fetch _ -> "page-fetch"
+  | Page_invalidate _ -> "page-invalidate"
+  | Diff_create _ -> "diff-create"
+  | Diff_apply _ -> "diff-apply"
+  | Diff_fetch _ -> "diff-fetch"
+  | Interval_close _ -> "interval-close"
+  | Interval_recv _ -> "interval-recv"
+  | Write_notice_recv _ -> "write-notice-recv"
+  | Frame_send _ -> "frame-send"
+  | Frame_recv _ -> "frame-recv"
+  | Frame_drop _ -> "frame-drop"
+  | Frame_dup _ -> "frame-dup"
+  | Gc_begin _ -> "gc-begin"
+  | Gc_end _ -> "gc-end"
+  | Proc_finish -> "proc-finish"
+  | Mark _ -> "mark"
+
+let args = function
+  | Lock_acquire { lock; local } | Lock_acquired { lock; local } ->
+    [ ("lock", Int lock); ("local", Bool local) ]
+  | Lock_release { lock; granted_to } ->
+    [ ("lock", Int lock);
+      ("granted_to", Int (match granted_to with Some p -> p | None -> -1)) ]
+  | Lock_queued { lock; requester } | Lock_request_recv { lock; requester } ->
+    [ ("lock", Int lock); ("requester", Int requester) ]
+  | Lock_forward { lock; requester; target } ->
+    [ ("lock", Int lock); ("requester", Int requester); ("target", Int target) ]
+  | Lock_grant { lock; requester; intervals; bytes } ->
+    [ ("lock", Int lock); ("requester", Int requester); ("intervals", Int intervals);
+      ("bytes", Int bytes) ]
+  | Barrier_arrive { id; epoch } | Barrier_release { id; epoch } ->
+    [ ("id", Int id); ("epoch", Int epoch) ]
+  | Page_fault { page; kind } | Page_fault_done { page; kind } ->
+    [ ("page", Int page); ("kind", Str (fault_kind_name kind)) ]
+  | Twin_create { page } | Page_invalidate { page } -> [ ("page", Int page) ]
+  | Page_fetch { page; from_ } -> [ ("page", Int page); ("from", Int from_) ]
+  | Diff_create { page; bytes } | Diff_apply { page; bytes } ->
+    [ ("page", Int page); ("bytes", Int bytes) ]
+  | Diff_fetch { page; from_; count } ->
+    [ ("page", Int page); ("from", Int from_); ("count", Int count) ]
+  | Interval_close { id; notices; vt } ->
+    [ ("id", Int id); ("notices", Int notices); ("vt", Ints vt) ]
+  | Interval_recv { proc; id; notices; vt } ->
+    [ ("proc", Int proc); ("id", Int id); ("notices", Int notices); ("vt", Ints vt) ]
+  | Write_notice_recv { page; proc; interval } ->
+    [ ("page", Int page); ("proc", Int proc); ("interval", Int interval) ]
+  | Frame_send { src; dst; label; bytes; retrans } ->
+    [ ("src", Int src); ("dst", Int dst); ("label", Str label); ("bytes", Int bytes);
+      ("retrans", Bool retrans) ]
+  | Frame_recv { src; dst; label; bytes } | Frame_drop { src; dst; label; bytes } ->
+    [ ("src", Int src); ("dst", Int dst); ("label", Str label); ("bytes", Int bytes) ]
+  | Frame_dup { src; dst; label } ->
+    [ ("src", Int src); ("dst", Int dst); ("label", Str label) ]
+  | Gc_begin { live } -> [ ("live", Int live) ]
+  | Gc_end { discarded } -> [ ("discarded", Int discarded) ]
+  | Proc_finish -> []
+  | Mark msg -> [ ("msg", Str msg) ]

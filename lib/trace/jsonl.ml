@@ -1,0 +1,72 @@
+(* Hand-rolled JSON: the event vocabulary only needs ints, bools,
+   strings and int arrays, and keeping the encoder local makes the
+   output byte-stable by construction. *)
+
+let escape_to b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let add_string b s =
+  Buffer.add_char b '"';
+  escape_to b s;
+  Buffer.add_char b '"'
+
+let add_arg b = function
+  | Event.Int n -> Buffer.add_string b (string_of_int n)
+  | Event.Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Event.Str s -> add_string b s
+  | Event.Ints a ->
+    Buffer.add_char b '[';
+    Array.iteri
+      (fun i n ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (string_of_int n))
+      a;
+    Buffer.add_char b ']'
+
+let record_to_buffer b (r : Sink.record) =
+  Buffer.add_string b "{\"t\":";
+  Buffer.add_string b (string_of_int r.r_time);
+  Buffer.add_string b ",\"pid\":";
+  Buffer.add_string b (string_of_int r.r_pid);
+  Buffer.add_string b ",\"ev\":";
+  add_string b (Event.name r.r_ev);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char b ',';
+      add_string b k;
+      Buffer.add_char b ':';
+      add_arg b v)
+    (Event.args r.r_ev);
+  Buffer.add_char b '}'
+
+let record_to_string r =
+  let b = Buffer.create 96 in
+  record_to_buffer b r;
+  Buffer.contents b
+
+let to_string sink =
+  let b = Buffer.create 4096 in
+  Sink.iter
+    (fun r ->
+      record_to_buffer b r;
+      Buffer.add_char b '\n')
+    sink;
+  Buffer.contents b
+
+let write oc sink =
+  Sink.iter
+    (fun r ->
+      output_string oc (record_to_string r);
+      output_char oc '\n')
+    sink

@@ -1,0 +1,22 @@
+(** JSONL export: one JSON object per line, in stream order.
+
+    The shape of a line is
+
+    {v {"t":12345,"pid":2,"ev":"lock-acquire","lock":1,"local":false} v}
+
+    — [t] is virtual time in nanoseconds, [pid] the emitting processor
+    ([-1] for engine-level events), [ev] the stable event name, and the
+    remaining fields the event's arguments in declaration order.  The
+    encoding is deterministic, so byte-comparing two files is a valid
+    equality test on event streams (the determinism tests rely on
+    this). *)
+
+(** [record_to_string r] — one line, without the trailing newline. *)
+val record_to_string : Sink.record -> string
+
+(** [to_string sink] — the whole stream, one record per line, each line
+    newline-terminated. *)
+val to_string : Sink.t -> string
+
+(** [write oc sink] — stream the sink to a channel. *)
+val write : out_channel -> Sink.t -> unit

@@ -14,5 +14,6 @@ let () =
       ("calibration", Test_calibration.suite);
       ("apps", Test_apps.suite);
       ("harness", Test_harness.suite);
+      ("trace", Test_trace.suite);
       ("fuzz", Test_fuzz.suite);
     ]

@@ -9,7 +9,7 @@ module Vm = Tmk_mem.Vm
 let check = Alcotest.check
 let no_charge _ _ = ()
 
-let make_node ?(pid = 0) ?(nprocs = 4) ?(pages = 4) () = Node.create ~pid ~nprocs ~pages
+let make_node ?(pid = 0) ?(nprocs = 4) ?(pages = 4) () = Node.create ~pid ~nprocs ~pages ()
 
 (* simulate a local write: twin the page, then poke the vm *)
 let write node page ~offset v =

@@ -1,0 +1,309 @@
+(* Tests of the tracing subsystem: analyzer semantics on hand-built
+   streams, exporter goldens, end-to-end determinism of recorded runs,
+   and the no-observer-effect guarantee when tracing is disabled. *)
+
+open Tmk_trace
+
+let check = Alcotest.check
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+let mk events =
+  let sink = Sink.create () in
+  List.iter (fun (time, pid, ev) -> Sink.emit sink ~time ~pid ev) events;
+  sink
+
+(* ------------------------------------------------------------------ *)
+(* Analyzer units on streams with known answers.                       *)
+
+(* Lock 7: pid 1 waits 2000ns and holds 5000ns; pid 2 acquires from its
+   cached token (no wait) and holds 500ns; one request is queued. *)
+let analyze_locks () =
+  let open Event in
+  let sink =
+    mk
+      [
+        (1_000, 1, Lock_acquire { lock = 7; local = false });
+        (1_500, 0, Lock_queued { lock = 7; requester = 2 });
+        (2_000, 2, Lock_acquire { lock = 7; local = true });
+        (2_000, 2, Lock_acquired { lock = 7; local = true });
+        (2_500, 2, Lock_release { lock = 7; granted_to = None });
+        (3_000, 1, Lock_acquired { lock = 7; local = false });
+        (8_000, 1, Lock_release { lock = 7; granted_to = Some 2 });
+      ]
+  in
+  let a = Analyze.analyze sink in
+  check Alcotest.int "events" 7 a.Analyze.a_events;
+  check Alcotest.int "end" 8_000 a.Analyze.a_end;
+  match a.Analyze.a_locks with
+  | [ l ] ->
+    check Alcotest.int "id" 7 l.Analyze.l_id;
+    check Alcotest.int "acquires" 2 l.Analyze.l_acquires;
+    check Alcotest.int "local" 1 l.Analyze.l_local;
+    check Alcotest.int "queued" 1 l.Analyze.l_queued;
+    check Alcotest.int "wait" 2_000 l.Analyze.l_wait_ns;
+    check Alcotest.int "hold" 5_500 l.Analyze.l_hold_ns
+  | other -> Alcotest.failf "expected one lock, got %d" (List.length other)
+
+(* Barrier 0 crossed twice by two processors: epochs are separated by
+   per-processor occurrence index, skew is last − first arrival. *)
+let analyze_barriers () =
+  let open Event in
+  let sink =
+    mk
+      [
+        (100, 0, Barrier_arrive { id = 0; epoch = 0 });
+        (400, 1, Barrier_arrive { id = 0; epoch = 0 });
+        (600, 0, Barrier_release { id = 0; epoch = 0 });
+        (600, 1, Barrier_release { id = 0; epoch = 0 });
+        (1_000, 0, Barrier_arrive { id = 0; epoch = 1 });
+        (1_100, 1, Barrier_arrive { id = 0; epoch = 1 });
+        (1_300, 0, Barrier_release { id = 0; epoch = 1 });
+        (1_300, 1, Barrier_release { id = 0; epoch = 1 });
+      ]
+  in
+  let a = Analyze.analyze sink in
+  (match a.Analyze.a_barriers with
+  | [ e0; e1 ] ->
+    check Alcotest.int "epoch0 first" 100 e0.Analyze.be_first_arrival;
+    check Alcotest.int "epoch0 last" 400 e0.Analyze.be_last_arrival;
+    check Alcotest.int "epoch0 release" 600 e0.Analyze.be_release;
+    check Alcotest.int "epoch1 index" 1 e1.Analyze.be_epoch;
+    check Alcotest.int "epoch1 skew" 100
+      (e1.Analyze.be_last_arrival - e1.Analyze.be_first_arrival)
+  | other -> Alcotest.failf "expected two epochs, got %d" (List.length other));
+  match a.Analyze.a_procs with
+  | [ p0; p1 ] ->
+    (* pid 0 waits 500 + 300, pid 1 waits 200 + 200 *)
+    check Alcotest.int "p0 barrier wait" 800 p0.Analyze.pr_barrier_wait;
+    check Alcotest.int "p1 barrier wait" 400 p1.Analyze.pr_barrier_wait
+  | other -> Alcotest.failf "expected two procs, got %d" (List.length other)
+
+(* Page 3 sees faults, a fetch, diff traffic from two distinct writers;
+   page 1 sees a single read fault.  The hotter page ranks first. *)
+let analyze_hot_pages () =
+  let open Event in
+  let sink =
+    mk
+      [
+        (10, 0, Page_fault { page = 3; kind = Read });
+        (20, 0, Page_fault_done { page = 3; kind = Read });
+        (30, 1, Page_fault { page = 3; kind = Write });
+        (35, 1, Twin_create { page = 3 });
+        (40, 1, Page_fault_done { page = 3; kind = Write });
+        (50, 0, Page_fetch { page = 3; from_ = 1 });
+        (60, 1, Diff_create { page = 3; bytes = 512 });
+        (70, 0, Diff_apply { page = 3; bytes = 512 });
+        (80, 0, Write_notice_recv { page = 3; proc = 2; interval = 0 });
+        (90, 2, Page_invalidate { page = 3 });
+        (95, 2, Page_fault { page = 1; kind = Read });
+        (99, 2, Page_fault_done { page = 1; kind = Read });
+      ]
+  in
+  let a = Analyze.analyze sink in
+  match a.Analyze.a_pages with
+  | [ hot; cold ] ->
+    check Alcotest.int "hottest page" 3 hot.Analyze.p_id;
+    check Alcotest.int "read faults" 1 hot.Analyze.p_read_faults;
+    check Alcotest.int "write faults" 1 hot.Analyze.p_write_faults;
+    check Alcotest.int "fetches" 1 hot.Analyze.p_fetches;
+    check Alcotest.int "invalidations" 1 hot.Analyze.p_invalidations;
+    check Alcotest.int "diff bytes out" 512 hot.Analyze.p_diff_bytes_created;
+    check Alcotest.int "diff bytes in" 512 hot.Analyze.p_diff_bytes_applied;
+    check Alcotest.int "distinct writers" 2 hot.Analyze.p_writers;
+    check Alcotest.int "cold page" 1 cold.Analyze.p_id;
+    check Alcotest.bool "ranking" true (Analyze.hot_score hot > Analyze.hot_score cold)
+  | other -> Alcotest.failf "expected two pages, got %d" (List.length other)
+
+(* Fault wait and frame accounting land on the emitting processor. *)
+let analyze_procs () =
+  let open Event in
+  let sink =
+    mk
+      [
+        (0, 0, Page_fault { page = 0; kind = Write });
+        (10, 0, Frame_send { src = 0; dst = 1; label = "diff-req"; bytes = 100; retrans = false });
+        (200, 1, Frame_recv { src = 0; dst = 1; label = "diff-req"; bytes = 100 });
+        (900, 0, Page_fault_done { page = 0; kind = Write });
+        (1_000, 0, Proc_finish);
+      ]
+  in
+  let a = Analyze.analyze sink in
+  match a.Analyze.a_procs with
+  | p0 :: _ ->
+    check Alcotest.int "fault wait" 900 p0.Analyze.pr_fault_wait;
+    check Alcotest.int "frames" 1 p0.Analyze.pr_frames_sent;
+    check Alcotest.int "bytes" 100 p0.Analyze.pr_bytes_sent;
+    check Alcotest.int "finish" 1_000 p0.Analyze.pr_finish
+  | [] -> Alcotest.fail "expected proc stats"
+
+(* The report renders every section without raising. *)
+let report_renders () =
+  let open Event in
+  let sink =
+    mk
+      [
+        (0, 0, Lock_acquire { lock = 0; local = false });
+        (5, 0, Lock_acquired { lock = 0; local = false });
+        (10, 0, Barrier_arrive { id = 0; epoch = 0 });
+        (20, 0, Barrier_release { id = 0; epoch = 0 });
+        (30, 0, Page_fault { page = 0; kind = Read });
+        (40, 0, Page_fault_done { page = 0; kind = Read });
+        (50, 0, Proc_finish);
+      ]
+  in
+  let text = Analyze.report (Analyze.analyze sink) in
+  List.iter
+    (fun fragment ->
+      check Alcotest.bool fragment true (contains ~affix:fragment text))
+    [ "Lock contention"; "Hot pages"; "Barrier skew"; "Per-processor waits";
+      "critical path" ]
+
+(* ------------------------------------------------------------------ *)
+(* Exporter goldens: the encodings are deterministic by construction,
+   so exact strings are a fair contract.                               *)
+
+let jsonl_golden () =
+  let open Event in
+  let sink =
+    mk
+      [
+        (1_000, 0, Lock_acquire { lock = 1; local = false });
+        (3_000, -1, Mark "hi \"there\"\n");
+        (4_000, 2, Interval_close { id = 5; notices = 2; vt = [| 1; 0; 3 |] });
+      ]
+  in
+  check Alcotest.string "jsonl"
+    ("{\"t\":1000,\"pid\":0,\"ev\":\"lock-acquire\",\"lock\":1,\"local\":false}\n"
+   ^ "{\"t\":3000,\"pid\":-1,\"ev\":\"mark\",\"msg\":\"hi \\\"there\\\"\\n\"}\n"
+   ^ "{\"t\":4000,\"pid\":2,\"ev\":\"interval-close\",\"id\":5,\"notices\":2,\"vt\":[1,0,3]}\n")
+    (Jsonl.to_string sink)
+
+let chrome_golden () =
+  let open Event in
+  let sink =
+    mk
+      [
+        (1_000, 0, Lock_acquire { lock = 1; local = false });
+        (2_500, 0, Lock_acquired { lock = 1; local = false });
+        (3_000, -1, Mark "hello");
+      ]
+  in
+  check Alcotest.string "chrome"
+    ("{\"traceEvents\":[\n"
+   ^ "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\",\"args\":{\"name\":\"cpu 0\"}},\n"
+   ^ "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":\"engine\"}},\n"
+   ^ "{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"name\":\"lock-wait L1\",\"cat\":\"lock\",\"ts\":1.000,\"dur\":1.500,\"args\":{\"lock\":1,\"local\":false}},\n"
+   ^ "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":1,\"name\":\"mark\",\"cat\":\"engine\",\"ts\":3.000,\"args\":{\"msg\":\"hello\"}}\n"
+   ^ "],\"displayTimeUnit\":\"ms\"}\n")
+    (Chrome.to_string sink)
+
+(* An unmatched begin event is closed at the last record's time. *)
+let chrome_closes_open_spans () =
+  let open Event in
+  let sink =
+    mk
+      [
+        (100, 0, Barrier_arrive { id = 2; epoch = 0 });
+        (900, 0, Mark "end");
+      ]
+  in
+  let s = Chrome.to_string sink in
+  check Alcotest.bool "span closed" true
+    (contains
+       ~affix:"\"name\":\"barrier 2\",\"cat\":\"barrier\",\"ts\":0.100,\"dur\":0.800" s)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end properties on real runs.                                 *)
+
+let traced_jsonl ~app cfg =
+  let _, sink = Tmk_harness.Harness.run_traced ~app cfg in
+  check Alcotest.bool "stream non-empty" true (Sink.length sink > 0);
+  Jsonl.to_string sink
+
+(* Same seed, same program: byte-identical event streams — also under a
+   lossy network, where retransmissions are part of the schedule. *)
+let determinism app name =
+  let cfg =
+    Tmk_harness.Harness.config ~app ~nprocs:4 ~protocol:Tmk_dsm.Config.Lrc
+      ~net:Tmk_net.Params.atm_aal34
+  in
+  check Alcotest.string (name ^ " clean") (traced_jsonl ~app cfg) (traced_jsonl ~app cfg);
+  let lossy =
+    { cfg with Tmk_dsm.Config.faults = Tmk_net.Fault_plan.(with_loss none 0.05) }
+  in
+  check Alcotest.string (name ^ " 5% loss") (traced_jsonl ~app lossy)
+    (traced_jsonl ~app lossy)
+
+let determinism_jacobi () = determinism Tmk_harness.Harness.Jacobi "jacobi"
+let determinism_tsp () = determinism Tmk_harness.Harness.Tsp "tsp"
+
+(* Tracing must not perturb the run: with and without a sink, the
+   result digest, message count, byte count and makespan agree — and a
+   run without a sink records nothing. *)
+let disabled_is_free () =
+  let cfg =
+    Tmk_harness.Harness.config ~app:Tmk_harness.Harness.Jacobi ~nprocs:4
+      ~protocol:Tmk_dsm.Config.Lrc ~net:Tmk_net.Params.atm_aal34
+  in
+  let plain_m, plain_digest = Tmk_harness.Harness.run_checked ~app:Tmk_harness.Harness.Jacobi cfg in
+  let sink = Sink.create () in
+  let traced_m, traced_digest =
+    Tmk_harness.Harness.run_checked ~app:Tmk_harness.Harness.Jacobi
+      { cfg with Tmk_dsm.Config.trace = Some sink }
+  in
+  check Alcotest.string "digest" plain_digest traced_digest;
+  check Alcotest.int "messages" plain_m.Tmk_harness.Harness.m_raw.Tmk_dsm.Api.messages
+    traced_m.Tmk_harness.Harness.m_raw.Tmk_dsm.Api.messages;
+  check Alcotest.int "bytes" plain_m.Tmk_harness.Harness.m_raw.Tmk_dsm.Api.bytes
+    traced_m.Tmk_harness.Harness.m_raw.Tmk_dsm.Api.bytes;
+  check Alcotest.int "makespan" plain_m.Tmk_harness.Harness.m_raw.Tmk_dsm.Api.total_time
+    traced_m.Tmk_harness.Harness.m_raw.Tmk_dsm.Api.total_time;
+  check Alcotest.bool "traced run recorded events" true (Sink.length sink > 0)
+
+(* The analyzer agrees with the protocol's own counters on a real run. *)
+let analyzer_matches_stats () =
+  let app = Tmk_harness.Harness.Tsp in
+  let cfg =
+    Tmk_harness.Harness.config ~app ~nprocs:4 ~protocol:Tmk_dsm.Config.Lrc
+      ~net:Tmk_net.Params.atm_aal34
+  in
+  let m, sink = Tmk_harness.Harness.run_traced ~app cfg in
+  let s = m.Tmk_harness.Harness.m_raw.Tmk_dsm.Api.total_stats in
+  let a = Analyze.analyze sink in
+  let total f = List.fold_left (fun acc l -> acc + f l) 0 in
+  check Alcotest.int "lock acquires"
+    s.Tmk_dsm.Stats.lock_acquires
+    (total (fun l -> l.Analyze.l_acquires) a.Analyze.a_locks);
+  check Alcotest.int "page faults"
+    (s.Tmk_dsm.Stats.read_faults + s.Tmk_dsm.Stats.write_faults)
+    (total (fun p -> p.Analyze.p_read_faults + p.Analyze.p_write_faults) a.Analyze.a_pages);
+  check Alcotest.int "page fetches" s.Tmk_dsm.Stats.page_fetches
+    (total (fun p -> p.Analyze.p_fetches) a.Analyze.a_pages);
+  check Alcotest.int "frames"
+    m.Tmk_harness.Harness.m_raw.Tmk_dsm.Api.messages
+    (total (fun p -> p.Analyze.pr_frames_sent) a.Analyze.a_procs);
+  (* every processor finished and the analyzer saw it *)
+  check Alcotest.int "procs" 4 (List.length a.Analyze.a_procs);
+  List.iter
+    (fun p -> check Alcotest.bool "finish recorded" true (p.Analyze.pr_finish > 0))
+    a.Analyze.a_procs
+
+let suite =
+  [
+    Alcotest.test_case "analyze locks" `Quick analyze_locks;
+    Alcotest.test_case "analyze barriers" `Quick analyze_barriers;
+    Alcotest.test_case "analyze hot pages" `Quick analyze_hot_pages;
+    Alcotest.test_case "analyze procs" `Quick analyze_procs;
+    Alcotest.test_case "report renders" `Quick report_renders;
+    Alcotest.test_case "jsonl golden" `Quick jsonl_golden;
+    Alcotest.test_case "chrome golden" `Quick chrome_golden;
+    Alcotest.test_case "chrome closes open spans" `Quick chrome_closes_open_spans;
+    Alcotest.test_case "determinism jacobi" `Quick determinism_jacobi;
+    Alcotest.test_case "determinism tsp" `Slow determinism_tsp;
+    Alcotest.test_case "tracing disabled is free" `Quick disabled_is_free;
+    Alcotest.test_case "analyzer matches stats" `Quick analyzer_matches_stats;
+  ]
