@@ -1,10 +1,12 @@
 (* Benchmark driver: regenerates every table and figure of the paper's
-   evaluation (experiments E1-E10, see DESIGN.md for the index), plus
-   Bechamel microbenchmarks of the implementation's hot paths.
+   evaluation (experiments E1-E10, see DESIGN.md for the index) plus the
+   E11 scaling study, and Bechamel microbenchmarks of the implementation's
+   hot paths.
 
    Usage:
-     bench/main.exe            run E1-E10
+     bench/main.exe            run E1-E11
      bench/main.exe e3 e8 a2   run selected experiments/ablations
+     bench/main.exe e11        scaling study only (writes BENCH_3.json)
      bench/main.exe ablation   run the ablation suite A1-A5
      bench/main.exe micro      run the Bechamel microbenchmarks
      bench/main.exe all        everything *)

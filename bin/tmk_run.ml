@@ -1,8 +1,9 @@
 (* tmk_run — run one of the paper's applications on the simulated cluster
    and print its execution statistics.
 
-     tmk_run --app water --procs 8 --network atm --protocol lazy
-     tmk_run --app jacobi --procs 4 --speedup
+     tmk_run --app water --nprocs 8 --network atm --protocol lazy
+     tmk_run --app jacobi --nprocs 4 --speedup
+     tmk_run --app water --nprocs 32 --no-batching
      tmk_run --list *)
 
 open Cmdliner
@@ -10,8 +11,10 @@ module Params = Tmk_net.Params
 
 let pf = Format.printf
 
+let max_nprocs = 64
+
 let run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold ~eager_diffs
-    ~updates ~faults ~trace_file ~trace_format ~trace_report ~breakdown =
+    ~updates ~batching ~faults ~trace_file ~trace_format ~trace_report ~breakdown =
   let override cfg =
     {
       cfg with
@@ -20,20 +23,23 @@ let run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold ~eager
       gc_threshold = (match gc_threshold with Some g -> g | None -> max_int);
       lazy_diffs = not eager_diffs;
       lrc_updates = updates;
+      batching;
     }
   in
   let cfg = override (Tmk_harness.Harness.config ~app ~nprocs ~protocol ~net) in
   let m, sink =
-    if trace_file <> None || trace_report then
-      let m, s = Tmk_harness.Harness.run_traced ~app cfg in
-      (m, Some s)
+    if trace_file <> None || trace_report then begin
+      let s = Tmk_trace.Sink.create () in
+      (Tmk_harness.Harness.run_cfg ~trace:s ~app cfg, Some s)
+    end
     else (Tmk_harness.Harness.run_cfg ~app cfg, None)
   in
   pf "application : %s (%s)@." (Tmk_harness.Harness.app_name app)
     (Tmk_harness.Harness.workload_description app);
-  pf "cluster     : %d processors, %s, %s release consistency@." nprocs
+  pf "cluster     : %d processors, %s, %s release consistency, batching %s@." nprocs
     m.Tmk_harness.Harness.m_net
-    (Tmk_dsm.Config.protocol_name protocol);
+    (Tmk_dsm.Config.protocol_name protocol)
+    (if batching then "on" else "off");
   pf "faults      : %s@." (Tmk_net.Fault_plan.describe faults);
   pf "time        : %.3f simulated seconds@." m.Tmk_harness.Harness.m_time_s;
   if show_speedup && nprocs > 1 then begin
@@ -61,6 +67,10 @@ let run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold ~eager
   pf "protocol    : %d twins, %d diffs created, %d applied, %d page fetches, %d gc runs@."
     s.Tmk_dsm.Stats.twins_created s.Tmk_dsm.Stats.diffs_created s.Tmk_dsm.Stats.diffs_applied
     s.Tmk_dsm.Stats.page_fetches s.Tmk_dsm.Stats.gc_runs;
+  if batching then
+    pf "batching    : %d frames coalesced, diff cache %d hits / %d misses@."
+      m.Tmk_harness.Harness.m_raw.Tmk_dsm.Api.frames_coalesced
+      s.Tmk_dsm.Stats.diff_cache_hits s.Tmk_dsm.Stats.diff_cache_misses;
   if Tmk_net.Fault_plan.is_faulty faults then
     pf "reliability : %d retransmissions@."
       m.Tmk_harness.Harness.m_raw.Tmk_dsm.Api.retransmissions;
@@ -115,7 +125,10 @@ let cmd =
          & info [ "a"; "app" ] ~docv:"APP" ~doc:"Application: water, jacobi, tsp, quicksort, ilink.")
   in
   let procs =
-    Arg.(value & opt int 8 & info [ "p"; "procs" ] ~docv:"N" ~doc:"Number of processors (1-16).")
+    Arg.(value & opt int 8
+         & info [ "p"; "nprocs"; "procs" ] ~docv:"N"
+             ~doc:"Number of processors, 1 to 64 ($(b,--procs) is an alias kept for \
+                   compatibility).")
   in
   let protocol =
     Arg.(value & opt protocol_conv Tmk_dsm.Config.Lrc
@@ -152,7 +165,15 @@ let cmd =
   let updates =
     Arg.(value & flag
          & info [ "updates" ]
-             ~doc:"Hybrid update protocol: piggyback diffs on synchronization messages for                    pages the receiver caches (default: invalidate).")
+             ~doc:"Hybrid update protocol: piggyback diffs on synchronization messages for \
+                   pages the receiver caches (default: invalidate).")
+  in
+  let no_batching =
+    Arg.(value & flag
+         & info [ "no-batching" ]
+             ~doc:"Disable consistency-traffic batching: send each piggybacked interval, \
+                   diff request and diff reply as its own frame instead of coalescing \
+                   per-peer (the ablation baseline; default batched).")
   in
   let loss =
     Arg.(value & opt float 0.0
@@ -209,8 +230,8 @@ let cmd =
                    (makespan minus the busy categories) reported explicitly.")
   in
   let main app nprocs protocol net show_speedup list verbose seed gc_threshold eager_diffs
-      updates loss dup reorder reorder_window stall unreachable trace_file trace_format
-      trace_report breakdown =
+      updates no_batching loss dup reorder reorder_window stall unreachable trace_file
+      trace_format trace_report breakdown =
     if verbose then begin
       Logs.set_reporter (Logs_fmt.reporter ());
       Logs.set_level ~all:true (Some Logs.Debug)
@@ -221,8 +242,13 @@ let cmd =
           pf "%-10s %s@." (Tmk_harness.Harness.app_name a)
             (Tmk_harness.Harness.workload_description a))
         Tmk_harness.Harness.all_apps
-    else if nprocs < 1 || nprocs > 16 then
-      prerr_endline "tmk_run: --procs must be between 1 and 16"
+    else if nprocs < 1 || nprocs > max_nprocs then begin
+      Printf.eprintf
+        "tmk_run: --nprocs %d is out of range: the simulated cluster supports 1 to %d \
+         processors (the scaling study's upper bound; see EXPERIMENTS.md E11)\n"
+        nprocs max_nprocs;
+      exit 1
+    end
     else
       match
         let open Tmk_net.Fault_plan in
@@ -244,8 +270,8 @@ let cmd =
       | faults -> (
         try
           run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold
-            ~eager_diffs ~updates ~faults ~trace_file ~trace_format ~trace_report
-            ~breakdown
+            ~eager_diffs ~updates ~batching:(not no_batching) ~faults ~trace_file
+            ~trace_format ~trace_report ~breakdown
         with
         | Tmk_net.Transport.Peer_unreachable _ as e ->
           prerr_endline ("tmk_run: " ^ Printexc.to_string e);
@@ -260,8 +286,9 @@ let cmd =
   let term =
     Term.(
       const main $ app_arg $ procs $ protocol $ net $ speedup $ list $ verbose $ seed
-      $ gc_threshold $ eager_diffs $ updates $ loss $ dup $ reorder $ reorder_window
-      $ stall $ unreachable $ trace_file $ trace_format $ trace_report $ breakdown)
+      $ gc_threshold $ eager_diffs $ updates $ no_batching $ loss $ dup $ reorder
+      $ reorder_window $ stall $ unreachable $ trace_file $ trace_format $ trace_report
+      $ breakdown)
   in
   Cmd.v
     (Cmd.info "tmk_run" ~version:"1.0.0"

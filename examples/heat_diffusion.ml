@@ -26,19 +26,18 @@ let run protocol =
         let a = Api.falloc ~align:Tmk_mem.Vm.page_size ctx (rows * cols) in
         let b = Api.falloc ~align:Tmk_mem.Vm.page_size ctx (rows * cols) in
         let idx r c = (r * cols) + c in
-        if pid = 0 then begin
-          (* a hot square in the middle of a cold plate *)
-          for r = 0 to rows - 1 do
-            for c = 0 to cols - 1 do
-              let v =
-                if abs (r - (rows / 2)) < 4 && abs (c - (cols / 2)) < 8 then 100.0 else 0.0
-              in
-              Api.fset ctx a (idx r c) v;
-              Api.fset ctx b (idx r c) v
-            done
-          done
-        end;
-        Api.barrier ctx 0;
+        Api.bcast ctx (fun () ->
+            (* a hot square in the middle of a cold plate *)
+            for r = 0 to rows - 1 do
+              for c = 0 to cols - 1 do
+                let v =
+                  if abs (r - (rows / 2)) < 4 && abs (c - (cols / 2)) < 8 then 100.0
+                  else 0.0
+                in
+                Api.fset ctx a (idx r c) v;
+                Api.fset ctx b (idx r c) v
+              done
+            done);
         let per = (rows - 2) / nprocs in
         let lo = 1 + (pid * per) in
         let hi = if pid = nprocs - 1 then rows - 2 else lo + per - 1 in

@@ -21,14 +21,12 @@ let () =
         let pid = Api.pid ctx and nprocs = Api.nprocs ctx in
         let data = Api.ialloc ~align:Tmk_mem.Vm.page_size ctx n in
         let hist = Api.ialloc ~align:Tmk_mem.Vm.page_size ctx buckets in
-        if pid = 0 then begin
-          let values = Workload.int_array ~n ~seed:2024L in
-          Array.iteri (fun i v -> Api.iset ctx data i v) values;
-          for b = 0 to buckets - 1 do
-            Api.iset ctx hist b 0
-          done
-        end;
-        Api.barrier ctx 0;
+        Api.bcast ctx (fun () ->
+            let values = Workload.int_array ~n ~seed:2024L in
+            Array.iteri (fun i v -> Api.iset ctx data i v) values;
+            for b = 0 to buckets - 1 do
+              Api.iset ctx hist b 0
+            done);
         (* Private counts for the local slice. *)
         let local = Array.make buckets 0 in
         let slice = n / nprocs in

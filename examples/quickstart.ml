@@ -1,8 +1,7 @@
 (* Quickstart: the smallest complete TreadMarks program.
 
-   Processor 0 initializes a shared array; everyone meets at a barrier;
-   every processor then sums a slice and publishes its partial result under
-   a lock.  Run with:
+   Processor 0 broadcasts a shared array; every processor then sums a
+   slice and the partial results meet in a reduction.  Run with:
 
      dune exec examples/quickstart.exe *)
 
@@ -15,15 +14,12 @@ let () =
         let pid = Api.pid ctx and nprocs = Api.nprocs ctx in
         (* Every processor performs the same allocations (SPMD). *)
         let data = Api.falloc ctx 1000 in
-        let total = Api.falloc ctx 1 in
-        if pid = 0 then begin
-          for i = 0 to 999 do
-            Api.fset ctx data i (float_of_int (i + 1))
-          done;
-          Api.fset ctx total 0 0.0
-        end;
-        (* Barrier 0: processor 0's initialization becomes visible. *)
-        Api.barrier ctx 0;
+        (* Processor 0 fills the array; the barrier inside [bcast] makes
+           the initialization visible everywhere. *)
+        Api.bcast ctx (fun () ->
+            for i = 0 to 999 do
+              Api.fset ctx data i (float_of_int (i + 1))
+            done);
         (* Each processor sums its slice... *)
         let slice = 1000 / nprocs in
         let lo = pid * slice in
@@ -32,13 +28,11 @@ let () =
           partial := !partial +. Api.fget ctx data i
         done;
         Api.compute_flops ctx slice;
-        (* ...and accumulates it into the shared total under a lock. *)
-        Api.with_lock ctx 0 (fun () ->
-            Api.fset ctx total 0 (Api.fget ctx total 0 +. !partial));
-        Api.barrier ctx 1;
+        (* ...and the partials are folded in pid order: every processor
+           gets the identical total, no lock-and-accumulate boilerplate. *)
+        let total = Api.reduce_f ctx ( +. ) !partial in
         if pid = 0 then
-          Fmt.pr "sum of 1..1000 = %.0f (expected %d)@." (Api.fget ctx total 0)
-            (1000 * 1001 / 2))
+          Fmt.pr "sum of 1..1000 = %.0f (expected %d)@." total (1000 * 1001 / 2))
   in
   Fmt.pr "simulated time: %a; %d messages, %d bytes on the wire@." Tmk_sim.Vtime.pp
     result.Api.total_time result.Api.messages result.Api.bytes

@@ -26,8 +26,7 @@ let run ~dynamic =
         let pid = Api.pid ctx and nprocs = Api.nprocs ctx in
         let cursor = Api.ialloc ~align:Tmk_mem.Vm.page_size ctx 1 in
         let results = Api.ialloc ~align:Tmk_mem.Vm.page_size ctx ntasks in
-        if pid = 0 then Api.iset ctx cursor 0 0;
-        Api.barrier ctx 0;
+        Api.bcast ctx (fun () -> Api.iset ctx cursor 0 0);
         let execute t =
           Api.compute_ns ctx (costs.(t) * 1000);
           Api.iset ctx results t (t * t)

@@ -48,16 +48,14 @@ let parallel ?(collect = true) ctx p =
   let grid_a = Api.falloc ~align:Vm.page_size ctx (p.rows * p.cols) in
   let grid_b = Api.falloc ~align:Vm.page_size ctx (p.rows * p.cols) in
   let idx r c = (r * p.cols) + c in
-  if pid = 0 then begin
-    let init = Workload.grid ~rows:p.rows ~cols:p.cols ~seed:p.seed in
-    for r = 0 to p.rows - 1 do
-      for c = 0 to p.cols - 1 do
-        Api.fset ctx grid_a (idx r c) init.(r).(c);
-        Api.fset ctx grid_b (idx r c) init.(r).(c)
-      done
-    done
-  end;
-  Api.barrier ctx 0;
+  Api.bcast ctx (fun () ->
+      let init = Workload.grid ~rows:p.rows ~cols:p.cols ~seed:p.seed in
+      for r = 0 to p.rows - 1 do
+        for c = 0 to p.cols - 1 do
+          Api.fset ctx grid_a (idx r c) init.(r).(c);
+          Api.fset ctx grid_b (idx r c) init.(r).(c)
+        done
+      done);
   let lo, hi = block ~rows:p.rows ~nprocs:n ~pid in
   let src = ref grid_a and dst = ref grid_b in
   for iter = 1 to p.iters do

@@ -115,20 +115,17 @@ let parallel ?(collect = true) ctx p =
   let pos = Api.falloc ~align:Tmk_mem.Vm.page_size ctx (3 * n) in
   let vel = Api.falloc ~align:Tmk_mem.Vm.page_size ctx (3 * n) in
   let force = Api.ialloc ~align:Tmk_mem.Vm.page_size ctx (3 * n) in
-  let partials = Api.ialloc ~align:Tmk_mem.Vm.page_size ctx (2 * nprocs) in
-  if pid = 0 then begin
-    let mols = Workload.molecules ~n ~seed:p.seed in
-    Array.iteri
-      (fun i m ->
-        Api.fset ctx pos (3 * i) m.Workload.px;
-        Api.fset ctx pos ((3 * i) + 1) m.Workload.py;
-        Api.fset ctx pos ((3 * i) + 2) m.Workload.pz;
-        Api.fset ctx vel (3 * i) m.Workload.vx;
-        Api.fset ctx vel ((3 * i) + 1) m.Workload.vy;
-        Api.fset ctx vel ((3 * i) + 2) m.Workload.vz)
-      mols
-  end;
-  Api.barrier ctx 0;
+  Api.bcast ctx (fun () ->
+      let mols = Workload.molecules ~n ~seed:p.seed in
+      Array.iteri
+        (fun i m ->
+          Api.fset ctx pos (3 * i) m.Workload.px;
+          Api.fset ctx pos ((3 * i) + 1) m.Workload.py;
+          Api.fset ctx pos ((3 * i) + 2) m.Workload.pz;
+          Api.fset ctx vel (3 * i) m.Workload.vx;
+          Api.fset ctx vel ((3 * i) + 1) m.Workload.vy;
+          Api.fset ctx vel ((3 * i) + 2) m.Workload.vz)
+        mols);
   let lo, hi = owned ~nmol:n ~nprocs ~pid in
   let read_pos i =
     (Api.fget ctx pos (3 * i), Api.fget ctx pos ((3 * i) + 1), Api.fget ctx pos ((3 * i) + 2))
@@ -168,6 +165,10 @@ let parallel ?(collect = true) ctx p =
     incr barrier_id;
     Api.barrier ctx id
   in
+  (* Only the final step's potential contributes to the reported energy
+     (earlier steps' sums are transient), so it is kept locally and
+     reduced once after the loop. *)
+  let last_potential = ref 0 in
   for _step = 1 to p.steps do
     (* zero own molecules' forces *)
     for i = lo to hi do
@@ -206,7 +207,7 @@ let parallel ?(collect = true) ctx p =
       Api.compute_flops ctx (!mine * p.flops_per_pair)
     done;
     flush_partials ();
-    Api.iset ctx partials pid !my_potential;
+    last_potential := !my_potential;
     next_barrier ();
     (* integrate own molecules *)
     for i = lo to hi do
@@ -230,14 +231,10 @@ let parallel ?(collect = true) ctx p =
     and vz = Api.fget ctx vel ((3 * i) + 2) in
     my_kinetic := !my_kinetic + to_fix (0.5 *. mass *. ((vx *. vx) +. (vy *. vy) +. (vz *. vz)))
   done;
-  Api.iset ctx partials (nprocs + pid) !my_kinetic;
-  next_barrier ();
-  if pid = 0 && collect then begin
-    let positions = Array.init n read_pos in
-    let total = ref 0 in
-    for q = 0 to nprocs - 1 do
-      total := !total + Api.iget ctx partials q + Api.iget ctx partials (nprocs + q)
-    done;
-    Some { positions; energy = of_fix !total }
-  end
+  (* Fixed-point sums reduced in pid order: integer addition commutes, so
+     the energy matches the sequential run exactly (see [fix_scale]). *)
+  let pot_total = Api.reduce_i ctx ( + ) !last_potential in
+  let kin_total = Api.reduce_i ctx ( + ) !my_kinetic in
+  if pid = 0 && collect then
+    Some { positions = Array.init n read_pos; energy = of_fix (pot_total + kin_total) }
   else None

@@ -1,6 +1,9 @@
 open Tmk_sim
 module Vm = Tmk_mem.Vm
 
+type farray = { f_base : int; f_len : int }
+type iarray = { i_base : int; i_len : int }
+
 type ctx = {
   cluster : Protocol.t;
   cpid : int;
@@ -9,6 +12,10 @@ type ctx = {
   mutable alloc_seq : int;  (* index into the shared allocation log *)
   cprng : Tmk_util.Prng.t;
   alloc_log : (int, int * int) Hashtbl.t;  (* shared across processors: step -> (size, base) *)
+  mutable coll_scratch : (farray * iarray) option;
+      (* per-processor slot arrays for the collectives, allocated lazily
+         on the first reduce (collective calls are SPMD-synchronous, so
+         the lazy allocation happens at the same sequence step everywhere) *)
 }
 
 type run_result = {
@@ -22,6 +29,7 @@ type run_result = {
   messages : int;
   bytes : int;
   retransmissions : int;
+  frames_coalesced : int;
 }
 
 let pid (ctx : ctx) = ctx.cpid
@@ -57,9 +65,6 @@ let malloc ?(align = 8) (ctx : ctx) ~bytes =
            seq ctx.cpid bytes base expected_bytes expected_base)
   | None -> Hashtbl.add ctx.alloc_log seq (bytes, base));
   base
-
-type farray = { f_base : int; f_len : int }
-type iarray = { i_base : int; i_len : int }
 
 let falloc ?align ctx len = { f_base = malloc ?align ctx ~bytes:(8 * len); f_len = len }
 let ialloc ?align ctx len = { i_base = malloc ?align ctx ~bytes:(8 * len); i_len = len }
@@ -111,9 +116,68 @@ let compute_flops (ctx : ctx) n =
   if n > 0 then compute_ns ctx (n * (Protocol.config ctx.cluster).Config.flop_ns)
 
 (* ------------------------------------------------------------------ *)
+(* Collectives (barrier composition; see the interface for the contract) *)
+
+(* Barrier ids at and above this value are reserved for the collectives
+   (sequential reuse of a barrier id is safe: the manager resets the
+   barrier's state before sending the releases). *)
+let coll_barrier_base = 1 lsl 30
+
+let scratch (ctx : ctx) =
+  match ctx.coll_scratch with
+  | Some s -> s
+  | None ->
+    let n = nprocs ctx in
+    let s = (falloc ctx n, ialloc ctx n) in
+    ctx.coll_scratch <- Some s;
+    s
+
+(* Every processor deposits its contribution in its own slot, meets at a
+   barrier, folds the slots in pid order (deterministic: all processors
+   compute the identical result, bit for bit), and meets again so nobody
+   can overwrite a slot for the next collective while a slow processor is
+   still folding. *)
+let reduce_f (ctx : ctx) f v =
+  let n = nprocs ctx in
+  if n = 1 then v
+  else begin
+    let fa, _ = scratch ctx in
+    fset ctx fa ctx.cpid v;
+    barrier ctx coll_barrier_base;
+    let acc = ref (fget ctx fa 0) in
+    for q = 1 to n - 1 do
+      acc := f !acc (fget ctx fa q)
+    done;
+    barrier ctx (coll_barrier_base + 1);
+    !acc
+  end
+
+let reduce_i (ctx : ctx) f v =
+  let n = nprocs ctx in
+  if n = 1 then v
+  else begin
+    let _, ia = scratch ctx in
+    iset ctx ia ctx.cpid v;
+    barrier ctx coll_barrier_base;
+    let acc = ref (iget ctx ia 0) in
+    for q = 1 to n - 1 do
+      acc := f !acc (iget ctx ia q)
+    done;
+    barrier ctx (coll_barrier_base + 1);
+    !acc
+  end
+
+let bcast ?(root = 0) (ctx : ctx) f =
+  if ctx.cpid = root then f ();
+  barrier ctx (coll_barrier_base + 2)
+
+(* ------------------------------------------------------------------ *)
 (* Running                                                             *)
 
-let run cfg app =
+let run ?trace cfg app =
+  let cfg =
+    match trace with None -> cfg | Some sink -> { cfg with Config.trace = Some sink }
+  in
   let cluster = Protocol.create cfg in
   let engine = Protocol.engine cluster in
   let alloc_log = Hashtbl.create 64 in
@@ -128,6 +192,7 @@ let run cfg app =
         alloc_seq = 0;
         cprng = Tmk_util.Prng.split_named root (Printf.sprintf "proc-%d" p);
         alloc_log;
+        coll_scratch = None;
       }
     in
     Engine.spawn engine p (fun () -> app ctx)
@@ -156,4 +221,5 @@ let run cfg app =
     messages = Tmk_net.Transport.messages_sent transport;
     bytes = Tmk_net.Transport.bytes_sent transport;
     retransmissions = Tmk_net.Transport.retransmissions transport;
+    frames_coalesced = Tmk_net.Transport.frames_coalesced transport;
   }

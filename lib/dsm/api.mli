@@ -43,11 +43,20 @@ type run_result = {
   messages : int;  (** frames handed to the medium *)
   bytes : int;  (** on-wire bytes including headers *)
   retransmissions : int;
+  frames_coalesced : int;
+      (** frames saved by batching ([Config.batching]); for identical
+          protocol activity, an unbatched run sends
+          [messages + frames_coalesced] frames *)
 }
 
 (** [run config app] — build a cluster, run [app] once per processor to
-    completion, and collect the measurements. *)
-val run : Config.t -> (ctx -> unit) -> run_result
+    completion, and collect the measurements.
+
+    [?trace], when given, installs the typed event sink into the
+    configuration (overriding [config.trace]) so the caller can export or
+    analyze the run's full protocol event stream afterwards — the single
+    entry point for traced and untraced runs alike. *)
+val run : ?trace:Tmk_trace.Sink.t -> Config.t -> (ctx -> unit) -> run_result
 
 (** {2 Identity} *)
 
@@ -99,6 +108,34 @@ val release : ctx -> int -> unit
 val with_lock : ctx -> int -> (unit -> 'a) -> 'a
 
 val barrier : ctx -> int -> unit
+
+(** {2 Collectives}
+
+    Composed from barriers over a hidden shared slot array (allocated
+    lazily on the first reduce, identically on every processor).  All of
+    these are collective operations: every processor must call them at the
+    same point of the SPMD program, like a barrier.  Barrier ids at and
+    above [2{^30}] are reserved for their internal use.
+
+    Every processor folds the per-processor contributions in pid order,
+    so all processors return the identical (bit-for-bit) result — no
+    "pid 0 accumulates under a lock, everyone barriers, then everyone
+    re-reads" boilerplate, and no order-dependent floating-point drift. *)
+
+(** [reduce_f ctx f v] — fold every processor's [v] with [f] (in pid
+    order, starting from processor 0's contribution) and return the same
+    total on every processor.  [f] must be associative enough for the
+    caller's purpose; the fold order is fixed and identical everywhere. *)
+val reduce_f : ctx -> (float -> float -> float) -> float -> float
+
+(** [reduce_i ctx f v] — integer analogue of {!reduce_f}. *)
+val reduce_i : ctx -> (int -> int -> int) -> int -> int
+
+(** [bcast ?root ctx f] — [f] runs on [root] (default 0) only, then
+    everyone meets at a barrier: the standard "one processor initializes
+    shared data, all wait" opening.  [f] must not allocate shared memory
+    (allocate on every processor first, then broadcast the contents). *)
+val bcast : ?root:int -> ctx -> (unit -> unit) -> unit
 
 (** {2 Computation accounting} *)
 

@@ -11,6 +11,7 @@ type t = {
   flop_ns : int;
   lazy_diffs : bool;
   lrc_updates : bool;
+  batching : bool;
   trace : Tmk_trace.Sink.t option;
 }
 
@@ -26,6 +27,7 @@ let default =
     flop_ns = 200;
     lazy_diffs = true;
     lrc_updates = false;
+    batching = true;
     trace = None;
   }
 

@@ -34,6 +34,16 @@ type t = {
           barrier releases piggyback the diffs of pages the receiver is
           believed to cache, and valid pages are updated in place instead
           of invalidated *)
+  batching : bool;
+      (** [true] (the default): consistency traffic destined for one peer
+          is coalesced — the write notices and piggybacked intervals of a
+          grant or barrier message travel in a single frame, multi-page
+          diff requests to the same responder are gathered into one
+          request/response pair, and responders cache computed diffs so
+          repeated fetches of the same (page, interval) diff skip the RLE
+          recomputation.  [false]: every logical part goes out as its own
+          frame and responders recompute diffs on every fetch — the
+          unbatched ablation for the E11 scaling study *)
   trace : Tmk_trace.Sink.t option;
       (** typed protocol-event sink; [None] (the default) disables
           tracing entirely — no events are recorded and no run behaviour

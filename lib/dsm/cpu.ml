@@ -52,6 +52,7 @@ let barrier_release_per_client = Vtime.us 10
 let fault_dispatch = Vtime.us 40
 let page_request_build = Vtime.us 55
 let diff_lookup_per_entry = Vtime.us 4
+let diff_cache_hit = Vtime.us 1
 let miss_plan = Vtime.us 2
 
 let erc_flush_per_page = Vtime.us 8

@@ -72,6 +72,11 @@ val page_request_build : Vtime.t
     pool (server side). *)
 val diff_lookup_per_entry : Vtime.t
 
+(** [diff_cache_hit] — answering a diff fetch from the responder's served
+    diff cache (batched mode), replacing the pool walk and any lazy RLE
+    recomputation. *)
+val diff_cache_hit : Vtime.t
+
 (** [miss_plan] — computing the minimal processor set to query (§3.5's
     domination analysis), per write notice examined. *)
 val miss_plan : Vtime.t

@@ -28,6 +28,8 @@ type page_entry = {
   pg_notices : write_notice list array;
   mutable pg_twin : Bytes.t option;
   mutable pg_has_copy : bool;
+  mutable pg_fetched : bool;
+  mutable pg_no_gather : bool;
 }
 
 type msg_interval = {
@@ -48,6 +50,11 @@ type t = {
   pages : page_entry array;
   mutable dirty : int list;
   mutable live_records : int;
+  diff_cache : (int * int * int, Rle.t) Hashtbl.t;
+      (* responder-side cache of served diffs, keyed (proc, interval id,
+         page).  Diffs are immutable once created and interval ids are
+         never reused (next_interval survives GC), so entries can never go
+         stale; the table is cleared with the records it shadows at GC *)
   stats : Stats.t;
   emit : (Tmk_trace.Event.t -> unit) option;
       (* typed-trace emission hook; None disables (and must cost nothing) *)
@@ -69,6 +76,8 @@ let create ?emit ~pid ~nprocs ~pages () =
       pg_notices = Array.make nprocs [];
       pg_twin = None;
       pg_has_copy = pid = 0;
+      pg_fetched = false;
+      pg_no_gather = false;
     }
   in
   (* Processor 0 starts with every page valid but write-protected (a first
@@ -86,6 +95,7 @@ let create ?emit ~pid ~nprocs ~pages () =
     pages = Array.init pages make_entry;
     dirty = [];
     live_records = 0;
+    diff_cache = Hashtbl.create 64;
     stats = Stats.create ();
     emit;
   }
@@ -245,6 +255,12 @@ let find_diff t ~proc ~interval_id ~page ~charge =
       (Printf.sprintf "Node.find_diff: notice (proc %d, interval %d, page %d) has no diff"
          proc interval_id page)
 
+let cached_diff t ~proc ~interval_id ~page =
+  Hashtbl.find_opt t.diff_cache (proc, interval_id, page)
+
+let cache_diff t ~proc ~interval_id ~page diff =
+  Hashtbl.replace t.diff_cache (proc, interval_id, page) diff
+
 let missing_diffs t page =
   (* Scan the whole notice list: with piggybacked diffs (hybrid update
      protocol) a newer notice can hold its diff while an older one still
@@ -293,9 +309,12 @@ let apply_missing_diffs t page notices ~charge =
       (List.init t.nprocs (fun q -> q))
   in
   let ordered =
+    (* rev_append, not (@): [notices] can be long on the replay path and
+       the sort is insensitive to input order (compare_total totally
+       orders distinct intervals). *)
     List.sort
       (fun a b -> Vector_time.compare_total a.wn_interval.iv_vt b.wn_interval.iv_vt)
-      (notices @ replay)
+      (List.rev_append notices replay)
   in
   let apply wn =
     match wn.wn_diff with
@@ -415,10 +434,13 @@ let discard_all_records t ~charge =
   Array.iter
     (fun entry ->
       Array.fill entry.pg_notices 0 t.nprocs [];
-      entry.pg_twin <- None)
+      entry.pg_twin <- None;
+      (* the gather blacklist describes diffs that no longer exist *)
+      entry.pg_no_gather <- false)
     t.pages;
   t.dirty <- [];
   t.live_records <- 0;
+  Hashtbl.reset t.diff_cache;
   t.stats.Stats.records_discarded <- t.stats.Stats.records_discarded + discarded;
   discarded
 

@@ -44,6 +44,15 @@ type page_entry = {
   pg_notices : write_notice list array;  (** per processor, decreasing interval index *)
   mutable pg_twin : Bytes.t option;
   mutable pg_has_copy : bool;  (** false until a copy has been fetched (or initially held) *)
+  mutable pg_fetched : bool;
+      (** armed by this processor's own access misses, disarmed by each
+          speculative gather; gates multi-page diff gathering so a page
+          the processor has stopped touching wastes at most one
+          speculative fetch (see [Protocol.fetch_and_apply_diffs]) *)
+  mutable pg_no_gather : bool;
+      (** set when a responder declined to serve this page's gathered
+          entries (diffs too large to ride a reply); blocks further
+          speculative gathering of the page *)
 }
 
 (** Interval data as carried by synchronization messages.  Under the
@@ -66,6 +75,9 @@ type t = {
   pages : page_entry array;
   mutable dirty : int list;  (** pages twinned since the last interval creation *)
   mutable live_records : int;  (** intervals + notices + diffs held (GC trigger) *)
+  diff_cache : (int * int * int, Tmk_util.Rle.t) Hashtbl.t;
+      (** served-diff cache, keyed (proc, interval id, page); see
+          {!cached_diff} *)
   stats : Stats.t;
   emit : (Tmk_trace.Event.t -> unit) option;
       (** typed-trace hook; [None] disables emission entirely *)
@@ -135,6 +147,16 @@ val ensure_own_diff : t -> int -> charge:charge -> unit
     (protocol invariant violation). *)
 val find_diff :
   t -> proc:int -> interval_id:int -> page:int -> charge:charge -> Tmk_util.Rle.t
+
+(** [cached_diff t ~proc ~interval_id ~page] — look up the responder-side
+    diff cache.  Diffs are immutable and interval ids are never reused, so
+    a hit is always current; the cache is cleared by
+    {!discard_all_records}. *)
+val cached_diff : t -> proc:int -> interval_id:int -> page:int -> Tmk_util.Rle.t option
+
+(** [cache_diff t ~proc ~interval_id ~page diff] — remember a served
+    diff for future fetches of the same (proc, interval, page). *)
+val cache_diff : t -> proc:int -> interval_id:int -> page:int -> Tmk_util.Rle.t -> unit
 
 (** [missing_diffs t page] — the write notices for [page] lacking diffs,
     grouped per processor, each group newest-first. *)

@@ -170,15 +170,50 @@ let fetch_base_lrc t pid page =
       Bitset.union_into ~src:copyset ~dst:entry.Node.pg_copyset;
       Bitset.add entry.Node.pg_copyset pid)
 
-(* Fetch the diffs for [missing] (per-processor groups of notices lacking
-   diffs) from the minimal processor set, in parallel, then apply them in
-   vector-timestamp order. *)
-let fetch_and_apply_diffs t pid page missing =
-  let node = t.nodes.(pid) in
-  let total_notices = List.fold_left (fun acc (_, wns) -> acc + List.length wns) 0 missing in
-  app_charge Category.Tmk_consistency (Vtime.scale Cpu.miss_plan total_notices);
-  (* Newest lacking notice per processor; its VT covers the processor's
-     older lacking notices. *)
+(* Serve one gathered diff-request entry on responder [r].  In batched
+   mode repeated fetches of the same (proc, interval, page) diff hit the
+   responder's cache instead of recomputing/relocating the RLE (diffs are
+   immutable and interval ids never reused, so a hit is always current). *)
+
+(* A speculative (other-page) diff rides a gathered reply only if it is
+   small: gathering targets the many-small-messages regime the paper
+   highlights (§4.7), where a round trip costs far more than the payload;
+   a large diff would instead dominate the reply the fault is stalled on,
+   losing more latency than the saved round trip.  The faulting page's
+   own diffs are always served in full.  Entries the responder declines
+   simply stay missing at the requester (which blacklists the page from
+   future gathering) and are fetched on their own later miss — cheaply,
+   since serving them here already warmed the responder's diff cache. *)
+let gather_entry_max = 512
+let serve_diff_entry t r h (page, proc, interval_id) =
+  let rnode = t.nodes.(r) in
+  let batched = t.cfg.Config.batching in
+  let cached = if batched then Node.cached_diff rnode ~proc ~interval_id ~page else None in
+  match cached with
+  | Some diff ->
+    h_charge h Category.Tmk_other Cpu.diff_cache_hit;
+    rnode.Node.stats.Stats.diff_cache_hits <- rnode.Node.stats.Stats.diff_cache_hits + 1;
+    if Engine.htracing h then
+      Engine.hemit h (Tmk_trace.Event.Diff_cache { page; hit = true });
+    (page, proc, interval_id, diff)
+  | None ->
+    h_charge h Category.Tmk_other Cpu.diff_lookup_per_entry;
+    let diff = Node.find_diff rnode ~proc ~interval_id ~page ~charge:(h_charge h) in
+    if batched then begin
+      Node.cache_diff rnode ~proc ~interval_id ~page diff;
+      rnode.Node.stats.Stats.diff_cache_misses <-
+        rnode.Node.stats.Stats.diff_cache_misses + 1;
+      if Engine.htracing h then
+        Engine.hemit h (Tmk_trace.Event.Diff_cache { page; hit = false })
+    end;
+    (page, proc, interval_id, diff)
+
+(* §3.5 responder assignment for one page: the newest lacking notice per
+   processor is a head; undominated heads are the minimal responder set,
+   and each processor's lacking notices go to a responder whose newest
+   interval covers them (a processor that modified the page in interval i
+   holds all of the page's diffs for intervals with smaller timestamps). *)
+let plan_page_fetch missing =
   let heads =
     List.map
       (fun (q, wns) ->
@@ -190,10 +225,20 @@ let fetch_and_apply_diffs t pid page missing =
   let dominated (q, vt) =
     List.exists (fun (r, vt') -> r <> q && Vector_time.leq vt vt') heads
   in
-  let responders = List.filter (fun h -> not (dominated h)) heads in
-  (* Assign each processor's lacking notices to a responder whose newest
-     interval covers them (§3.5: a processor that modified the page in
-     interval i holds all diffs of intervals with smaller timestamps). *)
+  (heads, List.filter (fun h -> not (dominated h)) heads)
+
+(* Fetch the diffs for [missing] (per-processor groups of notices lacking
+   diffs) from the minimal processor set, in parallel, then apply them in
+   vector-timestamp order.  In batched mode the requests additionally
+   gather other invalidated pages' lacking diffs whenever an
+   already-contacted responder provably holds them, so a page-miss burst
+   at scale costs one request/response pair per responder instead of one
+   per (responder, page). *)
+let fetch_and_apply_diffs t pid page missing =
+  let node = t.nodes.(pid) in
+  let total_notices = List.fold_left (fun acc (_, wns) -> acc + List.length wns) 0 missing in
+  app_charge Category.Tmk_consistency (Vtime.scale Cpu.miss_plan total_notices);
+  let _, responders = plan_page_fetch missing in
   let assignments = Hashtbl.create 4 in
   let assign (q, wns) =
     let vt_q = (List.hd wns).Node.wn_interval.Node.iv_vt in
@@ -202,55 +247,145 @@ let fetch_and_apply_diffs t pid page missing =
       | Some (r, _) -> r
       | None -> assert false (* q's own head is undominated or covered *)
     in
-    let entries = List.map (fun wn -> (q, wn.Node.wn_interval.Node.iv_id)) wns in
+    let entries = List.map (fun wn -> (page, q, wn.Node.wn_interval.Node.iv_id)) wns in
     (* accumulated in reverse and flipped once below: [prev @ entries] here
        would be quadratic in the number of lacking processors *)
     let prev = Option.value ~default:[] (Hashtbl.find_opt assignments r) in
     Hashtbl.replace assignments r (List.rev_append entries prev)
   in
   List.iter assign missing;
+  (* Multi-page gathering (batched mode): ride the requests already going
+     out.  Another page's lacking group can be attached to a contacted
+     responder [r] when [r] is the group's own creator, or when [r] itself
+     modified that page in an interval covering the group's head — either
+     way §3.5 guarantees [r] holds the diffs.  Only pages this processor
+     has faulted on since their last gather are eligible ([pg_fetched],
+     armed by a genuine access miss, disarmed by each gather) — the
+     hybrid update protocol's "receiver actively uses the page"
+     heuristic, with a one-strike bound: a page the processor has stopped
+     touching wastes at most one speculative fetch before gathering stops
+     until its next real miss.  Pages whose entries a responder has
+     previously declined ([pg_no_gather]: diffs too large to ride a
+     reply) are never retried.  Unattached groups are simply fetched on
+     their own later miss. *)
+  let gathered = ref 0 in
+  if t.cfg.Config.batching then begin
+    let contacted = Hashtbl.fold (fun r _ acc -> r :: acc) assignments [] in
+    Array.iteri
+      (fun q_page pentry ->
+        if
+          q_page <> page && pentry.Node.pg_fetched
+          && (not pentry.Node.pg_no_gather)
+          && pentry.Node.pg_has_copy
+        then
+          match Node.missing_diffs node q_page with
+          | [] -> ()
+          | groups ->
+            let heads =
+              List.map
+                (fun (g, wns) -> (g, (List.hd wns).Node.wn_interval.Node.iv_vt))
+                groups
+            in
+            List.iter
+              (fun (g, wns) ->
+                if g <> pid then begin
+                  let vt_g = (List.hd wns).Node.wn_interval.Node.iv_vt in
+                  let holds r =
+                    r = g
+                    || List.exists
+                         (fun (p, vt_p) -> p = r && Vector_time.leq vt_g vt_p)
+                         heads
+                  in
+                  match List.find_opt holds contacted with
+                  | None -> ()
+                  | Some r ->
+                    let entries =
+                      List.map
+                        (fun wn -> (q_page, g, wn.Node.wn_interval.Node.iv_id))
+                        wns
+                    in
+                    gathered := !gathered + List.length entries;
+                    pentry.Node.pg_fetched <- false;
+                    let prev =
+                      Option.value ~default:[] (Hashtbl.find_opt assignments r)
+                    in
+                    Hashtbl.replace assignments r (List.rev_append entries prev)
+                end)
+              groups)
+      node.Node.pages;
+    if !gathered > 0 then begin
+      node.Node.stats.Stats.diff_prefetch_entries <-
+        node.Node.stats.Stats.diff_prefetch_entries + !gathered;
+      app_charge Category.Tmk_consistency (Vtime.scale Cpu.miss_plan !gathered)
+    end
+  end;
   let promises =
     Hashtbl.fold
       (fun r rev_entries acc ->
         let entries = List.rev rev_entries in
+        let n = List.length entries in
         app_charge Category.Tmk_other Cpu.page_request_build;
-        if Engine.tracing t.engine then
-          emit t ~pid
-            (Tmk_trace.Event.Diff_fetch
-               { page; from_ = r; count = List.length entries });
-        let promise =
-          Transport.call ~label:"diff-fetch" t.transport ~src:pid ~dst:r
-            ~bytes:(Wire.diff_request_bytes (List.length entries))
-            ~serve:(fun h ->
-              let rnode = t.nodes.(r) in
-              let serve_one (proc, interval_id) =
-                h_charge h Category.Tmk_other Cpu.diff_lookup_per_entry;
-                let diff =
-                  Node.find_diff rnode ~proc ~interval_id ~page ~charge:(h_charge h)
-                in
-                (proc, interval_id, diff)
-              in
-              let replies = List.map serve_one entries in
-              let sizes = List.map (fun (_, _, d) -> Rle.encoded_size d) replies in
-              (Wire.diff_reply_bytes sizes, replies))
-        in
-        promise :: acc)
+        if Engine.tracing t.engine then begin
+          (* one Diff_fetch per (responder, page) group of the request *)
+          let by_page = Hashtbl.create 4 in
+          List.iter
+            (fun (p, _, _) ->
+              Hashtbl.replace by_page p
+                (1 + Option.value ~default:0 (Hashtbl.find_opt by_page p)))
+            entries;
+          Hashtbl.iter
+            (fun p count ->
+              emit t ~pid (Tmk_trace.Event.Diff_fetch { page = p; from_ = r; count }))
+            by_page
+        end;
+        let mb = Transport.mailbox () in
+        Transport.send ~label:"diff-fetch" ~parts:n t.transport ~src:pid ~dst:r
+          ~bytes:(Wire.gathered_diff_request_bytes n)
+          ~deliver:(fun h ->
+            let replies =
+              List.filter_map
+                (fun ((p, _, _) as entry) ->
+                  let ((_, _, _, d) as reply) = serve_diff_entry t r h entry in
+                  if p = page || Rle.encoded_size d <= gather_entry_max then
+                    Some reply
+                  else None)
+                entries
+            in
+            let sizes = List.map (fun (_, _, _, d) -> Rle.encoded_size d) replies in
+            Transport.hsend_value ~label:"diff-fetch-reply"
+              ~parts:(List.length replies) t.transport h ~dst:pid
+              ~bytes:(Wire.gathered_diff_reply_bytes sizes) mb replies);
+        (entries, mb) :: acc)
       assignments []
   in
-  let receive promise =
-    let replies = Transport.await_reply t.transport promise in
+  let receive (entries, promise) =
+    let replies = Transport.await_value t.transport promise in
     List.iter
-      (fun (proc, interval_id, diff) -> Node.store_diff node ~proc ~interval_id ~page diff)
-      replies
+      (fun (p, proc, interval_id, diff) ->
+        Node.store_diff node ~proc ~interval_id ~page:p diff)
+      replies;
+    (* Drop feedback: a gathered entry the responder declined to serve
+       means that page's diffs are too large to prefetch — blacklist the
+       page so the request/decline cycle is not repeated at every miss. *)
+    List.iter
+      (fun ((p, _, _) as entry) ->
+        if
+          p <> page
+          && not (List.exists (fun (p', q', i', _) -> (p', q', i') = entry) replies)
+        then node.Node.pages.(p).Node.pg_no_gather <- true)
+      entries
   in
   List.iter receive promises;
   atomically (fun charge ->
-      (* the fetched diffs, plus any piggybacked ones not yet reflected *)
-      let fetched = List.concat_map snd missing in
+      (* the fetched diffs, plus any piggybacked ones not yet reflected;
+         rev_append (not @): apply_missing_diffs sorts by timestamp *)
+      let fetched =
+        List.fold_left (fun acc (_, wns) -> List.rev_append wns acc) [] missing
+      in
       let pending =
         List.filter (fun wn -> not (List.memq wn fetched)) (Node.unapplied_diffs node page)
       in
-      Node.apply_missing_diffs node page (fetched @ pending) ~charge)
+      Node.apply_missing_diffs node page (List.rev_append fetched pending) ~charge)
 
 (* ERC: cold fetch through the global directory; updates that raced ahead
    of the base copy are queued and applied on installation.  A provider
@@ -314,6 +449,10 @@ let miss t pid page =
     fetch_base_erc t pid page
   | Config.Lrc ->
     let entry = node.Node.pages.(page) in
+    (* A genuine access miss (re-)arms the page for speculative gathering;
+       each gather disarms it (one-strike policy, see
+       [fetch_and_apply_diffs]). *)
+    entry.Node.pg_fetched <- true;
     if not entry.Node.pg_has_copy then fetch_base_lrc t pid page;
     (* New write notices can be incorporated by a request handler while we
        wait for replies (this node may be the barrier manager); loop until
@@ -421,52 +560,77 @@ let erc_flush t pid =
             if members = [] then None else Some (page, diff, members))
         dirty
     in
-    let total = List.fold_left (fun acc (_, _, ms) -> acc + List.length ms) 0 updates in
-    if total > 0 then begin
-      let remaining = ref total in
+    (* Regroup the (page → members) fan-out into per-member batches: one
+       update message per cacher carrying all of its pages' diffs (one
+       frame when batching, back-to-back fragments otherwise), answered by
+       one aggregate acknowledgement. *)
+    let by_member = Hashtbl.create 8 in
+    List.iter
+      (fun (page, diff, members) ->
+        List.iter
+          (fun m ->
+            let prev = Option.value ~default:[] (Hashtbl.find_opt by_member m) in
+            Hashtbl.replace by_member m ((page, diff) :: prev))
+          members)
+      updates;
+    let batches =
+      Hashtbl.fold (fun m rev_pages acc -> (m, List.rev rev_pages) :: acc) by_member []
+    in
+    if batches <> [] then begin
+      let remaining = ref (List.length batches) in
       let all_acked = Engine.Ivar.create () in
-      let send_update (page, diff, members) =
-        let bytes = Wire.erc_update_bytes (Rle.encoded_size diff) in
-        let deliver_to m h =
+      let send_batch (m, entries) =
+        let n = List.length entries in
+        let bytes =
+          List.fold_left
+            (fun acc (_, diff) -> acc + Wire.erc_update_bytes (Rle.encoded_size diff))
+            0 entries
+        in
+        let deliver h =
           let mnode = t.nodes.(m) in
-          t.erc_inflight.(page) <- t.erc_inflight.(page) - 1;
-          Log.debug (fun msg ->
-              msg "[t=%d] erc update page %d from %d at %d (%d runs, has_copy=%b)"
-                (Engine.now t.engine) page pid m
-                (Tmk_util.Rle.run_count diff)
-                mnode.Node.pages.(page).Node.pg_has_copy);
-          if mnode.Node.pages.(page).Node.pg_has_copy then begin
-            h_charge h Category.Tmk_mem (Costs.diff_apply (Rle.payload_size diff));
-            Vm.patch mnode.Node.vm page diff;
-            (match mnode.Node.pages.(page).Node.pg_twin with
-            | Some tw -> Rle.apply diff tw
-            | None -> ());
-            mnode.Node.stats.Stats.diffs_applied <-
-              mnode.Node.stats.Stats.diffs_applied + 1;
-            if Engine.htracing h then
-              Engine.hemit h
-                (Tmk_trace.Event.Diff_apply { page; bytes = Rle.payload_size diff })
-          end
-          else begin
-            (* The base copy is still in flight: queue the update. *)
-            let prev = Option.value ~default:[] (Hashtbl.find_opt t.erc_pending.(m) page) in
-            Hashtbl.replace t.erc_pending.(m) page (diff :: prev)
-          end;
-          Transport.hsend ~label:"erc-ack" t.transport h ~dst:pid ~bytes:Wire.ack_bytes
+          List.iter
+            (fun (page, diff) ->
+              t.erc_inflight.(page) <- t.erc_inflight.(page) - 1;
+              Log.debug (fun msg ->
+                  msg "[t=%d] erc update page %d from %d at %d (%d runs, has_copy=%b)"
+                    (Engine.now t.engine) page pid m
+                    (Tmk_util.Rle.run_count diff)
+                    mnode.Node.pages.(page).Node.pg_has_copy);
+              if mnode.Node.pages.(page).Node.pg_has_copy then begin
+                h_charge h Category.Tmk_mem (Costs.diff_apply (Rle.payload_size diff));
+                Vm.patch mnode.Node.vm page diff;
+                (match mnode.Node.pages.(page).Node.pg_twin with
+                | Some tw -> Rle.apply diff tw
+                | None -> ());
+                mnode.Node.stats.Stats.diffs_applied <-
+                  mnode.Node.stats.Stats.diffs_applied + 1;
+                if Engine.htracing h then
+                  Engine.hemit h
+                    (Tmk_trace.Event.Diff_apply { page; bytes = Rle.payload_size diff })
+              end
+              else begin
+                (* The base copy is still in flight: queue the update. *)
+                let prev =
+                  Option.value ~default:[] (Hashtbl.find_opt t.erc_pending.(m) page)
+                in
+                Hashtbl.replace t.erc_pending.(m) page (diff :: prev)
+              end)
+            entries;
+          Transport.hsend ~label:"erc-ack" ~parts:n t.transport h ~dst:pid
+            ~bytes:(n * Wire.ack_bytes)
             ~deliver:(fun ha ->
               decr remaining;
               if !remaining = 0 then Engine.fill t.engine all_acked ~at:(Engine.hnow ha) ())
         in
-        List.iter
-          (fun m ->
-            Transport.send ~label:"erc-update" t.transport ~src:pid ~dst:m ~bytes
-              ~deliver:(deliver_to m))
-          members
+        Transport.send ~label:"erc-update" ~parts:n t.transport ~src:pid ~dst:m ~bytes
+          ~deliver
       in
-      List.iter send_update updates;
+      (* Send in member order for determinism (by_member is a Hashtbl). *)
+      List.iter send_batch (List.sort (fun (a, _) (b, _) -> compare a b) batches);
       (* The release "is not allowed to perform" until every update is
          acknowledged (section 5.1's DASH-style requirement). *)
-      Log.debug (fun m -> m "[t=%d] erc flush by %d awaiting %d acks" (Engine.now t.engine) pid total);
+      Log.debug (fun m ->
+          m "[t=%d] erc flush by %d awaiting %d acks" (Engine.now t.engine) pid !remaining);
       Engine.await all_acked;
       Log.debug (fun m -> m "[t=%d] erc flush by %d complete" (Engine.now t.engine) pid)
     end
@@ -517,6 +681,11 @@ let grant_payload t granter req ~charge =
     ( Wire.lock_grant_bytes ~nprocs:t.cfg.Config.nprocs [],
       { g_intervals = []; g_granter_vt = Vector_time.copy node.Node.vt } )
 
+(* A grant (or barrier message) carrying n piggybacked intervals is one
+   logical header plus n interval units: an unbatched transport sends each
+   as its own frame, a batching one coalesces them (the tentpole). *)
+let interval_parts intervals = 1 + List.length intervals
+
 (* Grant from a request handler: the lock was free (cached) at this node. *)
 let grant_from_handler t granter req h =
   let bytes, payload = grant_payload t granter req ~charge:(h_charge h) in
@@ -529,8 +698,8 @@ let grant_from_handler t granter req h =
            intervals = List.length payload.g_intervals;
            bytes;
          });
-  Transport.hsend_value ~label:"lock-grant" t.transport h ~dst:req.lr_requester ~bytes
-    req.lr_mb payload
+  Transport.hsend_value ~label:"lock-grant" ~parts:(interval_parts payload.g_intervals)
+    t.transport h ~dst:req.lr_requester ~bytes req.lr_mb payload
 
 (* Grant from application context (at release time). *)
 let grant_from_app t granter req =
@@ -544,8 +713,8 @@ let grant_from_app t granter req =
            intervals = List.length payload.g_intervals;
            bytes;
          });
-  Transport.send_value ~label:"lock-grant" t.transport ~src:granter ~dst:req.lr_requester
-    ~bytes req.lr_mb payload
+  Transport.send_value ~label:"lock-grant" ~parts:(interval_parts payload.g_intervals)
+    t.transport ~src:granter ~dst:req.lr_requester ~bytes req.lr_mb payload
 
 (* A lock request reaching the node at the end of the forwarding chain. *)
 let transfer_request t target req h =
@@ -829,8 +998,8 @@ let barrier t ~pid ~id =
         Wire.barrier_release_bytes ~nprocs:t.cfg.Config.nprocs (Node.notice_counts intervals)
         + Node.update_bytes intervals
       in
-      Transport.send_value ~label:"barrier-release" t.transport ~src:pid ~dst:bc.bc_pid
-        ~bytes bc.bc_mb
+      Transport.send_value ~label:"barrier-release" ~parts:(interval_parts intervals)
+        t.transport ~src:pid ~dst:bc.bc_pid ~bytes bc.bc_mb
         { br_intervals = intervals; br_vt = release_vt; br_gc = run_gc }
     in
     (* Release in client order for determinism. *)
@@ -862,7 +1031,8 @@ let barrier t ~pid ~id =
       Wire.barrier_arrival_bytes ~nprocs:t.cfg.Config.nprocs (Node.notice_counts own)
       + Node.update_bytes own
     in
-    Transport.send ~label:"barrier-arrival" t.transport ~src:pid ~dst:barrier_manager ~bytes
+    Transport.send ~label:"barrier-arrival" ~parts:(interval_parts own) t.transport
+      ~src:pid ~dst:barrier_manager ~bytes
       ~deliver:(fun h ->
         let bs = barrier_state_of t id in
         if lrc then Node.incorporate t.nodes.(barrier_manager) own ~charge:(h_charge h)
@@ -894,7 +1064,8 @@ let create cfg =
   | None -> ());
   let prng = Tmk_util.Prng.split_named (Tmk_util.Prng.create cfg.Config.seed) "net" in
   let transport =
-    Transport.create ~plan:cfg.Config.faults ~engine ~params:cfg.Config.net ~prng ()
+    Transport.create ~plan:cfg.Config.faults ~batching:cfg.Config.batching ~engine
+      ~params:cfg.Config.net ~prng ()
   in
   let nodes =
     Array.init cfg.Config.nprocs (fun pid ->

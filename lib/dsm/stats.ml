@@ -14,6 +14,9 @@ type t = {
   mutable page_fetches : int;
   mutable gc_runs : int;
   mutable records_discarded : int;
+  mutable diff_cache_hits : int;
+  mutable diff_cache_misses : int;
+  mutable diff_prefetch_entries : int;
 }
 
 let create () =
@@ -33,6 +36,9 @@ let create () =
     page_fetches = 0;
     gc_runs = 0;
     records_discarded = 0;
+    diff_cache_hits = 0;
+    diff_cache_misses = 0;
+    diff_prefetch_entries = 0;
   }
 
 let add ~into t =
@@ -50,12 +56,17 @@ let add ~into t =
   into.intervals_in <- into.intervals_in + t.intervals_in;
   into.page_fetches <- into.page_fetches + t.page_fetches;
   into.gc_runs <- into.gc_runs + t.gc_runs;
-  into.records_discarded <- into.records_discarded + t.records_discarded
+  into.records_discarded <- into.records_discarded + t.records_discarded;
+  into.diff_cache_hits <- into.diff_cache_hits + t.diff_cache_hits;
+  into.diff_cache_misses <- into.diff_cache_misses + t.diff_cache_misses;
+  into.diff_prefetch_entries <- into.diff_prefetch_entries + t.diff_prefetch_entries
 
 let pp ppf t =
   Format.fprintf ppf
     "locks=%d (remote %d) barriers=%d faults=r%d/w%d misses=%d twins=%d diffs=c%d/a%d \
-     diff-bytes=%d notices-in=%d intervals-in=%d pages=%d gc=%d discarded=%d"
+     diff-bytes=%d notices-in=%d intervals-in=%d pages=%d gc=%d discarded=%d \
+     diff-cache=h%d/m%d prefetched=%d"
     t.lock_acquires t.lock_remote t.barriers t.read_faults t.write_faults t.remote_misses
     t.twins_created t.diffs_created t.diffs_applied t.diff_bytes_created
     t.write_notices_in t.intervals_in t.page_fetches t.gc_runs t.records_discarded
+    t.diff_cache_hits t.diff_cache_misses t.diff_prefetch_entries

@@ -21,6 +21,16 @@ type t = {
   mutable page_fetches : int;  (** full-page copies received *)
   mutable gc_runs : int;
   mutable records_discarded : int;  (** consistency records freed by GC *)
+  mutable diff_cache_hits : int;
+      (** responder-side diff fetches answered from the (proc, interval,
+          page) diff cache without recomputing the RLE encoding (batched
+          mode only) *)
+  mutable diff_cache_misses : int;
+      (** responder-side diff fetches that had to compute/look up the
+          diff and populated the cache (batched mode only) *)
+  mutable diff_prefetch_entries : int;
+      (** diff entries gathered onto another page's request to the same
+          responder — multi-page request aggregation (batched mode only) *)
 }
 
 val create : unit -> t

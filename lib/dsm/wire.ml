@@ -22,6 +22,11 @@ let diff_request_bytes n_entries = id_bytes + (n_entries * (2 * id_bytes))
 let diff_reply_bytes encoded_sizes =
   List.fold_left (fun acc sz -> acc + (3 * id_bytes) + sz) 0 encoded_sizes
 
+let gathered_diff_request_bytes n_entries = id_bytes + (n_entries * (3 * id_bytes))
+
+let gathered_diff_reply_bytes encoded_sizes =
+  List.fold_left (fun acc sz -> acc + (4 * id_bytes) + sz) 0 encoded_sizes
+
 let page_request_bytes = 2 * id_bytes
 let page_reply_bytes = id_bytes + Tmk_mem.Vm.page_size
 

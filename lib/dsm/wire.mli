@@ -40,6 +40,18 @@ val diff_request_bytes : int -> int
     interval index) plus each diff's runlength encoding. *)
 val diff_reply_bytes : int list -> int
 
+(** [gathered_diff_request_bytes n_entries] — the multi-page batched
+    request: an entry count plus [n_entries] (page, processor, interval
+    index) triples.  Two bytes per entry wider than {!diff_request_bytes}
+    because each entry names its page explicitly instead of sharing one
+    page header. *)
+val gathered_diff_request_bytes : int -> int
+
+(** [gathered_diff_reply_bytes encoded_sizes] — the multi-page batched
+    reply: per-diff header (page, proc, interval index, encoded length)
+    plus each diff's runlength encoding. *)
+val gathered_diff_reply_bytes : int list -> int
+
 (** [page_request_bytes] / [page_reply_bytes] — full-page fetch on a cold
     miss. *)
 val page_request_bytes : int

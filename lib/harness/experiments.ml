@@ -3,9 +3,9 @@ open Tmk_dsm
 module Tablefmt = Tmk_util.Tablefmt
 module Params = Tmk_net.Params
 
-type id = E1 | E2 | E3 | E4 | E5 | E6 | E7 | E8 | E9 | E10
+type id = E1 | E2 | E3 | E4 | E5 | E6 | E7 | E8 | E9 | E10 | E11
 
-let all = [ E1; E2; E3; E4; E5; E6; E7; E8; E9; E10 ]
+let all = [ E1; E2; E3; E4; E5; E6; E7; E8; E9; E10; E11 ]
 
 let id_name = function
   | E1 -> "e1"
@@ -18,6 +18,7 @@ let id_name = function
   | E8 -> "e8"
   | E9 -> "e9"
   | E10 -> "e10"
+  | E11 -> "e11"
 
 let id_of_name s =
   match String.lowercase_ascii s with
@@ -31,6 +32,7 @@ let id_of_name s =
   | "e8" -> E8
   | "e9" -> E9
   | "e10" -> E10
+  | "e11" -> E11
   | other -> invalid_arg (Printf.sprintf "Experiments.id_of_name: unknown experiment %S" other)
 
 let describe = function
@@ -44,6 +46,7 @@ let describe = function
   | E8 -> "lazy vs eager release consistency (Figures 9-12)"
   | E9 -> "speedups on the 10 Mbps Ethernet (abstract)"
   | E10 -> "robustness sweep: all applications under 0-20% frame loss (section 3.7)"
+  | E11 -> "scaling study, 2-64 processors, batched vs unbatched consistency traffic"
 
 let atm = Params.atm_aal34
 
@@ -494,6 +497,142 @@ let e10 () =
     ~header:[ "app"; "loss"; "time s"; "retrans"; "frames"; "overhead"; "result" ]
     rows
 
+(* ------------------------------------------------------------------ *)
+(* E11: scaling past the paper, batched vs unbatched traffic           *)
+
+let e11_procs = [ 2; 4; 8; 16; 32; 64 ]
+
+(* "Per acquire" normalizes traffic by synchronization operations (lock
+   acquires + barrier arrivals): as the cluster grows, each operation
+   carries more piggybacked intervals, and the batched protocol's win is
+   exactly the frames it no longer pays per interval. *)
+let e11_acquires (m : Harness.metrics) =
+  let s = m.Harness.m_raw.Api.total_stats in
+  s.Stats.lock_acquires + s.Stats.barriers
+
+let e11_per_acquire (m : Harness.metrics) =
+  let acq = float_of_int (max 1 (e11_acquires m)) in
+  ( float_of_int m.Harness.m_raw.Api.messages /. acq,
+    float_of_int m.Harness.m_raw.Api.bytes /. 1024.0 /. acq )
+
+let e11_json ~file data =
+  let b = Buffer.create 8192 in
+  let mode_json (m : Harness.metrics) base_time =
+    let mpa, kpa = e11_per_acquire m in
+    let s = m.Harness.m_raw.Api.total_stats in
+    Printf.sprintf
+      "{\"time_s\":%.6f,\"speedup\":%.4f,\"messages\":%d,\"bytes\":%d,\"acquires\":%d,\
+       \"msgs_per_acquire\":%.4f,\"kb_per_acquire\":%.4f,\"frames_coalesced\":%d,\
+       \"diff_cache_hits\":%d,\"diff_cache_misses\":%d}"
+      m.Harness.m_time_s
+      (base_time /. m.Harness.m_time_s)
+      m.Harness.m_raw.Api.messages m.Harness.m_raw.Api.bytes (e11_acquires m) mpa kpa
+      m.Harness.m_raw.Api.frames_coalesced s.Stats.diff_cache_hits s.Stats.diff_cache_misses
+  in
+  Buffer.add_string b
+    "{\"experiment\":\"E11\",\"protocol\":\"lrc\",\"network\":\"atm-aal34\",\"apps\":[";
+  List.iteri
+    (fun i (app, (base : Harness.metrics), points) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"app\":%S,\"workload\":%S,\"baseline_time_s\":%.6f,\"points\":["
+           (Harness.app_name app)
+           (Harness.workload_description app)
+           base.Harness.m_time_s);
+      List.iteri
+        (fun j (n, batched, unbatched) ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf "{\"nprocs\":%d,\"batched\":%s,\"unbatched\":%s}" n
+               (mode_json batched base.Harness.m_time_s)
+               (mode_json unbatched base.Harness.m_time_s)))
+        points;
+      Buffer.add_string b "]}")
+    data;
+  Buffer.add_string b "]}\n";
+  let oc = open_out file in
+  Buffer.output_buffer oc b;
+  close_out oc
+
+let e11 () =
+  let data =
+    List.map
+      (fun app ->
+        let base =
+          Harness.run_cfg ~app (Harness.config ~app ~nprocs:1 ~protocol:Config.Lrc ~net:atm)
+        in
+        let points =
+          List.map
+            (fun n ->
+              let cfg = Harness.config ~app ~nprocs:n ~protocol:Config.Lrc ~net:atm in
+              ( n,
+                Harness.run_cfg ~app { cfg with Config.batching = true },
+                Harness.run_cfg ~app { cfg with Config.batching = false } ))
+            e11_procs
+        in
+        (app, base, points))
+      Harness.all_apps
+  in
+  let json_file = "BENCH_3.json" in
+  e11_json ~file:json_file data;
+  let speedup_chart =
+    Tablefmt.line_chart
+      ~title:"E11a. Speedups, 2-64 processors, batched (4x the paper's cluster size)"
+      ~x_label:"processors" ~y_label:"speedup"
+      ~x:(List.map float_of_int e11_procs)
+      (List.map
+         (fun (app, (base : Harness.metrics), points) ->
+           ( Harness.app_name app,
+             (Harness.app_name app).[0],
+             List.map
+               (fun (_, (batched : Harness.metrics), _) ->
+                 base.Harness.m_time_s /. batched.Harness.m_time_s)
+               points ))
+         data)
+  in
+  let per_app (app, (base : Harness.metrics), points) =
+    Tablefmt.render
+      ~title:
+        (Printf.sprintf "E11b. %s (%s): batched vs unbatched consistency traffic"
+           (Harness.app_name app)
+           (Harness.workload_description app))
+      ~header:
+        [ "procs"; "speedup b/u"; "msgs/acq b/u"; "KB/acq b/u"; "coalesced"; "cache h/m" ]
+      (List.map
+         (fun (n, (bm : Harness.metrics), (um : Harness.metrics)) ->
+           let b_mpa, b_kpa = e11_per_acquire bm in
+           let u_mpa, u_kpa = e11_per_acquire um in
+           let bs = bm.Harness.m_raw.Api.total_stats in
+           [ string_of_int n;
+             f2 (base.Harness.m_time_s /. bm.Harness.m_time_s)
+             ^ " / "
+             ^ f2 (base.Harness.m_time_s /. um.Harness.m_time_s);
+             f2 b_mpa ^ " / " ^ f2 u_mpa;
+             f2 b_kpa ^ " / " ^ f2 u_kpa;
+             string_of_int bm.Harness.m_raw.Api.frames_coalesced;
+             Printf.sprintf "%d/%d" bs.Stats.diff_cache_hits bs.Stats.diff_cache_misses ])
+         points)
+  in
+  let strict =
+    List.for_all
+      (fun (_, _, points) ->
+        List.for_all
+          (fun (_, bm, um) ->
+            let b_mpa, _ = e11_per_acquire bm and u_mpa, _ = e11_per_acquire um in
+            b_mpa < u_mpa)
+          points)
+      data
+  in
+  String.concat "\n"
+    (speedup_chart :: List.map per_app data
+    @ [
+        Printf.sprintf
+          "batching strictly reduces messages per acquire at every point: %s\n\
+           (raw measurements written to %s)"
+          (if strict then "yes" else "NO - REGRESSION")
+          json_file;
+      ])
+
 let run = function
   | E1 -> e1 ()
   | E2 -> e2 ()
@@ -505,6 +644,7 @@ let run = function
   | E8 -> e8 ()
   | E9 -> e9 ()
   | E10 -> e10 ()
+  | E11 -> e11 ()
 
 let run_all () =
   String.concat "\n"

@@ -20,6 +20,13 @@ type id =
           loss — execution time, retransmissions, message overhead versus
           the loss-free baseline, and a digest check that the DSM answer
           is bit-identical at every loss rate *)
+  | E11
+      (** scaling study past the paper: the five applications on 2–64
+          processors, batched versus unbatched consistency traffic
+          ([Config.batching]) — speedup curves, messages and kilobytes per
+          synchronization acquire, frames coalesced, and diff-cache
+          effectiveness.  Also writes the raw measurements to
+          [BENCH_3.json] in the working directory. *)
 
 val all : id list
 
@@ -35,5 +42,5 @@ val describe : id -> string
 (** [run id] — execute the experiment and return its rendered report. *)
 val run : id -> string
 
-(** [run_all ()] — E1 through E10, concatenated. *)
+(** [run_all ()] — E1 through E11, concatenated. *)
 val run_all : unit -> string

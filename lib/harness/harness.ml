@@ -153,16 +153,9 @@ let metrics_of_raw ~app cfg raw =
     m_raw = raw;
   }
 
-let run_cfg ~app cfg = metrics_of_raw ~app cfg (Api.run cfg (body app))
+let run_cfg ?trace ~app cfg = metrics_of_raw ~app cfg (Api.run ?trace cfg (body app))
 
 let run ~app ~nprocs ~protocol ~net = run_cfg ~app (config ~app ~nprocs ~protocol ~net)
-
-(* Traced runs install a fresh sink so experiments can assert on
-   trace-derived metrics (and the CLI can export/analyze the stream). *)
-let run_traced ~app cfg =
-  let sink = Tmk_trace.Sink.create () in
-  let m = run_cfg ~app { cfg with Config.trace = Some sink } in
-  (m, sink)
 
 (* Per-processor execution-time breakdown with idle reported explicitly
    as makespan − Σ busy categories (the paper's figure decompositions

@@ -73,15 +73,12 @@ val run :
   app:app -> nprocs:int -> protocol:Config.protocol -> net:Tmk_net.Params.t -> metrics
 
 (** [run_cfg ~app cfg] — like {!run} with full control of the cluster
-    configuration (seed, GC threshold, diffing policy, fault plan...). *)
-val run_cfg : app:app -> Config.t -> metrics
-
-(** [run_traced ~app cfg] — like {!run_cfg} but installs a fresh typed
-    trace sink (overriding [cfg.trace]) and returns it alongside the
-    metrics, so callers can export the event stream or assert on
-    trace-derived quantities (lock contention, hot pages, barrier
-    skew — see {!Tmk_trace.Analyze}). *)
-val run_traced : app:app -> Config.t -> metrics * Tmk_trace.Sink.t
+    configuration (seed, GC threshold, diffing policy, fault plan...).
+    [?trace] is forwarded to {!Api.run}: pass a sink to capture the typed
+    event stream (overriding [cfg.trace]) and assert on trace-derived
+    quantities afterwards (lock contention, hot pages, barrier skew — see
+    {!Tmk_trace.Analyze}). *)
+val run_cfg : ?trace:Tmk_trace.Sink.t -> app:app -> Config.t -> metrics
 
 (** [breakdown_table m] — a per-processor execution-time table (one row
     per processor: the six {!Tmk_sim.Category.t} busy columns, their sum,

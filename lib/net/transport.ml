@@ -32,12 +32,14 @@ type t = {
   params : Params.t;
   plan : Fault_plan.t;
   prng : Tmk_util.Prng.t;
+  batching : bool;  (* coalesce multi-part messages into single frames *)
   link_free : Vtime.t array;  (* per-source ATM link, or slot 0 = shared bus *)
   per_proc : counters array;
   by_label : (string, counters) Hashtbl.t;  (* message mix by protocol operation *)
   mutable retransmissions : int;
   mutable dup_frames : int;
   mutable dups_suppressed : int;
+  mutable coalesced : int;  (* frames saved by batching: Σ (parts − 1) *)
   mutable next_msg_id : int;
   delivered : (int, unit) Hashtbl.t;
       (* duplicate suppression, reliable mode only; entries are pruned once
@@ -48,7 +50,7 @@ type t = {
 
 let fresh_counters () = { msgs = 0; bytes = 0; retrans = 0; dups = 0 }
 
-let create ?(plan = Fault_plan.none) ~engine ~params ~prng () =
+let create ?(plan = Fault_plan.none) ?(batching = true) ~engine ~params ~prng () =
   Fault_plan.validate plan;
   (* Params.with_loss is the legacy loss knob: fold it into the plan so
      the two configuration paths agree. *)
@@ -63,12 +65,14 @@ let create ?(plan = Fault_plan.none) ~engine ~params ~prng () =
     params;
     plan;
     prng;
+    batching;
     link_free = Array.make (max n 1) Vtime.zero;
     per_proc = Array.init n (fun _ -> fresh_counters ());
     by_label = Hashtbl.create 16;
     retransmissions = 0;
     dup_frames = 0;
     dups_suppressed = 0;
+    coalesced = 0;
     next_msg_id = 0;
     delivered = Hashtbl.create 64;
   }
@@ -76,6 +80,7 @@ let create ?(plan = Fault_plan.none) ~engine ~params ~prng () =
 let engine t = t.engine
 let params t = t.params
 let plan t = t.plan
+let batching t = t.batching
 
 (* Delivery faults engage the ack/retransmit protocol; stall-only plans
    delay service but never lose frames. *)
@@ -97,25 +102,54 @@ let label_counters t label =
 (* ------------------------------------------------------------------ *)
 (* Medium: arbitration, faults, statistics.                            *)
 
-(* Hand one frame to the medium at [at]; [on_arrival] fires at the
+(* Fragment sizes of an unbatched multi-part message: the payload splits
+   evenly across [parts] fragments (remainder to the first ones) and each
+   fragment pays the full per-frame header/minimum-size overhead. *)
+let split_frames p ~bytes ~parts =
+  let base = bytes / parts and rem = bytes mod parts in
+  List.init parts (fun i -> Params.frame_bytes p (base + if i < rem then 1 else 0))
+
+(* Hand one message to the medium at [at]; [on_arrival] fires at the
    receiver's network interface (no CPU charged yet) once per copy the
    medium actually delivers — zero times when dropped, twice when
    duplicated.  [on_fate] reports that copy count as soon as the medium
-   decides it (retransmission bookkeeping). *)
-let transmit ?(label = "other") ?(retrans = false) ?(on_fate = fun _ -> ()) t
-    ~src ~dst ~bytes ~at ~on_arrival =
+   decides it (retransmission bookkeeping).
+
+   [parts] is the number of logical protocol units riding in the message
+   (write notices batches, gathered diff entries...).  A batching
+   transport coalesces them into one frame and counts the [parts − 1]
+   saved frames; an unbatched transport puts each part on the wire as its
+   own frame, back to back.  The fragment burst shares one fate — one
+   loss/dup/reorder draw, one delivery at the arrival of the last
+   fragment — so both modes consume identical PRNG streams and stay
+   individually bit-deterministic. *)
+let transmit ?(label = "other") ?(retrans = false) ?(parts = 1)
+    ?(on_fate = fun _ -> ()) t ~src ~dst ~bytes ~at ~on_arrival =
   let p = t.params in
-  let frame = Params.frame_bytes p bytes in
+  let split = (not t.batching) && parts > 1 in
+  let frames =
+    if split then split_frames p ~bytes ~parts else [ Params.frame_bytes p bytes ]
+  in
+  let nframes = List.length frames in
+  let total = List.fold_left ( + ) 0 frames in
   let c = t.per_proc.(src) in
-  c.msgs <- c.msgs + 1;
-  c.bytes <- c.bytes + frame;
+  c.msgs <- c.msgs + nframes;
+  c.bytes <- c.bytes + total;
   let lc = label_counters t label in
-  lc.msgs <- lc.msgs + 1;
-  lc.bytes <- lc.bytes + frame;
+  lc.msgs <- lc.msgs + nframes;
+  lc.bytes <- lc.bytes + total;
+  if t.batching && parts > 1 then t.coalesced <- t.coalesced + (parts - 1);
   Engine.schedule t.engine ~at (fun () ->
-      if Engine.tracing t.engine then
-        Engine.emit t.engine ~pid:src
-          (Tmk_trace.Event.Frame_send { src; dst; label; bytes = frame; retrans });
+      if Engine.tracing t.engine then begin
+        List.iter
+          (fun frame ->
+            Engine.emit t.engine ~pid:src
+              (Tmk_trace.Event.Frame_send { src; dst; label; bytes = frame; retrans }))
+          frames;
+        if t.batching && parts > 1 then
+          Engine.emit t.engine ~pid:src
+            (Tmk_trace.Event.Frame_batch { src; dst; label; parts })
+      end;
       let slot = if p.Params.shared_medium then 0 else src in
       let free_at = t.link_free.(slot) in
       (* A frame finding the medium busy pays the contention penalty
@@ -124,7 +158,7 @@ let transmit ?(label = "other") ?(retrans = false) ?(on_fate = fun _ -> ()) t
         if free_at > at then Vtime.add free_at p.Params.busy_access_delay
         else at
       in
-      let occupancy = Vtime.ns (frame * p.Params.wire_ns_per_byte) in
+      let occupancy = Vtime.ns (total * p.Params.wire_ns_per_byte) in
       t.link_free.(slot) <- Vtime.add start occupancy;
       let loss = Fault_plan.loss_for t.plan ~src ~dst in
       let dropped =
@@ -133,8 +167,11 @@ let transmit ?(label = "other") ?(retrans = false) ?(on_fate = fun _ -> ()) t
       in
       if dropped then begin
         if Engine.tracing t.engine then
-          Engine.emit t.engine ~pid:src
-            (Tmk_trace.Event.Frame_drop { src; dst; label; bytes = frame });
+          List.iter
+            (fun frame ->
+              Engine.emit t.engine ~pid:src
+                (Tmk_trace.Event.Frame_drop { src; dst; label; bytes = frame }))
+            frames;
         on_fate 0
       end
       else begin
@@ -164,14 +201,17 @@ let transmit ?(label = "other") ?(retrans = false) ?(on_fate = fun _ -> ()) t
         let arrive at =
           Engine.schedule t.engine ~at (fun () ->
               if Engine.tracing t.engine then
-                Engine.emit t.engine ~pid:dst
-                  (Tmk_trace.Event.Frame_recv { src; dst; label; bytes = frame });
+                List.iter
+                  (fun frame ->
+                    Engine.emit t.engine ~pid:dst
+                      (Tmk_trace.Event.Frame_recv { src; dst; label; bytes = frame }))
+                  frames;
               on_arrival at)
         in
         arrive arrival;
         if copies = 2 then begin
-          t.dup_frames <- t.dup_frames + 1;
-          lc.dups <- lc.dups + 1;
+          t.dup_frames <- t.dup_frames + nframes;
+          lc.dups <- lc.dups + nframes;
           if Engine.tracing t.engine then
             Engine.emit t.engine ~pid:src
               (Tmk_trace.Event.Frame_dup { src; dst; label });
@@ -217,9 +257,9 @@ type rel = {
    retransmissions consume CPU through self-posted handlers so the
    charges land on the right processor even though the original caller
    has moved on. *)
-let rec oneway ?(label = "other") t ~src ~dst ~bytes ~at ~deliver =
+let rec oneway ?(label = "other") ?(parts = 1) t ~src ~dst ~bytes ~at ~deliver =
   if not (reliable t) then
-    transmit ~label t ~src ~dst ~bytes ~at ~on_arrival:(fun arrival ->
+    transmit ~label ~parts t ~src ~dst ~bytes ~at ~on_arrival:(fun arrival ->
         deliver_to_handler t ~dst ~bytes ~arrival ~deliver)
   else begin
     let id = fresh_id t in
@@ -242,7 +282,7 @@ let rec oneway ?(label = "other") t ~src ~dst ~bytes ~at ~deliver =
         t.retransmissions <- t.retransmissions + 1;
         lc.retrans <- lc.retrans + 1
       end;
-      transmit ~label ~retrans:(st.attempts > 1) t ~src ~dst ~bytes ~at
+      transmit ~label ~retrans:(st.attempts > 1) ~parts t ~src ~dst ~bytes ~at
         ~on_fate:(fun copies ->
           st.expected <- st.expected + (copies - 1);
           maybe_prune ())
@@ -285,13 +325,22 @@ and send_ack t h ~dst ~on_ack =
           Engine.hcharge ha Category.Unix_comm (Params.recv_cost t.params 0);
           on_ack ()))
 
-let send ?label t ~src ~dst ~bytes ~deliver =
-  Engine.advance Category.Unix_comm (Params.send_cost t.params bytes);
-  oneway ?label t ~src ~dst ~bytes ~at:(Engine.now t.engine) ~deliver
+(* Sender CPU for a possibly-split burst: the payload cost once, plus the
+   fixed kernel send entry for each extra fragment an unbatched transport
+   puts on the wire (a batching transport pays it only once). *)
+let burst_send_cost t ~bytes ~parts =
+  let base = Params.send_cost t.params bytes in
+  if (not t.batching) && parts > 1 then
+    Vtime.add base (Vtime.scale (Params.send_cost t.params 0) (parts - 1))
+  else base
 
-let hsend ?label t h ~dst ~bytes ~deliver =
-  Engine.hcharge h Category.Unix_comm (Params.send_cost t.params bytes);
-  oneway ?label t ~src:(Engine.hpid h) ~dst ~bytes ~at:(Engine.hnow h) ~deliver
+let send ?label ?(parts = 1) t ~src ~dst ~bytes ~deliver =
+  Engine.advance Category.Unix_comm (burst_send_cost t ~bytes ~parts);
+  oneway ?label ~parts t ~src ~dst ~bytes ~at:(Engine.now t.engine) ~deliver
+
+let hsend ?label ?(parts = 1) t h ~dst ~bytes ~deliver =
+  Engine.hcharge h Category.Unix_comm (burst_send_cost t ~bytes ~parts);
+  oneway ?label ~parts t ~src:(Engine.hpid h) ~dst ~bytes ~at:(Engine.hnow h) ~deliver
 
 (* ------------------------------------------------------------------ *)
 (* Messages that wake a blocked process.                               *)
@@ -307,14 +356,14 @@ let mailbox () = Engine.Ivar.create ()
    additionally runs a (cheap) handler on [dst] to source the
    acknowledgement; the single-use mailbox doubles as the duplicate
    filter, so no dedup-table entry is needed. *)
-let value_message ?(label = "other") t ~src ~dst ~bytes ~at mb v =
+let value_message ?(label = "other") ?(parts = 1) t ~src ~dst ~bytes ~at mb v =
   let fill_at arrival =
     let at = Fault_plan.stall_until t.plan ~pid:dst ~at:arrival in
     if not (Engine.Ivar.is_filled mb) then Engine.fill t.engine mb ~at (bytes, v)
     else t.dups_suppressed <- t.dups_suppressed + 1
   in
   if not (reliable t) then
-    transmit ~label t ~src ~dst ~bytes ~at ~on_arrival:fill_at
+    transmit ~label ~parts t ~src ~dst ~bytes ~at ~on_arrival:fill_at
   else begin
     let st = { acked = false; expected = 0; checked = 0; attempts = 0; cancel = ignore } in
     let on_ack () =
@@ -330,7 +379,7 @@ let value_message ?(label = "other") t ~src ~dst ~bytes ~at mb v =
         t.retransmissions <- t.retransmissions + 1;
         lc.retrans <- lc.retrans + 1
       end;
-      transmit ~label ~retrans:(st.attempts > 1) t ~src ~dst ~bytes ~at
+      transmit ~label ~retrans:(st.attempts > 1) ~parts t ~src ~dst ~bytes ~at
         ~on_arrival:(fun arrival ->
           fill_at arrival;
           post_to t ~pid:dst ~at:arrival (fun h ->
@@ -351,13 +400,13 @@ let value_message ?(label = "other") t ~src ~dst ~bytes ~at mb v =
     attempt ~at
   end
 
-let send_value ?label t ~src ~dst ~bytes mb v =
-  Engine.advance Category.Unix_comm (Params.send_cost t.params bytes);
-  value_message ?label t ~src ~dst ~bytes ~at:(Engine.now t.engine) mb v
+let send_value ?label ?(parts = 1) t ~src ~dst ~bytes mb v =
+  Engine.advance Category.Unix_comm (burst_send_cost t ~bytes ~parts);
+  value_message ?label ~parts t ~src ~dst ~bytes ~at:(Engine.now t.engine) mb v
 
-let hsend_value ?label t h ~dst ~bytes mb v =
-  Engine.hcharge h Category.Unix_comm (Params.send_cost t.params bytes);
-  value_message ?label t ~src:(Engine.hpid h) ~dst ~bytes ~at:(Engine.hnow h) mb v
+let hsend_value ?label ?(parts = 1) t h ~dst ~bytes mb v =
+  Engine.hcharge h Category.Unix_comm (burst_send_cost t ~bytes ~parts);
+  value_message ?label ~parts t ~src:(Engine.hpid h) ~dst ~bytes ~at:(Engine.hnow h) mb v
 
 let await_value t mb =
   let bytes, v = Engine.await mb in
@@ -370,11 +419,11 @@ let await_value t mb =
 
 type 'a promise = 'a mailbox
 
-let call ?label t ~src ~dst ~bytes ~serve =
+let call ?label ?(parts = 1) t ~src ~dst ~bytes ~serve =
   let mb = mailbox () in
   let reply_label = Option.map (fun l -> l ^ "-reply") label in
-  Engine.advance Category.Unix_comm (Params.send_cost t.params bytes);
-  oneway ?label t ~src ~dst ~bytes ~at:(Engine.now t.engine) ~deliver:(fun h ->
+  Engine.advance Category.Unix_comm (burst_send_cost t ~bytes ~parts);
+  oneway ?label ~parts t ~src ~dst ~bytes ~at:(Engine.now t.engine) ~deliver:(fun h ->
       let reply_bytes, reply = serve h in
       hsend_value ?label:reply_label t h ~dst:src ~bytes:reply_bytes mb reply);
   mb
@@ -392,6 +441,7 @@ let bytes_sent t = Array.fold_left (fun acc c -> acc + c.bytes) 0 t.per_proc
 let messages_of t pid = t.per_proc.(pid).msgs
 let bytes_of t pid = t.per_proc.(pid).bytes
 let retransmissions t = t.retransmissions
+let frames_coalesced t = t.coalesced
 let duplicates_injected t = t.dup_frames
 let duplicates_suppressed t = t.dups_suppressed
 let dedup_entries t = Hashtbl.length t.delivered
@@ -422,4 +472,5 @@ let reset_stats t =
   Hashtbl.reset t.delivered;
   t.retransmissions <- 0;
   t.dup_frames <- 0;
-  t.dups_suppressed <- 0
+  t.dups_suppressed <- 0;
+  t.coalesced <- 0

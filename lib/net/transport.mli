@@ -53,9 +53,20 @@ exception
 (** [create ~engine ~params ~prng] builds a transport over [engine]'s
     processors.  [prng] drives the fault draws.  [?plan] installs a fault
     schedule (default {!Fault_plan.none}); a legacy [Params.with_loss]
-    rate is folded into the effective plan, whichever is larger. *)
+    rate is folded into the effective plan, whichever is larger.
+
+    [?batching] (default [true]) controls how multi-part messages (the
+    [?parts] argument of the send functions) reach the wire: a batching
+    transport coalesces all parts into one frame and counts the saved
+    frames in {!frames_coalesced}; an unbatched transport fragments the
+    payload into [parts] back-to-back frames, each paying the per-frame
+    header and minimum-size overhead plus the fixed kernel send cost.
+    Either way the burst shares a single fate (one loss/duplication/
+    reordering draw, one delivery) so the two modes consume identical
+    PRNG streams and each is bit-deterministic for a given seed. *)
 val create :
   ?plan:Fault_plan.t ->
+  ?batching:bool ->
   engine:Engine.t ->
   params:Params.t ->
   prng:Tmk_util.Prng.t ->
@@ -73,13 +84,22 @@ val plan : t -> Fault_plan.t
     protocol. *)
 val reliable : t -> bool
 
+(** [batching t] — whether multi-part messages coalesce into single
+    frames (see {!create}). *)
+val batching : t -> bool
+
 (** [send t ~src ~dst ~bytes ~deliver] — one-way message from the
     application process currently running on [src].  Charges send CPU via
     {!Engine.advance}, so it must be called from process context.
     [deliver] runs in a handler context on [dst] (exactly once, even
-    under faults). *)
+    under faults).
+
+    [?parts] (default 1, every send function) declares how many logical
+    protocol units the message carries; see {!create} for how batched and
+    unbatched transports put them on the wire. *)
 val send :
   ?label:string ->
+  ?parts:int ->
   t ->
   src:Engine.pid ->
   dst:Engine.pid ->
@@ -91,6 +111,7 @@ val send :
     context [h]; departs at [hnow h] after the send CPU charge. *)
 val hsend :
   ?label:string ->
+  ?parts:int ->
   t ->
   Engine.hctx ->
   dst:Engine.pid ->
@@ -108,11 +129,27 @@ val mailbox : unit -> 'a mailbox
 (** [send_value t ~src ~dst ~bytes mb v] — one-way message carrying [v]
     into [mb] on [dst]; application-context variant. *)
 val send_value :
-  ?label:string -> t -> src:Engine.pid -> dst:Engine.pid -> bytes:int -> 'a mailbox -> 'a -> unit
+  ?label:string ->
+  ?parts:int ->
+  t ->
+  src:Engine.pid ->
+  dst:Engine.pid ->
+  bytes:int ->
+  'a mailbox ->
+  'a ->
+  unit
 
 (** [hsend_value t h ~dst ~bytes mb v] — handler-context variant. *)
 val hsend_value :
-  ?label:string -> t -> Engine.hctx -> dst:Engine.pid -> bytes:int -> 'a mailbox -> 'a -> unit
+  ?label:string ->
+  ?parts:int ->
+  t ->
+  Engine.hctx ->
+  dst:Engine.pid ->
+  bytes:int ->
+  'a mailbox ->
+  'a ->
+  unit
 
 (** [await_value t mb] — process context: block until a value lands in
     [mb], charge the blocked-receive delivery CPU, and return it.  A
@@ -129,6 +166,7 @@ type 'a promise
     §3.5). *)
 val call :
   ?label:string ->
+  ?parts:int ->
   t ->
   src:Engine.pid ->
   dst:Engine.pid ->
@@ -165,6 +203,13 @@ val bytes_of : t -> Engine.pid -> int
 
 (** [retransmissions t] — frames re-sent by the reliability protocol. *)
 val retransmissions : t -> int
+
+(** [frames_coalesced t] — frames saved by batching: the sum of
+    [parts − 1] over every multi-part message a batching transport put on
+    the wire as a single frame.  For identical protocol activity,
+    [unbatched.messages = batched.messages + batched.frames_coalesced].
+    Always zero on an unbatched transport. *)
+val frames_coalesced : t -> int
 
 (** [duplicates_injected t] — extra copies the medium fabricated. *)
 val duplicates_injected : t -> int

@@ -106,9 +106,9 @@ let cat_of (ev : Event.t) =
   | Barrier_arrive _ | Barrier_release _ -> "barrier"
   | Page_fault _ | Page_fault_done _ | Twin_create _ | Page_fetch _
   | Page_invalidate _ -> "page"
-  | Diff_create _ | Diff_apply _ | Diff_fetch _ -> "diff"
+  | Diff_create _ | Diff_apply _ | Diff_fetch _ | Diff_cache _ -> "diff"
   | Interval_close _ | Interval_recv _ | Write_notice_recv _ -> "consistency"
-  | Frame_send _ | Frame_recv _ | Frame_drop _ | Frame_dup _ -> "net"
+  | Frame_send _ | Frame_recv _ | Frame_drop _ | Frame_dup _ | Frame_batch _ -> "net"
   | Gc_begin _ | Gc_end _ -> "gc"
   | Proc_finish | Mark _ -> "engine"
 

@@ -25,6 +25,8 @@ type t =
   | Frame_recv of { src : int; dst : int; label : string; bytes : int }
   | Frame_drop of { src : int; dst : int; label : string; bytes : int }
   | Frame_dup of { src : int; dst : int; label : string }
+  | Frame_batch of { src : int; dst : int; label : string; parts : int }
+  | Diff_cache of { page : int; hit : bool }
   | Gc_begin of { live : int }
   | Gc_end of { discarded : int }
   | Proc_finish
@@ -59,6 +61,8 @@ let name = function
   | Frame_recv _ -> "frame-recv"
   | Frame_drop _ -> "frame-drop"
   | Frame_dup _ -> "frame-dup"
+  | Frame_batch _ -> "frame-batch"
+  | Diff_cache _ -> "diff-cache"
   | Gc_begin _ -> "gc-begin"
   | Gc_end _ -> "gc-end"
   | Proc_finish -> "proc-finish"
@@ -100,6 +104,9 @@ let args = function
     [ ("src", Int src); ("dst", Int dst); ("label", Str label); ("bytes", Int bytes) ]
   | Frame_dup { src; dst; label } ->
     [ ("src", Int src); ("dst", Int dst); ("label", Str label) ]
+  | Frame_batch { src; dst; label; parts } ->
+    [ ("src", Int src); ("dst", Int dst); ("label", Str label); ("parts", Int parts) ]
+  | Diff_cache { page; hit } -> [ ("page", Int page); ("hit", Bool hit) ]
   | Gc_begin { live } -> [ ("live", Int live) ]
   | Gc_end { discarded } -> [ ("discarded", Int discarded) ]
   | Proc_finish -> []

@@ -71,6 +71,12 @@ type t =
       (** the fault plan dropped the frame (loss or partition) *)
   | Frame_dup of { src : int; dst : int; label : string }
       (** the medium injected a duplicate copy *)
+  | Frame_batch of { src : int; dst : int; label : string; parts : int }
+      (** a batching transport coalesced [parts] logical protocol units
+          into the single frame just sent (follows its [Frame_send]) *)
+  | Diff_cache of { page : int; hit : bool }
+      (** a responder served a diff fetch from its (proc, interval, page)
+          diff cache ([hit = true]) or computed and cached it *)
   (* Garbage collection (§3.6) *)
   | Gc_begin of { live : int }  (** live consistency records at entry *)
   | Gc_end of { discarded : int }

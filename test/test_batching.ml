@@ -1,0 +1,213 @@
+(* Batched consistency traffic and the collective operations.
+
+   Covers the two halves of the batching work: the Api collectives
+   (reduce/bcast built from barriers over a hidden slot array) and the
+   transport-level frame coalescing (one frame per peer per
+   synchronization operation instead of one per interval/diff, the
+   responder-side diff cache, and the unbatched ablation mode). *)
+
+open Tmk_dsm
+
+let check = Alcotest.check
+
+let cfg ?(nprocs = 4) ?(pages = 8) ?(batching = true) ?(faults = Tmk_net.Fault_plan.none) ()
+    =
+  { Config.default with Config.nprocs; pages; batching; faults; seed = 42L }
+
+(* ------------------------------------------------------------------ *)
+(* Collectives *)
+
+(* reduce must return the identical total on EVERY processor, and fold in
+   pid order (checked with a non-commutative operation). *)
+let collectives_at nprocs () =
+  let pages = 2 + (2 * nprocs * 8 / Tmk_mem.Vm.page_size) in
+  let sums = Array.make nprocs 0.0 in
+  let folds = Array.make nprocs 0 in
+  let seen = Array.make nprocs 0 in
+  ignore
+    (Api.run (cfg ~nprocs ~pages ()) (fun ctx ->
+         let pid = Api.pid ctx in
+         let data = Api.ialloc ctx nprocs in
+         (* root initializes, everyone reads its own slot afterwards *)
+         Api.bcast ctx (fun () ->
+             for q = 0 to nprocs - 1 do
+               Api.iset ctx data q (q + 1)
+             done);
+         seen.(pid) <- Api.iget ctx data pid;
+         sums.(pid) <- Api.reduce_f ctx ( +. ) (float_of_int (pid + 1));
+         (* 10*acc + v is order-sensitive: pid order gives the digits
+            1..nprocs read left to right *)
+         folds.(pid) <- Api.reduce_i ctx (fun acc v -> (10 * acc) + v) (pid + 1)));
+  let n = nprocs in
+  let expected_sum = float_of_int (n * (n + 1) / 2) in
+  let expected_fold = Array.fold_left (fun acc q -> (10 * acc) + q + 1) 0 (Array.init n Fun.id) in
+  Array.iteri
+    (fun pid got ->
+      check (Alcotest.float 0.0) (Printf.sprintf "sum on %d" pid) expected_sum got)
+    sums;
+  Array.iteri
+    (fun pid got -> check Alcotest.int (Printf.sprintf "fold on %d" pid) expected_fold got)
+    folds;
+  Array.iteri
+    (fun pid got -> check Alcotest.int (Printf.sprintf "bcast seen on %d" pid) (pid + 1) got)
+    seen
+
+let collectives_2p () = collectives_at 2 ()
+let collectives_5p () = collectives_at 5 ()
+let collectives_8p () = collectives_at 8 ()
+let collectives_32p () = collectives_at 32 ()
+
+let bcast_nonzero_root () =
+  let nprocs = 4 in
+  let got = Array.make nprocs 0 in
+  ignore
+    (Api.run (cfg ~nprocs ()) (fun ctx ->
+         let data = Api.ialloc ctx 1 in
+         Api.bcast ~root:2 ctx (fun () -> Api.iset ctx data 0 77);
+         got.(Api.pid ctx) <- Api.iget ctx data 0));
+  Array.iteri (fun pid v -> check Alcotest.int (Printf.sprintf "on %d" pid) 77 v) got
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: same seed, same configuration => bit-identical runs,
+   in both modes, with and without frame loss. *)
+
+let app_cfg ~batching ~faults =
+  let app = Tmk_harness.Harness.Jacobi in
+  ( app,
+    {
+      (Tmk_harness.Harness.config ~app ~nprocs:4 ~protocol:Config.Lrc
+         ~net:Tmk_net.Params.atm_aal34)
+      with
+      Config.batching;
+      faults;
+    } )
+
+let fingerprint ~batching ~faults =
+  let app, c = app_cfg ~batching ~faults in
+  let m, digest = Tmk_harness.Harness.run_checked ~app c in
+  let raw = m.Tmk_harness.Harness.m_raw in
+  ( digest,
+    raw.Api.total_time,
+    raw.Api.messages,
+    raw.Api.bytes,
+    raw.Api.frames_coalesced,
+    raw.Api.retransmissions )
+
+let determinism ~batching ~faults name =
+  let a = fingerprint ~batching ~faults and b = fingerprint ~batching ~faults in
+  let pr (d, t, m, by, c, r) = Printf.sprintf "%s t=%d m=%d b=%d c=%d r=%d" d t m by c r in
+  check Alcotest.string name (pr a) (pr b)
+
+let lossy = Tmk_net.Fault_plan.(with_loss none 0.05)
+
+let batched_deterministic () =
+  determinism ~batching:true ~faults:Tmk_net.Fault_plan.none "batched clean";
+  determinism ~batching:true ~faults:lossy "batched 5% loss"
+
+let unbatched_deterministic () =
+  determinism ~batching:false ~faults:Tmk_net.Fault_plan.none "unbatched clean";
+  determinism ~batching:false ~faults:lossy "unbatched 5% loss"
+
+(* ------------------------------------------------------------------ *)
+(* Conservation: for identical protocol activity, every coalesced frame
+   the batched transport reports is exactly one extra frame the unbatched
+   transport sends.  A barrier-only program's protocol activity is fixed
+   by its structure (no lock races for timing to perturb), so the law
+   must hold exactly. *)
+
+let conservation_body rounds ctx =
+  let pid = Api.pid ctx in
+  let a = Api.ialloc ctx 64 in
+  Api.bcast ctx (fun () ->
+      for i = 0 to 63 do
+        Api.iset ctx a i i
+      done);
+  for r = 1 to rounds do
+    if pid = r mod Api.nprocs ctx then
+      for i = 0 to 63 do
+        Api.iset ctx a i (Api.iget ctx a i + 1)
+      done;
+    Api.barrier ctx r
+  done;
+  (* everyone reads the final state: diff fetches in both modes *)
+  let sum = ref 0 in
+  for i = 0 to 63 do
+    sum := !sum + Api.iget ctx a i
+  done;
+  Api.barrier ctx (rounds + 1)
+
+let conservation () =
+  let run batching =
+    Api.run (cfg ~nprocs:4 ~pages:4 ~batching ()) (conservation_body 6)
+  in
+  let b = run true and u = run false in
+  check Alcotest.bool "batched coalesces" true (b.Api.frames_coalesced > 0);
+  check Alcotest.int "unbatched reports none" 0 u.Api.frames_coalesced;
+  check Alcotest.int "messages conserved" u.Api.messages
+    (b.Api.messages + b.Api.frames_coalesced);
+  (* every extra fragment pays its own frame header *)
+  check Alcotest.bool "unbatched pays more bytes" true (u.Api.bytes > b.Api.bytes)
+
+(* ------------------------------------------------------------------ *)
+(* Diff cache: when several processors fetch the same diff from one
+   responder, the second fetch is served from the cache.  Unbatched mode
+   never touches the cache. *)
+
+let diff_cache_stats batching =
+  let r =
+    Api.run (cfg ~nprocs:4 ~pages:4 ~batching ()) (fun ctx ->
+        let a = Api.ialloc ctx 8 in
+        Api.bcast ctx (fun () ->
+            for i = 0 to 7 do
+              Api.iset ctx a i i
+            done);
+        (* p1 writes one page; everyone else then fetches its diff from
+           p1 after the barrier *)
+        if Api.pid ctx = 1 then Api.iset ctx a 0 100;
+        Api.barrier ctx 1;
+        ignore (Api.iget ctx a 0);
+        Api.barrier ctx 2)
+  in
+  (r.Api.total_stats.Stats.diff_cache_hits, r.Api.total_stats.Stats.diff_cache_misses)
+
+let diff_cache_hits () =
+  let hits, misses = diff_cache_stats true in
+  check Alcotest.bool "first fetch misses" true (misses >= 1);
+  check Alcotest.bool "later fetches hit" true (hits >= 1);
+  let u_hits, u_misses = diff_cache_stats false in
+  check Alcotest.int "unbatched hits" 0 u_hits;
+  check Alcotest.int "unbatched misses" 0 u_misses
+
+(* ------------------------------------------------------------------ *)
+(* The SPMD allocation check still raises through the ?trace entry
+   point. *)
+
+let alloc_mismatch_raises () =
+  let sink = Tmk_trace.Sink.create () in
+  let diverging ctx =
+    (* processor 1 allocates a different size at step 0 *)
+    ignore (Api.malloc ctx ~bytes:(if Api.pid ctx = 1 then 16 else 8))
+  in
+  let contains ~affix s =
+    let n = String.length affix and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+    go 0
+  in
+  match Api.run ~trace:sink (cfg ~nprocs:2 ()) diverging with
+  | _ -> Alcotest.fail "diverging allocation sequence did not raise"
+  | exception Invalid_argument msg ->
+    check Alcotest.bool "names the divergence" true (contains ~affix:"diverge" msg)
+
+let suite =
+  [
+    Alcotest.test_case "collectives 2p" `Quick collectives_2p;
+    Alcotest.test_case "collectives 5p" `Quick collectives_5p;
+    Alcotest.test_case "collectives 8p" `Quick collectives_8p;
+    Alcotest.test_case "collectives 32p" `Quick collectives_32p;
+    Alcotest.test_case "bcast nonzero root" `Quick bcast_nonzero_root;
+    Alcotest.test_case "batched runs deterministic" `Quick batched_deterministic;
+    Alcotest.test_case "unbatched runs deterministic" `Quick unbatched_deterministic;
+    Alcotest.test_case "frame conservation law" `Quick conservation;
+    Alcotest.test_case "diff cache hits" `Quick diff_cache_hits;
+    Alcotest.test_case "alloc mismatch raises via ?trace" `Quick alloc_mismatch_raises;
+  ]

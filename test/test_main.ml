@@ -14,6 +14,7 @@ let () =
       ("calibration", Test_calibration.suite);
       ("apps", Test_apps.suite);
       ("harness", Test_harness.suite);
+      ("batching", Test_batching.suite);
       ("trace", Test_trace.suite);
       ("fuzz", Test_fuzz.suite);
     ]

@@ -220,7 +220,8 @@ let chrome_closes_open_spans () =
 (* End-to-end properties on real runs.                                 *)
 
 let traced_jsonl ~app cfg =
-  let _, sink = Tmk_harness.Harness.run_traced ~app cfg in
+  let sink = Sink.create () in
+  let _ = Tmk_harness.Harness.run_cfg ~trace:sink ~app cfg in
   check Alcotest.bool "stream non-empty" true (Sink.length sink > 0);
   Jsonl.to_string sink
 
@@ -271,7 +272,8 @@ let analyzer_matches_stats () =
     Tmk_harness.Harness.config ~app ~nprocs:4 ~protocol:Tmk_dsm.Config.Lrc
       ~net:Tmk_net.Params.atm_aal34
   in
-  let m, sink = Tmk_harness.Harness.run_traced ~app cfg in
+  let sink = Sink.create () in
+  let m = Tmk_harness.Harness.run_cfg ~trace:sink ~app cfg in
   let s = m.Tmk_harness.Harness.m_raw.Tmk_dsm.Api.total_stats in
   let a = Analyze.analyze sink in
   let total f = List.fold_left (fun acc l -> acc + f l) 0 in
