@@ -4,6 +4,9 @@
      tmk_run --app water --nprocs 8 --network atm --protocol lazy
      tmk_run --app jacobi --nprocs 4 --speedup
      tmk_run --app water --nprocs 32 --no-batching
+     tmk_run --racecheck examples/racey.ml       (exits 2: races found)
+     tmk_run --app tsp --racecheck --check-invariants
+     tmk_run --check-trace run.jsonl             (offline oracle pass)
      tmk_run --list *)
 
 open Cmdliner
@@ -14,7 +17,8 @@ let pf = Format.printf
 let max_nprocs = 64
 
 let run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold ~eager_diffs
-    ~updates ~batching ~faults ~trace_file ~trace_format ~trace_report ~breakdown =
+    ~updates ~batching ~faults ~racecheck ~check_invariants ~trace_file ~trace_format
+    ~trace_report ~breakdown =
   let override cfg =
     {
       cfg with
@@ -27,6 +31,22 @@ let run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold ~eager
     }
   in
   let cfg = override (Tmk_harness.Harness.config ~app ~nprocs ~protocol ~net) in
+  (* Checkers attach to the main run only: the speedup baseline below is
+     a different cluster (1 processor), so it runs unchecked. *)
+  let race =
+    if racecheck then
+      Some (Tmk_check.Race.create ~nprocs ~pages:cfg.Tmk_dsm.Config.pages ())
+    else None
+  in
+  let oracle =
+    if check_invariants then Some (Tmk_check.Oracle.create ~nprocs ()) else None
+  in
+  let cfg =
+    match (race, oracle) with
+    | None, None -> cfg
+    | _ ->
+      { cfg with Tmk_dsm.Config.check = Some (Tmk_check.Checker.create ?race ?oracle ()) }
+  in
   let m, sink =
     if trace_file <> None || trace_report then begin
       let s = Tmk_trace.Sink.create () in
@@ -87,10 +107,26 @@ let run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold ~eager
     pf "trace       : %d events -> %s (%s)@." (Tmk_trace.Sink.length s) file
       (match trace_format with `Jsonl -> "jsonl" | `Chrome -> "chrome trace_event")
   | _ -> ());
-  match sink with
+  (match sink with
   | Some s when trace_report ->
     pf "@.%s" (Tmk_trace.Analyze.report (Tmk_trace.Analyze.analyze s))
-  | _ -> ()
+  | _ -> ());
+  let race_bad =
+    match race with
+    | None -> false
+    | Some r ->
+      pf "@.%s@." (Tmk_check.Race.report r);
+      Tmk_check.Race.has_findings r
+  in
+  let oracle_bad =
+    match oracle with
+    | None -> false
+    | Some o ->
+      let violations = Tmk_check.Oracle.finish o in
+      pf "@.%s@." (Tmk_check.Oracle.report violations);
+      violations <> []
+  in
+  race_bad || oracle_bad
 
 let app_conv =
   let parse s =
@@ -122,7 +158,15 @@ let net_conv =
 let cmd =
   let app_arg =
     Arg.(value & opt app_conv Tmk_harness.Harness.Jacobi
-         & info [ "a"; "app" ] ~docv:"APP" ~doc:"Application: water, jacobi, tsp, quicksort, ilink.")
+         & info [ "a"; "app" ] ~docv:"APP"
+             ~doc:"Application: water, jacobi, tsp, quicksort, ilink — or racey, the \
+                   deliberately data-racy fixture for $(b,--racecheck).")
+  in
+  let app_pos =
+    Arg.(value & pos 0 (some app_conv) None
+         & info [] ~docv:"APP"
+             ~doc:"Application, as a positional alternative to $(b,--app); also accepts \
+                   a source path such as $(i,examples/racey.ml).")
   in
   let procs =
     Arg.(value & opt int 8
@@ -204,6 +248,30 @@ let cmd =
              ~doc:"Partitioned processors (every frame to or from them is dropped); the run \
                    terminates with Peer_unreachable once a retry budget is exhausted.")
   in
+  let racecheck =
+    Arg.(value & flag
+         & info [ "racecheck" ]
+             ~doc:"Run the happens-before data-race detector alongside the application: \
+                   every typed shared access is checked against a per-word frontier of \
+                   prior accesses, and conflicting pairs not ordered by the run's locks \
+                   and barriers are reported.  Exits 2 if any race is found.")
+  in
+  let check_invariants =
+    Arg.(value & flag
+         & info [ "check-invariants" ]
+             ~doc:"Run the protocol invariant oracle over the live event stream (vector \
+                   time monotonicity, interval coverage at acquire, diff conservation, \
+                   barrier epoch agreement, GC safety).  Exits 2 on any violation.")
+  in
+  let check_trace =
+    Arg.(value & opt (some string) None
+         & info [ "check-trace" ] ~docv:"FILE"
+             ~doc:"Instead of running an application, replay a recorded JSONL trace (from \
+                   $(b,--trace)) through the invariant oracle.  The cluster size is \
+                   inferred from the processor ids in the stream.  Exits 2 on any \
+                   violation.  (Race checking needs the typed accesses of a live run, so \
+                   it is not available offline.)")
+  in
   let trace_file =
     Arg.(value & opt (some string) None
          & info [ "trace" ] ~docv:"FILE"
@@ -229,9 +297,11 @@ let cmd =
              ~doc:"Print a per-processor execution-time table with the idle remainder \
                    (makespan minus the busy categories) reported explicitly.")
   in
-  let main app nprocs protocol net show_speedup list verbose seed gc_threshold eager_diffs
-      updates no_batching loss dup reorder reorder_window stall unreachable trace_file
-      trace_format trace_report breakdown =
+  let main app app_pos nprocs protocol net show_speedup list verbose seed gc_threshold
+      eager_diffs updates no_batching loss dup reorder reorder_window stall unreachable
+      racecheck check_invariants check_trace trace_file trace_format trace_report
+      breakdown =
+    let app = match app_pos with Some a -> a | None -> app in
     if verbose then begin
       Logs.set_reporter (Logs_fmt.reporter ());
       Logs.set_level ~all:true (Some Logs.Debug)
@@ -242,7 +312,32 @@ let cmd =
           pf "%-10s %s@." (Tmk_harness.Harness.app_name a)
             (Tmk_harness.Harness.workload_description a))
         Tmk_harness.Harness.all_apps
-    else if nprocs < 1 || nprocs > max_nprocs then begin
+    else
+      match check_trace with
+      | Some file -> (
+        try
+          let sink = Tmk_trace.Jsonl.read_file file in
+          let nprocs =
+            let top = ref 0 in
+            Tmk_trace.Sink.iter
+              (fun r -> if r.Tmk_trace.Sink.r_pid > !top then top := r.Tmk_trace.Sink.r_pid)
+              sink;
+            !top + 1
+          in
+          let violations = Tmk_check.Oracle.check_sink ~nprocs sink in
+          pf "trace       : %d events from %s (%d processors)@."
+            (Tmk_trace.Sink.length sink) file nprocs;
+          pf "%s@." (Tmk_check.Oracle.report violations);
+          if violations <> [] then exit 2
+        with
+        | Sys_error msg ->
+          prerr_endline ("tmk_run: " ^ msg);
+          exit 1
+        | Tmk_trace.Jsonl.Parse_error msg ->
+          prerr_endline (Printf.sprintf "tmk_run: %s: %s" file msg);
+          exit 1)
+      | None ->
+    if nprocs < 1 || nprocs > max_nprocs then begin
       Printf.eprintf
         "tmk_run: --nprocs %d is out of range: the simulated cluster supports 1 to %d \
          processors (the scaling study's upper bound; see EXPERIMENTS.md E11)\n"
@@ -269,9 +364,12 @@ let cmd =
       with
       | faults -> (
         try
-          run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold
-            ~eager_diffs ~updates ~batching:(not no_batching) ~faults ~trace_file
-            ~trace_format ~trace_report ~breakdown
+          let findings =
+            run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold
+              ~eager_diffs ~updates ~batching:(not no_batching) ~faults ~racecheck
+              ~check_invariants ~trace_file ~trace_format ~trace_report ~breakdown
+          in
+          if findings then exit 2
         with
         | Tmk_net.Transport.Peer_unreachable _ as e ->
           prerr_endline ("tmk_run: " ^ Printexc.to_string e);
@@ -281,14 +379,16 @@ let cmd =
              outside the cluster *)
           prerr_endline ("tmk_run: " ^ msg);
           exit 1)
-      | exception Invalid_argument msg -> prerr_endline ("tmk_run: " ^ msg)
+      | exception Invalid_argument msg ->
+        prerr_endline ("tmk_run: " ^ msg);
+        exit 1
   in
   let term =
     Term.(
-      const main $ app_arg $ procs $ protocol $ net $ speedup $ list $ verbose $ seed
-      $ gc_threshold $ eager_diffs $ updates $ no_batching $ loss $ dup $ reorder
-      $ reorder_window $ stall $ unreachable $ trace_file $ trace_format $ trace_report
-      $ breakdown)
+      const main $ app_arg $ app_pos $ procs $ protocol $ net $ speedup $ list $ verbose
+      $ seed $ gc_threshold $ eager_diffs $ updates $ no_batching $ loss $ dup $ reorder
+      $ reorder_window $ stall $ unreachable $ racecheck $ check_invariants $ check_trace
+      $ trace_file $ trace_format $ trace_report $ breakdown)
   in
   Cmd.v
     (Cmd.info "tmk_run" ~version:"1.0.0"

@@ -1,0 +1,55 @@
+open Tmk_dsm
+module Workload = Tmk_workload.Workload
+
+type params = { items : int; buckets : int; seed : int64; flops_per_item : int }
+
+let default = { items = 4_096; buckets = 8; seed = 77L; flops_per_item = 2 }
+
+let value_range = 1_000_000
+
+let pages_needed p =
+  ((p.items * 8) + Tmk_mem.Vm.page_size - 1) / Tmk_mem.Vm.page_size + 3
+
+let bucket_of p v =
+  min (v * p.buckets / value_range) (p.buckets - 1)
+
+let sequential p =
+  let values = Workload.int_array ~n:p.items ~seed:p.seed in
+  let hist = Array.make p.buckets 0 in
+  Array.iter (fun v -> hist.(bucket_of p v) <- hist.(bucket_of p v) + 1) values;
+  hist
+
+(* Same structure as examples/histogram.ml up to the fold — and then the
+   bug this fixture exists for: the shared histogram is updated with a
+   plain read-modify-write, no lock.  Two processors' fold segments are
+   both "after barrier <init>" with no sync edge between them, so every
+   bucket word carries W/W and R/W conflicts the detector must flag; with
+   an unlucky interleaving the final counts also drop increments, which
+   is the paper's point about what LRC does to racy programs. *)
+let parallel ?(collect = true) ctx p =
+  let pid = Api.pid ctx and nprocs = Api.nprocs ctx in
+  let data = Api.ialloc ~align:Tmk_mem.Vm.page_size ctx p.items in
+  let hist = Api.ialloc ~align:Tmk_mem.Vm.page_size ctx p.buckets in
+  Api.bcast ctx (fun () ->
+      let values = Workload.int_array ~n:p.items ~seed:p.seed in
+      Array.iteri (fun i v -> Api.iset ctx data i v) values;
+      for b = 0 to p.buckets - 1 do
+        Api.iset ctx hist b 0
+      done);
+  let slice = (p.items + nprocs - 1) / nprocs in
+  let lo = pid * slice in
+  let hi = min (p.items - 1) (lo + slice - 1) in
+  let local = Array.make p.buckets 0 in
+  for i = lo to hi do
+    let b = bucket_of p (Api.iget ctx data i) in
+    local.(b) <- local.(b) + 1
+  done;
+  if hi >= lo then Api.compute_flops ctx ((hi - lo + 1) * p.flops_per_item);
+  for b = 0 to p.buckets - 1 do
+    if local.(b) > 0 then
+      (* RACY: should be Api.with_lock ctx b (fun () -> ...) *)
+      Api.iset ctx hist b (Api.iget ctx hist b + local.(b))
+  done;
+  Api.barrier ctx 1;
+  if pid = 0 && collect then Some (Array.init p.buckets (fun b -> Api.iget ctx hist b))
+  else None

@@ -1,0 +1,35 @@
+(** Racey — a deliberately data-racy histogram.
+
+    The positive fixture for the race detector ([lib/check/race.ml]):
+    structurally the private-accumulation histogram of
+    [examples/histogram.ml], except the fold into the shared buckets is a
+    plain unlocked read-modify-write.  Every bucket word is written by
+    every non-empty processor with no ordering between them, so the
+    detector must report W/W and R/W races on the histogram page — and
+    under an unlucky schedule the run really does lose increments, which
+    is what lazy release consistency does to racy programs (§2's DRF
+    assumption).
+
+    Not part of {!Tmk_harness.Harness.all_apps}: it exists to be caught,
+    not benchmarked. *)
+
+open Tmk_dsm
+
+type params = {
+  items : int;
+  buckets : int;  (** all bucket counters share one page *)
+  seed : int64;
+  flops_per_item : int;
+}
+
+(** [default] — 4K items, 8 buckets. *)
+val default : params
+
+val pages_needed : params -> int
+
+(** [sequential p] — the correct bucket counts. *)
+val sequential : params -> int array
+
+(** [parallel ctx p] — SPMD body; bucket counts on processor 0 (possibly
+    wrong — that is the point). *)
+val parallel : ?collect:bool -> Api.ctx -> params -> int array option

@@ -153,8 +153,10 @@ let parallel ctx p =
       let expanded =
         search ~dist:local_dist ~n
           ~read_bound:(fun () ->
-            (* ordinary, unsynchronized read: the §5.2 behaviour *)
-            Api.iget ctx sh_bound 0)
+            (* ordinary, unsynchronized read: the §5.2 behaviour — a stale
+               bound only costs extra search, so the race is the
+               algorithm's design and is annotated as such *)
+            Api.unsynchronized ctx (fun () -> Api.iget ctx sh_bound 0))
           ~try_update:(fun tour ->
             Api.with_lock ctx lock_bound (fun () ->
                 if tour < Api.iget ctx sh_bound 0 then Api.iset ctx sh_bound 0 tour))

@@ -1,0 +1,9 @@
+(* The checker a run carries: either half may be absent.  Lives in its
+   own module so [Config] needs a single optional field and the DSM layer
+   depends only on this library's interface, not on which checks run. *)
+
+type t = { ck_race : Race.t option; ck_oracle : Oracle.t option }
+
+let create ?race ?oracle () = { ck_race = race; ck_oracle = oracle }
+let race t = t.ck_race
+let oracle t = t.ck_oracle

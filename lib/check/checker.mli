@@ -1,0 +1,8 @@
+(** The checker a run carries through [Config.check]: a race detector, an
+    invariant oracle, or both. *)
+
+type t = { ck_race : Race.t option; ck_oracle : Oracle.t option }
+
+val create : ?race:Race.t -> ?oracle:Oracle.t -> unit -> t
+val race : t -> Race.t option
+val oracle : t -> Oracle.t option

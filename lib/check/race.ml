@@ -1,0 +1,271 @@
+(* Happens-before data-race detector.
+
+   TreadMarks only promises sequential consistency for data-race-free
+   programs (§2): two conflicting accesses from different processors must
+   be ordered by the lock/barrier synchronization the protocol sees.  The
+   detector checks exactly that, with its own bookkeeping rather than the
+   protocol's: the protocol's vector timestamps advance lazily (an interval
+   closes only when the processor has dirtied pages), so they under-count
+   synchronization and cannot serve directly as the happens-before clock.
+
+   The program order of each processor is cut into {e segments} at every
+   lock acquire, lock release, barrier arrival and barrier departure.
+   Happens-before over segments is computed from sync edges only:
+
+   - release of lock [l] -> next acquire of [l].  The simulation runs one
+     processor at a time and the protocol enforces mutual exclusion, so
+     each lock's critical sections are totally ordered and a single stored
+     clock per lock suffices.
+   - barrier: all-to-all.  Arrival clocks accumulate per (id, occurrence);
+     departure merges the accumulated clock, which is complete because the
+     manager releases only after every arrival.
+
+   Accesses are checked online against a per-word frontier (the FastTrack
+   idea): each 8-byte word keeps its last writer segment and at most one
+   reader segment per processor (a same-processor older reader is ordered
+   before the newer one by program order, so it can be dropped).  This
+   keeps the cost per access O(readers) instead of comparing interval
+   pairs quadratically at barriers. *)
+
+type kind = Read | Write
+
+type segment = {
+  s_pid : int;
+  s_idx : int;  (* 1-based index of this segment in its processor's order *)
+  s_open : int array;  (* the processor's clock when the segment opened *)
+  s_ctx : string;  (* the synchronization that opened it, for reports *)
+  s_locks : int list;  (* locks held while the segment runs *)
+}
+
+type finding = {
+  f_page : int;
+  mutable f_lo : int;  (* byte range within the page, word-granular *)
+  mutable f_hi : int;
+  f_first_pid : int;
+  f_first_kind : kind;
+  f_first_ctx : string;
+  f_second_pid : int;
+  f_second_kind : kind;
+  f_second_ctx : string;
+  f_hint : string;  (* the synchronization that would have ordered them *)
+  mutable f_pairs : int;  (* distinct access pairs merged into this row *)
+}
+
+type cell = { mutable c_writer : segment option; mutable c_readers : segment list }
+
+type t = {
+  nprocs : int;
+  pages : int;
+  clock : int array array;  (* clock.(p).(q): segments of q ordered before p's current *)
+  seg : segment array;  (* current open segment per processor *)
+  held : int list array;
+  suppress : int array;  (* Api.unsynchronized nesting depth *)
+  lock_clock : (int, int array) Hashtbl.t;  (* lock -> releaser's clock *)
+  bar_seq : (int * int, int) Hashtbl.t;  (* (id, pid) -> arrivals so far *)
+  bar_acc : (int * int, int array) Hashtbl.t;  (* (id, occurrence) -> merged clock *)
+  words : (int, cell) Hashtbl.t;
+  races : (int * int * int * kind * kind, finding) Hashtbl.t;
+  mutable order : finding list;  (* findings, newest first *)
+  mutable npairs : int;
+  mutable accesses : int;
+}
+
+let word_bytes = 8
+
+let create ~nprocs ~pages () =
+  if nprocs <= 0 then invalid_arg "Race.create: nprocs must be positive";
+  if pages <= 0 then invalid_arg "Race.create: pages must be positive";
+  let seg0 pid =
+    { s_pid = pid; s_idx = 1; s_open = Array.make nprocs 0; s_ctx = "at start"; s_locks = [] }
+  in
+  {
+    nprocs;
+    pages;
+    clock = Array.init nprocs (fun _ -> Array.make nprocs 0);
+    seg = Array.init nprocs seg0;
+    held = Array.make nprocs [];
+    suppress = Array.make nprocs 0;
+    lock_clock = Hashtbl.create 16;
+    bar_seq = Hashtbl.create 16;
+    bar_acc = Hashtbl.create 16;
+    words = Hashtbl.create 4096;
+    races = Hashtbl.create 16;
+    order = [];
+    npairs = 0;
+    accesses = 0;
+  }
+
+let nprocs t = t.nprocs
+let pages t = t.pages
+
+let max_into src dst =
+  Array.iteri (fun i v -> if v > dst.(i) then dst.(i) <- v) src
+
+(* [s] happened before [cur] iff they share a processor (program order) or
+   [cur]'s opening clock already covers [s]. *)
+let ordered s cur = s.s_pid = cur.s_pid || cur.s_open.(s.s_pid) >= s.s_idx
+
+let close_segment t pid =
+  let c = t.clock.(pid) in
+  c.(pid) <- c.(pid) + 1
+
+let open_segment t pid ctx =
+  t.seg.(pid) <-
+    {
+      s_pid = pid;
+      s_idx = t.clock.(pid).(pid) + 1;
+      s_open = Array.copy t.clock.(pid);
+      s_ctx = ctx;
+      s_locks = t.held.(pid);
+    }
+
+(* Barrier ids at and above 2^30 are the Api collectives' reserved range
+   (reduce/bcast); name them as such rather than leaking raw ids. *)
+let barrier_name id =
+  if id >= 1 lsl 30 then Printf.sprintf "collective %d" (id - (1 lsl 30))
+  else Printf.sprintf "barrier %d" id
+
+let lock_release t ~pid ~lock =
+  close_segment t pid;
+  Hashtbl.replace t.lock_clock lock (Array.copy t.clock.(pid));
+  t.held.(pid) <- List.filter (fun l -> l <> lock) t.held.(pid);
+  open_segment t pid (Printf.sprintf "after releasing lock %d" lock)
+
+let lock_acquired t ~pid ~lock =
+  close_segment t pid;
+  (match Hashtbl.find_opt t.lock_clock lock with
+  | Some c -> max_into c t.clock.(pid)
+  | None -> ());
+  t.held.(pid) <- lock :: t.held.(pid);
+  open_segment t pid (Printf.sprintf "holding lock %d" lock)
+
+let barrier_arrive t ~pid ~id =
+  close_segment t pid;
+  let occ = try Hashtbl.find t.bar_seq (id, pid) with Not_found -> 0 in
+  Hashtbl.replace t.bar_seq (id, pid) (occ + 1);
+  (match Hashtbl.find_opt t.bar_acc (id, occ) with
+  | Some acc -> max_into t.clock.(pid) acc
+  | None -> Hashtbl.add t.bar_acc (id, occ) (Array.copy t.clock.(pid)));
+  open_segment t pid (Printf.sprintf "arriving at %s" (barrier_name id))
+
+let barrier_depart t ~pid ~id =
+  close_segment t pid;
+  let occ = (try Hashtbl.find t.bar_seq (id, pid) with Not_found -> 1) - 1 in
+  (match Hashtbl.find_opt t.bar_acc (id, occ) with
+  | Some acc -> max_into acc t.clock.(pid)
+  | None -> ());
+  open_segment t pid (Printf.sprintf "after %s" (barrier_name id))
+
+let suppress t ~pid on =
+  t.suppress.(pid) <- (t.suppress.(pid) + if on then 1 else -1)
+
+let min_lock = function [] -> None | l :: ls -> Some (List.fold_left min l ls)
+
+let hint first second =
+  match (min_lock first.s_locks, min_lock second.s_locks) with
+  | Some l, _ ->
+    Printf.sprintf "lock %d held by p%d but not by p%d" l first.s_pid second.s_pid
+  | None, Some l ->
+    Printf.sprintf "lock %d held by p%d but not by p%d" l second.s_pid first.s_pid
+  | None, None -> "no common lock; a lock or an intervening barrier must order them"
+
+let record t word ~first ~fk ~second ~sk =
+  let page = word * word_bytes / 4096 in
+  let lo = word * word_bytes mod 4096 in
+  let hi = lo + word_bytes - 1 in
+  t.npairs <- t.npairs + 1;
+  let key = (page, first.s_pid, second.s_pid, fk, sk) in
+  match Hashtbl.find_opt t.races key with
+  | Some f ->
+    f.f_lo <- min f.f_lo lo;
+    f.f_hi <- max f.f_hi hi;
+    f.f_pairs <- f.f_pairs + 1
+  | None ->
+    let f =
+      {
+        f_page = page;
+        f_lo = lo;
+        f_hi = hi;
+        f_first_pid = first.s_pid;
+        f_first_kind = fk;
+        f_first_ctx = first.s_ctx;
+        f_second_pid = second.s_pid;
+        f_second_kind = sk;
+        f_second_ctx = second.s_ctx;
+        f_hint = hint first second;
+        f_pairs = 1;
+      }
+    in
+    Hashtbl.add t.races key f;
+    t.order <- f :: t.order
+
+let cell_of t word =
+  match Hashtbl.find_opt t.words word with
+  | Some c -> c
+  | None ->
+    let c = { c_writer = None; c_readers = [] } in
+    Hashtbl.add t.words word c;
+    c
+
+let note_access t ~pid kind ~addr ~width =
+  if t.suppress.(pid) = 0 then begin
+    t.accesses <- t.accesses + 1;
+    let seg = t.seg.(pid) in
+    let w0 = addr / word_bytes and w1 = (addr + width - 1) / word_bytes in
+    for word = w0 to w1 do
+      let cell = cell_of t word in
+      match kind with
+      | Read ->
+        (match cell.c_writer with
+        | Some ws when not (ordered ws seg) ->
+          record t word ~first:ws ~fk:Write ~second:seg ~sk:Read
+        | _ -> ());
+        (match cell.c_readers with
+        | s :: _ when s == seg -> ()
+        | rs -> cell.c_readers <- seg :: List.filter (fun s -> s.s_pid <> pid) rs)
+      | Write ->
+        (match cell.c_writer with
+        | Some ws when not (ordered ws seg) ->
+          record t word ~first:ws ~fk:Write ~second:seg ~sk:Write
+        | _ -> ());
+        List.iter
+          (fun rs ->
+            if rs.s_pid <> pid && not (ordered rs seg) then
+              record t word ~first:rs ~fk:Read ~second:seg ~sk:Write)
+          cell.c_readers;
+        cell.c_writer <- Some seg;
+        cell.c_readers <- []
+    done
+  end
+
+let findings t = List.rev t.order
+let has_findings t = t.order <> []
+
+let kind_name = function Read -> "R" | Write -> "W"
+
+let report t =
+  if t.order = [] then
+    Printf.sprintf "race check: no unordered conflicting accesses (%d accesses, %d shared words tracked)"
+      t.accesses (Hashtbl.length t.words)
+  else begin
+    let rows =
+      List.map
+        (fun f ->
+          [
+            string_of_int f.f_page;
+            Printf.sprintf "%d..%d" f.f_lo f.f_hi;
+            Printf.sprintf "%s/%s" (kind_name f.f_first_kind) (kind_name f.f_second_kind);
+            Printf.sprintf "p%d %s" f.f_first_pid f.f_first_ctx;
+            Printf.sprintf "p%d %s" f.f_second_pid f.f_second_ctx;
+            string_of_int f.f_pairs;
+            f.f_hint;
+          ])
+        (findings t)
+    in
+    Printf.sprintf "race check: %d distinct race(s), %d conflicting access pair(s)\n\n%s"
+      (List.length t.order) t.npairs
+      (Tmk_util.Tablefmt.render
+         ~title:"Data races (conflicting accesses unordered by happens-before)"
+         ~header:[ "page"; "bytes"; "kind"; "first access"; "second access"; "pairs"; "ordering fix" ]
+         rows)
+  end

@@ -110,6 +110,24 @@ let with_lock ctx lock f =
 
 let barrier (ctx : ctx) id = Protocol.barrier ctx.cluster ~pid:ctx.cpid ~id
 
+(* Declare an intentionally unsynchronized span (e.g. TSP's unsynchronized
+   read of the global bound, §5.2: a stale value only costs extra search).
+   When a race detector is riding along, its view of the accesses made
+   inside [f] is suppressed entirely — they neither raise findings nor
+   update the read/write frontiers, so a later properly locked access is
+   not compared against them either. *)
+let unsynchronized (ctx : ctx) f =
+  let race =
+    match (Protocol.config ctx.cluster).Config.check with
+    | Some c -> Tmk_check.Checker.race c
+    | None -> None
+  in
+  match race with
+  | None -> f ()
+  | Some r ->
+    Tmk_check.Race.suppress r ~pid:ctx.cpid true;
+    Fun.protect ~finally:(fun () -> Tmk_check.Race.suppress r ~pid:ctx.cpid false) f
+
 let compute_ns (ctx : ctx) ns = Protocol.charge_compute ctx.cluster ~pid:ctx.cpid ns
 
 let compute_flops (ctx : ctx) n =
@@ -178,6 +196,21 @@ let run ?trace cfg app =
   let cfg =
     match trace with None -> cfg | Some sink -> { cfg with Config.trace = Some sink }
   in
+  (* The invariant oracle consumes the typed event stream; give it a
+     private sink when the caller did not ask for tracing. *)
+  let oracle =
+    match cfg.Config.check with
+    | Some c -> Tmk_check.Checker.oracle c
+    | None -> None
+  in
+  let cfg =
+    match (oracle, cfg.Config.trace) with
+    | Some _, None -> { cfg with Config.trace = Some (Tmk_trace.Sink.create ()) }
+    | _ -> cfg
+  in
+  (match (oracle, cfg.Config.trace) with
+  | Some o, Some sink -> Tmk_check.Oracle.attach o sink
+  | _ -> ());
   let cluster = Protocol.create cfg in
   let engine = Protocol.engine cluster in
   let alloc_log = Hashtbl.create 64 in

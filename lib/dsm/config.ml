@@ -13,6 +13,7 @@ type t = {
   lrc_updates : bool;
   batching : bool;
   trace : Tmk_trace.Sink.t option;
+  check : Tmk_check.Checker.t option;
 }
 
 let default =
@@ -29,6 +30,7 @@ let default =
     lrc_updates = false;
     batching = true;
     trace = None;
+    check = None;
   }
 
 let validate t =
@@ -46,6 +48,21 @@ let validate t =
     (fun s ->
       if s.Tmk_net.Fault_plan.st_pid >= t.nprocs then
         invalid_arg "Config: stall pid outside the cluster")
-    t.faults.Tmk_net.Fault_plan.stalls
+    t.faults.Tmk_net.Fault_plan.stalls;
+  match t.check with
+  | None -> ()
+  | Some c ->
+    (match Tmk_check.Checker.race c with
+    | Some r ->
+      if Tmk_check.Race.nprocs r <> t.nprocs then
+        invalid_arg "Config: race detector sized for a different cluster";
+      if Tmk_check.Race.pages r <> t.pages then
+        invalid_arg "Config: race detector sized for a different address space"
+    | None -> ());
+    (match Tmk_check.Checker.oracle c with
+    | Some o ->
+      if Tmk_check.Oracle.nprocs o <> t.nprocs then
+        invalid_arg "Config: invariant oracle sized for a different cluster"
+    | None -> ())
 
 let protocol_name = function Lrc -> "lazy" | Erc -> "eager" | Sc -> "sc"

@@ -49,6 +49,14 @@ type t = {
           tracing entirely — no events are recorded and no run behaviour
           changes.  Install a {!Tmk_trace.Sink.t} to capture the full
           structured stream (see [lib/trace]) *)
+  check : Tmk_check.Checker.t option;
+      (** DRF / protocol checker for the run; [None] (the default)
+          checks nothing and costs nothing.  A {!Tmk_check.Race.t}
+          observes every typed access and all lock/barrier edges; a
+          {!Tmk_check.Oracle.t} is attached to the run's trace sink
+          ([Api.run] installs a private sink when none is configured).
+          Checkers are observers only — simulated time, results and
+          message traffic are identical with and without them *)
 }
 
 (** [default] — 8 processors, 256 pages, LRC on ATM/AAL3/4, GC off,

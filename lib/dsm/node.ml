@@ -203,11 +203,15 @@ and make_diff_now t page ~charge =
     t.stats.Stats.diffs_created <- t.stats.Stats.diffs_created + 1;
     t.stats.Stats.diff_bytes_created <-
       t.stats.Stats.diff_bytes_created + Rle.encoded_size diff;
-    if tracing t then
-      emit t (Tmk_trace.Event.Diff_create { page; bytes = Rle.encoded_size diff });
     t.live_records <- t.live_records + 1;
     (match entry.pg_notices.(t.pid) with
-    | wn :: _ when wn.wn_diff = None -> wn.wn_diff <- Some diff
+    | wn :: _ when wn.wn_diff = None ->
+      wn.wn_diff <- Some diff;
+      if tracing t then
+        emit t
+          (Tmk_trace.Event.Diff_create
+             { page; bytes = Rle.encoded_size diff; proc = t.pid;
+               interval = wn.wn_interval.iv_id })
     | _ ->
       invalid_arg
         (Printf.sprintf "Node.make_diff_now: page %d twinned without an open notice" page))
@@ -328,7 +332,10 @@ let apply_missing_diffs t page notices ~charge =
       wn.wn_applied <- true;
       t.stats.Stats.diffs_applied <- t.stats.Stats.diffs_applied + 1;
       if tracing t then
-        emit t (Tmk_trace.Event.Diff_apply { page; bytes = Rle.payload_size diff })
+        emit t
+          (Tmk_trace.Event.Diff_apply
+             { page; bytes = Rle.payload_size diff; proc = wn.wn_interval.iv_proc;
+               interval = wn.wn_interval.iv_id })
   in
   List.iter apply ordered;
   charge Category.Unix_mem Costs.mprotect;

@@ -90,6 +90,36 @@ let h_charge h cat dt = Engine.hcharge h cat dt
    value is never even allocated when tracing is off. *)
 let emit t ~pid ev = Engine.emit t.engine ~pid ev
 
+(* The race detector, when one rides along in [Config.check].  Sync
+   edges are reported from application context at the four points the
+   happens-before relation needs: release before the grant can leave,
+   acquired after the grant is absorbed, barrier arrival before the
+   arrival message goes out, departure after the release is absorbed. *)
+let race_of t =
+  match t.cfg.Config.check with
+  | Some c -> Tmk_check.Checker.race c
+  | None -> None
+
+let race_lock_acquired t ~pid ~lock =
+  match race_of t with
+  | Some r -> Tmk_check.Race.lock_acquired r ~pid ~lock
+  | None -> ()
+
+let race_lock_release t ~pid ~lock =
+  match race_of t with
+  | Some r -> Tmk_check.Race.lock_release r ~pid ~lock
+  | None -> ()
+
+let race_barrier_arrive t ~pid ~id =
+  match race_of t with
+  | Some r -> Tmk_check.Race.barrier_arrive r ~pid ~id
+  | None -> ()
+
+let race_barrier_depart t ~pid ~id =
+  match race_of t with
+  | Some r -> Tmk_check.Race.barrier_depart r ~pid ~id
+  | None -> ()
+
 (* Application-context protocol bookkeeping must not interleave with this
    processor's request handlers: [Engine.advance] is a scheduling point,
    so charging time in the middle of a mutation sequence would let a
@@ -430,7 +460,13 @@ let fetch_base_erc t pid page =
           (fun diff ->
             charge Category.Tmk_mem (Costs.diff_apply (Rle.payload_size diff));
             Vm.patch node.Node.vm page diff;
-            node.Node.stats.Stats.diffs_applied <- node.Node.stats.Stats.diffs_applied + 1)
+            node.Node.stats.Stats.diffs_applied <- node.Node.stats.Stats.diffs_applied + 1;
+            if Engine.tracing t.engine then
+              emit t ~pid
+                (Tmk_trace.Event.Diff_apply
+                   (* queued while the base copy was in flight; the sender's
+                      identity was not kept *)
+                   { page; bytes = Rle.payload_size diff; proc = -1; interval = -1 }))
           (List.rev diffs);
         Hashtbl.remove t.erc_pending.(pid) page);
       charge Category.Unix_mem Costs.mprotect;
@@ -545,7 +581,8 @@ let erc_flush t pid =
                   if Engine.tracing t.engine then
                     emit t ~pid
                       (Tmk_trace.Event.Diff_create
-                         { page; bytes = Rle.encoded_size diff });
+                         { page; bytes = Rle.encoded_size diff; proc = pid;
+                           interval = -1 });
                   charge Category.Unix_mem Costs.mprotect;
                   Vm.set_prot node.Node.vm page Vm.Read_only;
                   diff)
@@ -606,7 +643,8 @@ let erc_flush t pid =
                   mnode.Node.stats.Stats.diffs_applied + 1;
                 if Engine.htracing h then
                   Engine.hemit h
-                    (Tmk_trace.Event.Diff_apply { page; bytes = Rle.payload_size diff })
+                    (Tmk_trace.Event.Diff_apply
+                       { page; bytes = Rle.payload_size diff; proc = pid; interval = -1 })
               end
               else begin
                 (* The base copy is still in flight: queue the update. *)
@@ -772,7 +810,8 @@ let acquire t ~pid ~lock =
     Log.debug (fun m -> m "[t=%d] lock %d local acquire by %d" (Engine.now t.engine) lock pid);
     app_charge Category.Tmk_other Cpu.lock_local;
     if Engine.tracing t.engine then
-      emit t ~pid (Tmk_trace.Event.Lock_acquired { lock; local = true })
+      emit t ~pid (Tmk_trace.Event.Lock_acquired { lock; local = true });
+    race_lock_acquired t ~pid ~lock
   end
   else begin
     node.Node.stats.Stats.lock_remote <- node.Node.stats.Stats.lock_remote + 1;
@@ -803,7 +842,8 @@ let acquire t ~pid ~lock =
     st.held <- true;
     st.cached <- true;
     if Engine.tracing t.engine then
-      emit t ~pid (Tmk_trace.Event.Lock_acquired { lock; local = false })
+      emit t ~pid (Tmk_trace.Event.Lock_acquired { lock; local = false });
+    race_lock_acquired t ~pid ~lock
   end
 
 let release t ~pid ~lock =
@@ -813,6 +853,7 @@ let release t ~pid ~lock =
         (Queue.length st.pending));
   if not st.held then
     invalid_arg (Printf.sprintf "Protocol.release: processor %d does not hold lock %d" pid lock);
+  race_lock_release t ~pid ~lock;
   if t.cfg.Config.protocol = Config.Erc then erc_flush t pid;
   st.held <- false;
   match Queue.take_opt st.pending with
@@ -950,6 +991,7 @@ let barrier t ~pid ~id =
   let epoch = node.Node.stats.Stats.barriers - 1 in
   if Engine.tracing t.engine then
     emit t ~pid (Tmk_trace.Event.Barrier_arrive { id; epoch });
+  race_barrier_arrive t ~pid ~id;
   if t.cfg.Config.protocol = Config.Erc then erc_flush t pid;
   app_charge Category.Unix_comm Cpu.barrier_arrival_build_kernel;
   app_charge Category.Tmk_other Cpu.barrier_arrival_build_dsm;
@@ -958,7 +1000,8 @@ let barrier t ~pid ~id =
   let want_gc = lrc && node.Node.live_records > t.cfg.Config.gc_threshold in
   if t.cfg.Config.nprocs = 1 then begin
     if Engine.tracing t.engine then
-      emit t ~pid (Tmk_trace.Event.Barrier_release { id; epoch })
+      emit t ~pid (Tmk_trace.Event.Barrier_release { id; epoch });
+    race_barrier_depart t ~pid ~id
   end
   else if pid = barrier_manager then begin
     let bs = barrier_state_of t id in
@@ -1006,6 +1049,7 @@ let barrier t ~pid ~id =
     List.iter release_one (List.sort (fun a b -> compare a.bc_pid b.bc_pid) clients);
     if Engine.tracing t.engine then
       emit t ~pid (Tmk_trace.Event.Barrier_release { id; epoch });
+    race_barrier_depart t ~pid ~id;
     if run_gc then gc_phase t pid
   end
   else begin
@@ -1048,6 +1092,7 @@ let barrier t ~pid ~id =
     else app_charge Category.Tmk_consistency Cpu.incorporate_base;
     if Engine.tracing t.engine then
       emit t ~pid (Tmk_trace.Event.Barrier_release { id; epoch });
+    race_barrier_depart t ~pid ~id;
     if rel.br_gc then gc_phase t pid
   end
 
@@ -1104,4 +1149,15 @@ let create cfg =
     (fun pid node ->
       Vm.set_fault_handler node.Node.vm (fun kind page -> handle_fault t pid kind page))
     nodes;
+  (match race_of t with
+  | Some race ->
+    Array.iteri
+      (fun pid node ->
+        Vm.set_access_hook node.Node.vm (fun kind addr width ->
+            let kind =
+              match kind with Vm.Read -> Tmk_check.Race.Read | Vm.Write -> Tmk_check.Race.Write
+            in
+            Tmk_check.Race.note_access race ~pid kind ~addr ~width))
+      nodes
+  | None -> ());
   t

@@ -1,8 +1,10 @@
 open Tmk_sim
 open Tmk_dsm
 
-type app = Water | Jacobi | Tsp | Quicksort | Ilink
+type app = Water | Jacobi | Tsp | Quicksort | Ilink | Racey
 
+(* Racey is deliberately excluded: it is the race detector's positive
+   fixture, not a benchmark. *)
 let all_apps = [ Water; Jacobi; Tsp; Quicksort; Ilink ]
 
 let app_name = function
@@ -11,14 +13,18 @@ let app_name = function
   | Tsp -> "TSP"
   | Quicksort -> "Quicksort"
   | Ilink -> "ILINK"
+  | Racey -> "Racey"
 
 let app_of_name s =
+  (* Accept a source path too ("examples/racey.ml" names the same app). *)
+  let s = Filename.remove_extension (Filename.basename s) in
   match String.lowercase_ascii s with
   | "water" -> Water
   | "jacobi" -> Jacobi
   | "tsp" -> Tsp
   | "quicksort" | "qsort" -> Quicksort
   | "ilink" -> Ilink
+  | "racey" -> Racey
   | other -> invalid_arg (Printf.sprintf "Harness.app_of_name: unknown application %S" other)
 
 type metrics = {
@@ -86,6 +92,8 @@ let ilink_params =
     flops_per_unit = 500;
   }
 
+let racey_params = Tmk_apps.Racey.default
+
 let workload_description = function
   | Water ->
     Printf.sprintf "%d mols, %d steps" water_params.Tmk_apps.Water.nmol
@@ -96,6 +104,9 @@ let workload_description = function
   | Tsp -> Printf.sprintf "%d-city tour" tsp_params.Tmk_apps.Tsp.ncities
   | Quicksort -> Printf.sprintf "%d integers" quicksort_params.Tmk_apps.Quicksort.n
   | Ilink -> Printf.sprintf "%d pedigrees" ilink_params.Tmk_apps.Ilink.families
+  | Racey ->
+    Printf.sprintf "%d items, %d racy buckets" racey_params.Tmk_apps.Racey.items
+      racey_params.Tmk_apps.Racey.buckets
 
 let pages_for = function
   | Water -> Tmk_apps.Water.pages_needed water_params
@@ -103,6 +114,7 @@ let pages_for = function
   | Tsp -> Tmk_apps.Tsp.pages_needed tsp_params
   | Quicksort -> Tmk_apps.Quicksort.pages_needed quicksort_params
   | Ilink -> Tmk_apps.Ilink.pages_needed ilink_params
+  | Racey -> Tmk_apps.Racey.pages_needed racey_params
 
 let config ~app ~nprocs ~protocol ~net =
   { Config.default with Config.nprocs; pages = pages_for app; protocol; net; seed = 1994L }
@@ -116,6 +128,7 @@ let body app ctx =
   | Tsp -> ignore (Tmk_apps.Tsp.parallel ctx tsp_params)
   | Quicksort -> ignore (Tmk_apps.Quicksort.parallel ~collect:false ctx quicksort_params)
   | Ilink -> ignore (Tmk_apps.Ilink.parallel ctx ilink_params)
+  | Racey -> ignore (Tmk_apps.Racey.parallel ~collect:false ctx racey_params)
 
 let metrics_of_raw ~app cfg raw =
   let nprocs = cfg.Config.nprocs in
@@ -214,6 +227,12 @@ let run_checked ~app cfg =
     | Ilink -> (
       match Tmk_apps.Ilink.parallel ctx ilink_params with
       | Some r -> put (r.Tmk_apps.Ilink.log_likelihood, r.Tmk_apps.Ilink.theta)
+      | None -> ())
+    | Racey -> (
+      (* Racy by design, so the counts are schedule-dependent — but the
+         schedule is deterministic per seed, so the digest still is. *)
+      match Tmk_apps.Racey.parallel ~collect:true ctx racey_params with
+      | Some hist -> put hist
       | None -> ())
   in
   let raw = Api.run cfg checked_body in

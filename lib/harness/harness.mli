@@ -5,15 +5,18 @@
 
 open Tmk_dsm
 
-(** The five §4.3 applications. *)
-type app = Water | Jacobi | Tsp | Quicksort | Ilink
+(** The five §4.3 applications, plus [Racey] — the race detector's
+    deliberately data-racy positive fixture ({!Tmk_apps.Racey}). *)
+type app = Water | Jacobi | Tsp | Quicksort | Ilink | Racey
 
-(** [all_apps] in the paper's reporting order. *)
+(** [all_apps] in the paper's reporting order.  [Racey] is excluded: it
+    exists to be caught by [--racecheck], not benchmarked. *)
 val all_apps : app list
 
 val app_name : app -> string
 
-(** [app_of_name s] — inverse of {!app_name} (case-insensitive).
+(** [app_of_name s] — inverse of {!app_name} (case-insensitive).  Also
+    accepts a source path naming the app, e.g. ["examples/racey.ml"].
     @raise Invalid_argument on unknown names. *)
 val app_of_name : string -> app
 

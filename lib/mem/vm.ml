@@ -8,6 +8,7 @@ type t = {
   prot : prot array;
   npages : int;
   mutable on_fault : access -> int -> unit;
+  mutable on_access : (access -> int -> int -> unit) option;
 }
 
 let page_size = 4096
@@ -19,12 +20,14 @@ let create ~pages =
     prot = Array.make pages Read_write;
     npages = pages;
     on_fault = (fun _ page -> failwith (Printf.sprintf "Vm: unhandled fault on page %d" page));
+    on_access = None;
   }
 
 let npages t = t.npages
 let size_bytes t = t.npages * page_size
 
 let set_fault_handler t f = t.on_fault <- f
+let set_access_hook t f = t.on_access <- Some f
 
 let prot t page = t.prot.(page)
 let set_prot t page p = t.prot.(page) <- p
@@ -59,7 +62,8 @@ let ensure t addr width kind =
         if attempts >= 64 then raise (Fault_loop { page; kind }) else retry (attempts + 1)
     in
     retry 0
-  end
+  end;
+  match t.on_access with None -> () | Some f -> f kind addr width
 
 let read_u8 t addr =
   ensure t addr 1 Read;

@@ -41,6 +41,14 @@ val set_fault_handler : t -> (access -> int -> unit) -> unit
 
 exception Fault_loop of { page : int; kind : access }
 
+(** [set_access_hook t f] installs an observer called as [f kind addr width]
+    after every typed access resolves (including any faults it triggered).
+    The hook sees the accesses a hardware watchpoint would — one call per
+    load or store — and is meant for checkers; it must not change
+    protections.  Page-granularity operations ([page_snapshot], [patch],
+    ...) are DSM-internal and do not report. *)
+val set_access_hook : t -> (access -> int -> int -> unit) -> unit
+
 (** [prot t page] / [set_prot t page p] — read and change protection.
     Charging the [mprotect] cost is the caller's business. *)
 val prot : t -> int -> prot

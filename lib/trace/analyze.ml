@@ -183,11 +183,11 @@ let analyze sink =
       | Page_invalidate { page } ->
         let g = page_acc page in
         g.g_inval <- g.g_inval + 1
-      | Diff_create { page; bytes } ->
+      | Diff_create { page; bytes; _ } ->
         let g = page_acc page in
         g.g_dc <- g.g_dc + bytes;
         if not (List.mem r_pid g.g_writers) then g.g_writers <- r_pid :: g.g_writers
-      | Diff_apply { page; bytes } ->
+      | Diff_apply { page; bytes; _ } ->
         let g = page_acc page in
         g.g_da <- g.g_da + bytes
       | Write_notice_recv { page; proc; _ } ->
@@ -273,6 +273,10 @@ let hot_score p =
 
 let ms ns = Printf.sprintf "%.3f" (float_of_int ns /. 1e6)
 
+(* Per-something averages: traces with no acquires (or one processor)
+   have a zero denominator; render "-" instead of dividing. *)
+let avg_ms num den = if den <= 0 then "-" else ms (num / den)
+
 let take n l =
   let rec go n = function
     | [] -> []
@@ -299,15 +303,15 @@ let report a =
            [ string_of_int l.l_id; string_of_int l.l_acquires;
              string_of_int l.l_local; string_of_int l.l_queued;
              ms l.l_wait_ns; ms l.l_hold_ns;
-             (if l.l_acquires = 0 then "-"
-              else ms (l.l_wait_ns / l.l_acquires)) ])
+             avg_ms l.l_wait_ns l.l_acquires;
+             avg_ms l.l_hold_ns l.l_acquires ])
          (take 10 a.a_locks)
      in
      add
        (Tablefmt.render ~title:"Lock contention (top 10 by total wait)"
           ~header:
             [ "lock"; "acquires"; "local"; "queued"; "wait ms"; "hold ms";
-              "avg wait" ]
+              "avg wait"; "avg hold" ]
           rows));
   (let hot = List.filter (fun p -> hot_score p > 0) a.a_pages in
    if hot = [] then add "no page activity."
@@ -331,19 +335,24 @@ let report a =
   (if a.a_barriers = [] then add "no barrier activity."
    else
      let shown = take 20 a.a_barriers in
+     (* Average skew over the gaps between consecutive arrivals: n
+        processors have n-1 gaps; single-processor runs have none. *)
+     let gaps = List.length a.a_procs - 1 in
      let rows =
        List.map
          (fun e ->
            [ string_of_int e.be_id; string_of_int e.be_epoch;
              ms e.be_first_arrival; ms e.be_last_arrival;
              ms (e.be_last_arrival - e.be_first_arrival);
+             avg_ms (e.be_last_arrival - e.be_first_arrival) gaps;
              ms (e.be_release - e.be_last_arrival) ])
          shown
      in
      add
        (Tablefmt.render ~title:"Barrier skew per epoch"
           ~header:
-            [ "barrier"; "epoch"; "first ms"; "last ms"; "skew ms"; "mgr ms" ]
+            [ "barrier"; "epoch"; "first ms"; "last ms"; "skew ms"; "skew/gap";
+              "mgr ms" ]
           rows);
      if List.length a.a_barriers > List.length shown then
        add

@@ -15,8 +15,8 @@ type t =
   | Twin_create of { page : int }
   | Page_fetch of { page : int; from_ : int }
   | Page_invalidate of { page : int }
-  | Diff_create of { page : int; bytes : int }
-  | Diff_apply of { page : int; bytes : int }
+  | Diff_create of { page : int; bytes : int; proc : int; interval : int }
+  | Diff_apply of { page : int; bytes : int; proc : int; interval : int }
   | Diff_fetch of { page : int; from_ : int; count : int }
   | Interval_close of { id : int; notices : int; vt : int array }
   | Interval_recv of { proc : int; id : int; notices : int; vt : int array }
@@ -87,8 +87,8 @@ let args = function
     [ ("page", Int page); ("kind", Str (fault_kind_name kind)) ]
   | Twin_create { page } | Page_invalidate { page } -> [ ("page", Int page) ]
   | Page_fetch { page; from_ } -> [ ("page", Int page); ("from", Int from_) ]
-  | Diff_create { page; bytes } | Diff_apply { page; bytes } ->
-    [ ("page", Int page); ("bytes", Int bytes) ]
+  | Diff_create { page; bytes; proc; interval } | Diff_apply { page; bytes; proc; interval } ->
+    [ ("page", Int page); ("bytes", Int bytes); ("proc", Int proc); ("interval", Int interval) ]
   | Diff_fetch { page; from_; count } ->
     [ ("page", Int page); ("from", Int from_); ("count", Int count) ]
   | Interval_close { id; notices; vt } ->
@@ -111,3 +111,80 @@ let args = function
   | Gc_end { discarded } -> [ ("discarded", Int discarded) ]
   | Proc_finish -> []
   | Mark msg -> [ ("msg", Str msg) ]
+
+(* Inverse of [name]/[args], for re-reading recorded JSONL streams.  Local
+   exception turns any missing/mistyped field into [None]. *)
+exception Bad_args
+
+let of_args ev_name ev_args =
+  let int k = match List.assoc_opt k ev_args with Some (Int v) -> v | _ -> raise Bad_args in
+  let bool k = match List.assoc_opt k ev_args with Some (Bool v) -> v | _ -> raise Bad_args in
+  let str k = match List.assoc_opt k ev_args with Some (Str v) -> v | _ -> raise Bad_args in
+  let ints k = match List.assoc_opt k ev_args with Some (Ints v) -> v | _ -> raise Bad_args in
+  let fault k =
+    match str k with "read" -> Read | "write" -> Write | _ -> raise Bad_args
+  in
+  try
+    let ev =
+      match ev_name with
+      | "lock-acquire" -> Lock_acquire { lock = int "lock"; local = bool "local" }
+      | "lock-acquired" -> Lock_acquired { lock = int "lock"; local = bool "local" }
+      | "lock-release" ->
+        let g = int "granted_to" in
+        Lock_release { lock = int "lock"; granted_to = (if g < 0 then None else Some g) }
+      | "lock-queued" -> Lock_queued { lock = int "lock"; requester = int "requester" }
+      | "lock-request-recv" ->
+        Lock_request_recv { lock = int "lock"; requester = int "requester" }
+      | "lock-forward" ->
+        Lock_forward { lock = int "lock"; requester = int "requester"; target = int "target" }
+      | "lock-grant" ->
+        Lock_grant
+          { lock = int "lock"; requester = int "requester"; intervals = int "intervals";
+            bytes = int "bytes" }
+      | "barrier-arrive" -> Barrier_arrive { id = int "id"; epoch = int "epoch" }
+      | "barrier-release" -> Barrier_release { id = int "id"; epoch = int "epoch" }
+      | "page-fault" -> Page_fault { page = int "page"; kind = fault "kind" }
+      | "page-fault-done" -> Page_fault_done { page = int "page"; kind = fault "kind" }
+      | "twin-create" -> Twin_create { page = int "page" }
+      | "page-fetch" -> Page_fetch { page = int "page"; from_ = int "from" }
+      | "page-invalidate" -> Page_invalidate { page = int "page" }
+      | "diff-create" ->
+        Diff_create
+          { page = int "page"; bytes = int "bytes"; proc = int "proc";
+            interval = int "interval" }
+      | "diff-apply" ->
+        Diff_apply
+          { page = int "page"; bytes = int "bytes"; proc = int "proc";
+            interval = int "interval" }
+      | "diff-fetch" ->
+        Diff_fetch { page = int "page"; from_ = int "from"; count = int "count" }
+      | "interval-close" ->
+        Interval_close { id = int "id"; notices = int "notices"; vt = ints "vt" }
+      | "interval-recv" ->
+        Interval_recv
+          { proc = int "proc"; id = int "id"; notices = int "notices"; vt = ints "vt" }
+      | "write-notice-recv" ->
+        Write_notice_recv { page = int "page"; proc = int "proc"; interval = int "interval" }
+      | "frame-send" ->
+        Frame_send
+          { src = int "src"; dst = int "dst"; label = str "label"; bytes = int "bytes";
+            retrans = bool "retrans" }
+      | "frame-recv" ->
+        Frame_recv
+          { src = int "src"; dst = int "dst"; label = str "label"; bytes = int "bytes" }
+      | "frame-drop" ->
+        Frame_drop
+          { src = int "src"; dst = int "dst"; label = str "label"; bytes = int "bytes" }
+      | "frame-dup" -> Frame_dup { src = int "src"; dst = int "dst"; label = str "label" }
+      | "frame-batch" ->
+        Frame_batch
+          { src = int "src"; dst = int "dst"; label = str "label"; parts = int "parts" }
+      | "diff-cache" -> Diff_cache { page = int "page"; hit = bool "hit" }
+      | "gc-begin" -> Gc_begin { live = int "live" }
+      | "gc-end" -> Gc_end { discarded = int "discarded" }
+      | "proc-finish" -> Proc_finish
+      | "mark" -> Mark (str "msg")
+      | _ -> raise Bad_args
+    in
+    Some ev
+  with Bad_args -> None

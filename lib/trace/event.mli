@@ -53,8 +53,13 @@ type t =
   | Page_invalidate of { page : int }
       (** a write notice invalidated the local copy *)
   (* Diffs (§2.4, §3.2) *)
-  | Diff_create of { page : int; bytes : int }  (** encoded size *)
-  | Diff_apply of { page : int; bytes : int }  (** payload bytes patched *)
+  | Diff_create of { page : int; bytes : int; proc : int; interval : int }
+      (** [bytes] is the encoded size; [(proc, interval)] identifies the
+          interval the diff belongs to, or [(p, -1)] when the protocol has
+          no intervals (the ERC baseline's eager flush) *)
+  | Diff_apply of { page : int; bytes : int; proc : int; interval : int }
+      (** [bytes] is the payload patched in; [(proc, interval)] as for
+          {!Diff_create}, [-1] when the applier no longer knows the origin *)
   | Diff_fetch of { page : int; from_ : int; count : int }
       (** a lazy diff request for [count] diffs left for [from_] *)
   (* Consistency records (§2.2, §3.1) *)
@@ -96,3 +101,9 @@ val args : t -> (string * arg) list
 
 (** [fault_kind_name k] — ["read"] or ["write"]. *)
 val fault_kind_name : fault_kind -> string
+
+(** [of_args name args] rebuilds the event [name]/[args] serialized — the
+    exact inverse of the two functions above, used when re-reading a
+    recorded JSONL stream.  [None] on an unknown name or missing/mistyped
+    field. *)
+val of_args : string -> (string * arg) list -> t option

@@ -70,3 +70,148 @@ let write oc sink =
       output_string oc (record_to_string r);
       output_char oc '\n')
     sink
+
+(* Decoder: the exact inverse of the encoder above.  Not a general JSON
+   parser — it accepts precisely the subset the encoder produces (flat
+   object, int/bool/string/int-array values), which is all a recorded
+   trace can contain. *)
+
+exception Parse_error of string
+
+let parse_line line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then line.[!pos] else '\255' in
+  let advance () = incr pos in
+  let expect c =
+    if peek () = c then advance () else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_int () =
+    let start = !pos in
+    if peek () = '-' then advance ();
+    while !pos < n && line.[!pos] >= '0' && line.[!pos] <= '9' do
+      incr pos
+    done;
+    if !pos = start || (line.[start] = '-' && !pos = start + 1) then fail "expected integer";
+    int_of_string (String.sub line start (!pos - start))
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\255' -> fail "unterminated string"
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | '"' -> Buffer.add_char b '"'; advance ()
+        | '\\' -> Buffer.add_char b '\\'; advance ()
+        | 'n' -> Buffer.add_char b '\n'; advance ()
+        | 't' -> Buffer.add_char b '\t'; advance ()
+        | 'r' -> Buffer.add_char b '\r'; advance ()
+        | 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "truncated \\u escape";
+          let code =
+            try int_of_string ("0x" ^ String.sub line !pos 4)
+            with _ -> fail "bad \\u escape"
+          in
+          pos := !pos + 4;
+          if code > 0xFF then fail "non-latin \\u escape";
+          Buffer.add_char b (Char.chr code)
+        | _ -> fail "unknown escape");
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let expect_word w v =
+    if !pos + String.length w <= n && String.sub line !pos (String.length w) = w then begin
+      pos := !pos + String.length w;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" w)
+  in
+  let parse_value () =
+    match peek () with
+    | '"' -> Event.Str (parse_string ())
+    | 't' -> expect_word "true" (Event.Bool true)
+    | 'f' -> expect_word "false" (Event.Bool false)
+    | '[' ->
+      advance ();
+      let items = ref [] in
+      if peek () = ']' then advance ()
+      else begin
+        let rec go () =
+          items := parse_int () :: !items;
+          match peek () with
+          | ',' -> advance (); go ()
+          | ']' -> advance ()
+          | _ -> fail "expected ',' or ']'"
+        in
+        go ()
+      end;
+      Event.Ints (Array.of_list (List.rev !items))
+    | _ -> Event.Int (parse_int ())
+  in
+  expect '{';
+  let fields = ref [] in
+  (if peek () = '}' then advance ()
+   else
+     let rec go () =
+       let k = parse_string () in
+       expect ':';
+       let v = parse_value () in
+       fields := (k, v) :: !fields;
+       match peek () with
+       | ',' -> advance (); go ()
+       | '}' -> advance ()
+       | _ -> fail "expected ',' or '}'"
+     in
+     go ());
+  if !pos <> n then fail "trailing bytes after object";
+  let fields = List.rev !fields in
+  let int_field k =
+    match List.assoc_opt k fields with
+    | Some (Event.Int v) -> v
+    | _ -> fail (Printf.sprintf "missing integer field %S" k)
+  in
+  let str_field k =
+    match List.assoc_opt k fields with
+    | Some (Event.Str v) -> v
+    | _ -> fail (Printf.sprintf "missing string field %S" k)
+  in
+  let time = int_field "t" and pid = int_field "pid" and ev_name = str_field "ev" in
+  let args = List.filter (fun (k, _) -> k <> "t" && k <> "pid" && k <> "ev") fields in
+  match Event.of_args ev_name args with
+  | Some ev -> { Sink.r_time = time; r_pid = pid; r_ev = ev }
+  | None -> fail (Printf.sprintf "unknown or malformed event %S" ev_name)
+
+let read_channel ic =
+  let sink = Sink.create () in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.length line > 0 then begin
+         let r =
+           try parse_line line
+           with Parse_error msg ->
+             raise (Parse_error (Printf.sprintf "line %d: %s" !lineno msg))
+         in
+         Sink.emit sink ~time:r.Sink.r_time ~pid:r.Sink.r_pid r.Sink.r_ev
+       end
+     done
+   with End_of_file -> ());
+  sink
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read_channel ic)

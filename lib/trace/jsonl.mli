@@ -20,3 +20,22 @@ val to_string : Sink.t -> string
 
 (** [write oc sink] — stream the sink to a channel. *)
 val write : out_channel -> Sink.t -> unit
+
+(** {2 Reading recorded streams back}
+
+    The decoder accepts exactly what the encoder produces (the offline
+    invariant oracle re-checks recorded runs this way); it is not a
+    general JSON parser. *)
+
+exception Parse_error of string
+
+(** [parse_line line] — decode one line (no trailing newline).
+    @raise Parse_error on malformed input. *)
+val parse_line : string -> Sink.record
+
+(** [read_channel ic] / [read_file path] — decode a whole stream into a
+    fresh sink, skipping blank lines.
+    @raise Parse_error with a line number on malformed input. *)
+val read_channel : in_channel -> Sink.t
+
+val read_file : string -> Sink.t

@@ -87,6 +87,11 @@ let expectation s =
 
 let run_scenario s =
   let expected_slots, expected_counter = expectation s in
+  (* Scenarios are data-race-free by construction (single writer per slot
+     per round, counter under lock 1), so on every fuzzed schedule the
+     detector must stay silent and the protocol invariants must hold. *)
+  let race = Tmk_check.Race.create ~nprocs:s.sc_nprocs ~pages:s.sc_pages () in
+  let oracle = Tmk_check.Oracle.create ~nprocs:s.sc_nprocs () in
   let cfg =
     {
       Config.default with
@@ -95,6 +100,7 @@ let run_scenario s =
       protocol = s.sc_protocol;
       lrc_updates = s.sc_updates;
       seed = s.sc_seed;
+      check = Some (Tmk_check.Checker.create ~race ~oracle ());
     }
   in
   let ok = ref true in
@@ -133,6 +139,12 @@ let run_scenario s =
           note "pid %d counter: got %d want %d [%s]" pid got expected_counter
             (print_scenario s))
   in
+  if Tmk_check.Race.has_findings race then
+    note "race detector fired on a race-free program [%s]\n%s" (print_scenario s)
+      (Tmk_check.Race.report race);
+  (match Tmk_check.Oracle.finish oracle with
+  | [] -> ()
+  | v :: _ -> note "invariant violated [%s]: %s" (print_scenario s) v);
   !ok
 
 let fuzz_protocols =
@@ -153,6 +165,8 @@ let fuzz_lossy =
          let cfg_net = Tmk_net.Params.with_loss Tmk_net.Params.atm_aal34 0.10 in
          let s = { s with sc_seed = Int64.add s.sc_seed 1L } in
          let expected_slots, expected_counter = expectation s in
+         let race = Tmk_check.Race.create ~nprocs:s.sc_nprocs ~pages:s.sc_pages () in
+         let oracle = Tmk_check.Oracle.create ~nprocs:s.sc_nprocs () in
          let cfg =
            {
              Config.default with
@@ -162,6 +176,7 @@ let fuzz_lossy =
              lrc_updates = s.sc_updates;
              seed = s.sc_seed;
              net = cfg_net;
+             check = Some (Tmk_check.Checker.create ~race ~oracle ());
            }
          in
          let ok = ref true in
@@ -193,6 +208,9 @@ let fuzz_lossy =
                   <> expected_counter
                then ok := false)
          in
+         (* Retransmission must not confuse the checkers either. *)
+         if Tmk_check.Race.has_findings race then ok := false;
+         if Tmk_check.Oracle.finish oracle <> [] then ok := false;
          !ok))
 
 let suite = [ fuzz_protocols; fuzz_lossy ]

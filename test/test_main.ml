@@ -16,5 +16,6 @@ let () =
       ("harness", Test_harness.suite);
       ("batching", Test_batching.suite);
       ("trace", Test_trace.suite);
+      ("check", Test_check.suite);
       ("fuzz", Test_fuzz.suite);
     ]

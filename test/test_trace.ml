@@ -95,8 +95,8 @@ let analyze_hot_pages () =
         (35, 1, Twin_create { page = 3 });
         (40, 1, Page_fault_done { page = 3; kind = Write });
         (50, 0, Page_fetch { page = 3; from_ = 1 });
-        (60, 1, Diff_create { page = 3; bytes = 512 });
-        (70, 0, Diff_apply { page = 3; bytes = 512 });
+        (60, 1, Diff_create { page = 3; bytes = 512; proc = 1; interval = 4 });
+        (70, 0, Diff_apply { page = 3; bytes = 512; proc = 1; interval = 4 });
         (80, 0, Write_notice_recv { page = 3; proc = 2; interval = 0 });
         (90, 2, Page_invalidate { page = 3 });
         (95, 2, Page_fault { page = 1; kind = Read });
@@ -162,6 +162,25 @@ let report_renders () =
     [ "Lock contention"; "Hot pages"; "Barrier skew"; "Per-processor waits";
       "critical path" ]
 
+(* A lock that was queued for but never acquired and a barrier crossed by
+   a single processor: the report's average columns (wait/hold per
+   acquire, skew per crossing) must not divide by zero. *)
+let report_survives_zero_acquires () =
+  let open Event in
+  let sink =
+    mk
+      [
+        (100, 0, Lock_queued { lock = 9; requester = 1 });
+        (200, 0, Barrier_arrive { id = 0; epoch = 0 });
+        (300, 0, Barrier_release { id = 0; epoch = 0 });
+        (400, 0, Proc_finish);
+      ]
+  in
+  let text = Analyze.report (Analyze.analyze sink) in
+  check Alcotest.bool "lock table renders" true (contains ~affix:"Lock contention" text);
+  check Alcotest.bool "no nan" false (contains ~affix:"nan" text);
+  check Alcotest.bool "no inf" false (contains ~affix:"inf" text)
+
 (* ------------------------------------------------------------------ *)
 (* Exporter goldens: the encodings are deterministic by construction,
    so exact strings are a fair contract.                               *)
@@ -200,6 +219,61 @@ let chrome_golden () =
    ^ "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":1,\"name\":\"mark\",\"cat\":\"engine\",\"ts\":3.000,\"args\":{\"msg\":\"hello\"}}\n"
    ^ "],\"displayTimeUnit\":\"ms\"}\n")
     (Chrome.to_string sink)
+
+(* Decode inverts encode for every constructor: re-emitting the parsed
+   records reproduces the stream byte for byte.  This is the contract
+   the offline oracle ([tmk_run --check-trace]) relies on. *)
+let jsonl_roundtrip () =
+  let open Event in
+  let sink =
+    mk
+      [
+        (0, 0, Lock_acquire { lock = 1; local = false });
+        (5, 0, Lock_acquired { lock = 1; local = true });
+        (10, 0, Lock_release { lock = 1; granted_to = Some 2 });
+        (12, 2, Lock_release { lock = 3; granted_to = None });
+        (15, 0, Lock_queued { lock = 1; requester = 2 });
+        (17, 0, Lock_request_recv { lock = 1; requester = 2 });
+        (18, 0, Lock_forward { lock = 1; requester = 2; target = 3 });
+        (19, 0, Lock_grant { lock = 1; requester = 2; intervals = 4; bytes = 640 });
+        (20, 1, Barrier_arrive { id = 0; epoch = 3 });
+        (25, 1, Barrier_release { id = 0; epoch = 3 });
+        (30, 0, Page_fault { page = 4; kind = Read });
+        (35, 0, Page_fault_done { page = 4; kind = Write });
+        (40, 0, Twin_create { page = 4 });
+        (45, 0, Page_fetch { page = 4; from_ = 1 });
+        (47, 0, Page_invalidate { page = 4 });
+        (50, 1, Diff_create { page = 4; bytes = 128; proc = 1; interval = 2 });
+        (55, 0, Diff_apply { page = 4; bytes = 128; proc = 1; interval = 2 });
+        (57, 0, Diff_fetch { page = 4; from_ = 1; count = 2 });
+        (58, 0, Diff_cache { page = 4; hit = true });
+        (60, 0, Write_notice_recv { page = 4; proc = 1; interval = 2 });
+        (70, 1, Interval_close { id = 2; notices = 1; vt = [| 0; 2; 5 |] });
+        (75, 0, Interval_recv { proc = 1; id = 2; notices = 1; vt = [| 0; 2; 5 |] });
+        ( 80,
+          0,
+          Frame_send { src = 0; dst = 1; label = "diff-req"; bytes = 96; retrans = true }
+        );
+        (85, 1, Frame_recv { src = 0; dst = 1; label = "diff-req"; bytes = 96 });
+        (86, 1, Frame_drop { src = 0; dst = 1; label = "diff-req"; bytes = 96 });
+        (87, 1, Frame_dup { src = 0; dst = 1; label = "diff-req" });
+        (88, 0, Frame_batch { src = 0; dst = 1; label = "barrier-delta"; parts = 3 });
+        (89, 1, Gc_begin { live = 41 });
+        (90, 1, Gc_end { discarded = 7 });
+        (95, 1, Proc_finish);
+        (99, -1, Mark "done \"quoted\"\t\n");
+      ]
+  in
+  let text = Jsonl.to_string sink in
+  let reparsed = Sink.create () in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         if line <> "" then begin
+           let r = Jsonl.parse_line line in
+           Sink.emit reparsed ~time:r.Sink.r_time ~pid:r.Sink.r_pid r.Sink.r_ev
+         end);
+  check Alcotest.int "record count" (Sink.length sink) (Sink.length reparsed);
+  check Alcotest.string "parse . print = id" text (Jsonl.to_string reparsed)
 
 (* An unmatched begin event is closed at the last record's time. *)
 let chrome_closes_open_spans () =
@@ -301,7 +375,10 @@ let suite =
     Alcotest.test_case "analyze hot pages" `Quick analyze_hot_pages;
     Alcotest.test_case "analyze procs" `Quick analyze_procs;
     Alcotest.test_case "report renders" `Quick report_renders;
+    Alcotest.test_case "report survives zero acquires" `Quick
+      report_survives_zero_acquires;
     Alcotest.test_case "jsonl golden" `Quick jsonl_golden;
+    Alcotest.test_case "jsonl roundtrip" `Quick jsonl_roundtrip;
     Alcotest.test_case "chrome golden" `Quick chrome_golden;
     Alcotest.test_case "chrome closes open spans" `Quick chrome_closes_open_spans;
     Alcotest.test_case "determinism jacobi" `Quick determinism_jacobi;
