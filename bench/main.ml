@@ -1,12 +1,13 @@
 (* Benchmark driver: regenerates every table and figure of the paper's
    evaluation (experiments E1-E10, see DESIGN.md for the index) plus the
-   E11 scaling study, and Bechamel microbenchmarks of the implementation's
-   hot paths.
+   E11 scaling study, the E12 crash-survival study, and Bechamel
+   microbenchmarks of the implementation's hot paths.
 
    Usage:
-     bench/main.exe            run E1-E11
+     bench/main.exe            run E1-E12
      bench/main.exe e3 e8 a2   run selected experiments/ablations
      bench/main.exe e11        scaling study only (writes BENCH_3.json)
+     bench/main.exe e12        crash-survival study only (writes BENCH_5.json)
      bench/main.exe ablation   run the ablation suite A1-A5
      bench/main.exe micro      run the Bechamel microbenchmarks
      bench/main.exe all        everything *)

@@ -17,8 +17,8 @@ let pf = Format.printf
 let max_nprocs = 64
 
 let run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold ~eager_diffs
-    ~updates ~batching ~faults ~racecheck ~check_invariants ~trace_file ~trace_format
-    ~trace_report ~breakdown =
+    ~updates ~batching ~faults ~diff_backup ~racecheck ~check_invariants ~trace_file
+    ~trace_format ~trace_report ~breakdown =
   let override cfg =
     {
       cfg with
@@ -28,6 +28,7 @@ let run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold ~eager
       lazy_diffs = not eager_diffs;
       lrc_updates = updates;
       batching;
+      diff_backup;
     }
   in
   let cfg = override (Tmk_harness.Harness.config ~app ~nprocs ~protocol ~net) in
@@ -62,11 +63,33 @@ let run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold ~eager
     (if batching then "on" else "off");
   pf "faults      : %s@." (Tmk_net.Fault_plan.describe faults);
   pf "time        : %.3f simulated seconds@." m.Tmk_harness.Harness.m_time_s;
+  let raw = m.Tmk_harness.Harness.m_raw in
+  List.iter
+    (fun r ->
+      pf
+        "recovery    : processor %d crashed at %.0f us, detected +%.0f us (epoch %d), %d \
+         locks re-homed, %d fetches re-issued@."
+        r.Tmk_dsm.Protocol.rc_pid
+        (Tmk_sim.Vtime.to_us r.Tmk_dsm.Protocol.rc_crash_at)
+        (Tmk_sim.Vtime.to_us
+           (Tmk_sim.Vtime.sub r.Tmk_dsm.Protocol.rc_detected_at
+              r.Tmk_dsm.Protocol.rc_crash_at))
+        r.Tmk_dsm.Protocol.rc_epoch r.Tmk_dsm.Protocol.rc_locks_rehomed
+        r.Tmk_dsm.Protocol.rc_retries)
+    raw.Tmk_dsm.Api.recoveries;
+  (match raw.Tmk_dsm.Api.stopped with
+  | Some reason when raw.Tmk_dsm.Api.recoveries = [] -> pf "stopped     : %s@." reason
+  | _ -> ());
   if show_speedup && nprocs > 1 then begin
-    let base =
-      Tmk_harness.Harness.run_cfg ~app
-        (override (Tmk_harness.Harness.config ~app ~nprocs:1 ~protocol ~net))
+    let base_cfg = override (Tmk_harness.Harness.config ~app ~nprocs:1 ~protocol ~net) in
+    (* The crash schedule names pids of the full cluster; the baseline
+       runs crash-free. *)
+    let base_cfg =
+      if Tmk_net.Fault_plan.crashes faults <> [] then
+        { base_cfg with Tmk_dsm.Config.faults = Tmk_net.Fault_plan.none }
+      else base_cfg
     in
+    let base = Tmk_harness.Harness.run_cfg ~app base_cfg in
     pf "speedup     : %.2f (uniprocessor %.3f s)@."
       (base.Tmk_harness.Harness.m_time_s /. m.Tmk_harness.Harness.m_time_s)
       base.Tmk_harness.Harness.m_time_s
@@ -91,6 +114,9 @@ let run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold ~eager
     pf "batching    : %d frames coalesced, diff cache %d hits / %d misses@."
       m.Tmk_harness.Harness.m_raw.Tmk_dsm.Api.frames_coalesced
       s.Tmk_dsm.Stats.diff_cache_hits s.Tmk_dsm.Stats.diff_cache_misses;
+  if diff_backup then
+    pf "replication : %d diffs mirrored, %d bytes@." s.Tmk_dsm.Stats.diff_backups
+      s.Tmk_dsm.Stats.diff_backup_bytes;
   if Tmk_net.Fault_plan.is_faulty faults then
     pf "reliability : %d retransmissions@."
       m.Tmk_harness.Harness.m_raw.Tmk_dsm.Api.retransmissions;
@@ -126,7 +152,7 @@ let run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold ~eager
       pf "@.%s@." (Tmk_check.Oracle.report violations);
       violations <> []
   in
-  race_bad || oracle_bad
+  (race_bad || oracle_bad, raw.Tmk_dsm.Api.stopped <> None)
 
 let app_conv =
   let parse s =
@@ -245,8 +271,24 @@ let cmd =
   let unreachable =
     Arg.(value & opt (list int) []
          & info [ "unreachable" ] ~docv:"PIDS"
-             ~doc:"Partitioned processors (every frame to or from them is dropped); the run \
-                   terminates with Peer_unreachable once a retry budget is exhausted.")
+             ~doc:"Partitioned processors (every frame to or from them is dropped); once a \
+                   retry budget is exhausted the peer is suspected and the run stops \
+                   cleanly, reporting the stop reason.")
+  in
+  let crash =
+    Arg.(value & opt string ""
+         & info [ "crash" ] ~docv:"SPEC"
+             ~doc:"Crash schedule: comma-separated pid@t_us, e.g. 4@5000.  The processor \
+                   goes silent at that instant (crash-stop); the survivors detect it, fail \
+                   its lock managership over, and finish the run (LRC only).  Exits 3 if \
+                   the run cannot complete without the dead processor's state.")
+  in
+  let diff_backup =
+    Arg.(value & flag
+         & info [ "diff-backup" ]
+             ~doc:"Mirror every diff to a deterministic backup peer at creation (forces \
+                   eager diff creation), so a crashed processor's committed work stays \
+                   fetchable (use with $(b,--crash)).")
   in
   let racecheck =
     Arg.(value & flag
@@ -299,8 +341,8 @@ let cmd =
   in
   let main app app_pos nprocs protocol net show_speedup list verbose seed gc_threshold
       eager_diffs updates no_batching loss dup reorder reorder_window stall unreachable
-      racecheck check_invariants check_trace trace_file trace_format trace_report
-      breakdown =
+      crash diff_backup racecheck check_invariants check_trace trace_file trace_format
+      trace_report breakdown =
     let app = match app_pos with Some a -> a | None -> app in
     if verbose then begin
       Logs.set_reporter (Logs_fmt.reporter ());
@@ -360,20 +402,29 @@ let cmd =
             (fun p s -> with_stall p ~pid:s.st_pid ~start:s.st_start ~len:s.st_len)
             plan (parse_stalls stall)
         in
-        List.fold_left with_unreachable plan unreachable
+        let plan = List.fold_left with_unreachable plan unreachable in
+        List.fold_left
+          (fun p c -> with_crash p ~pid:c.cr_pid ~at:c.cr_at)
+          plan (parse_crashes crash)
       with
       | faults -> (
         try
-          let findings =
+          let findings, stopped =
             run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold
-              ~eager_diffs ~updates ~batching:(not no_batching) ~faults ~racecheck
-              ~check_invariants ~trace_file ~trace_format ~trace_report ~breakdown
+              ~eager_diffs ~updates ~batching:(not no_batching) ~faults ~diff_backup
+              ~racecheck ~check_invariants ~trace_file ~trace_format ~trace_report
+              ~breakdown
           in
-          if findings then exit 2
+          if findings then exit 2;
+          (* the run was cut short with a diagnosis (e.g. an unreachable
+             peer): the printed stats describe an incomplete execution *)
+          if stopped then exit 1
         with
-        | Tmk_net.Transport.Peer_unreachable _ as e ->
-          prerr_endline ("tmk_run: " ^ Printexc.to_string e);
-          exit 1
+        | Tmk_dsm.Api.Degraded { pid; reason } ->
+          Printf.eprintf
+            "tmk_run: degraded: the run cannot complete without processor %d (%s)\n" pid
+            reason;
+          exit 3
         | Invalid_argument msg ->
           (* e.g. Config.validate rejecting a fault plan that names pids
              outside the cluster *)
@@ -387,8 +438,9 @@ let cmd =
     Term.(
       const main $ app_arg $ app_pos $ procs $ protocol $ net $ speedup $ list $ verbose
       $ seed $ gc_threshold $ eager_diffs $ updates $ no_batching $ loss $ dup $ reorder
-      $ reorder_window $ stall $ unreachable $ racecheck $ check_invariants $ check_trace
-      $ trace_file $ trace_format $ trace_report $ breakdown)
+      $ reorder_window $ stall $ unreachable $ crash $ diff_backup $ racecheck
+      $ check_invariants $ check_trace $ trace_file $ trace_format $ trace_report
+      $ breakdown)
   in
   Cmd.v
     (Cmd.info "tmk_run" ~version:"1.0.0"

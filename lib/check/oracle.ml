@@ -32,7 +32,13 @@
    I6  GC safety: after a processor runs garbage collection, it never
        receives a write notice or applies a diff for an interval at or
        below the knowledge it held when it collected — collected records
-       are truly dead. *)
+       are truly dead.
+
+   Crash-stop runs: a [Proc_crash] event marks its processor dead, and
+   the end-of-run barrier completeness checks (I4) are relaxed by the
+   number of dead processors — a crossing may legitimately complete with
+   only the survivors, and the arrivals of a crossing in flight at the
+   crash may exceed its releases by the dead. *)
 
 type t = {
   o_nprocs : int;
@@ -49,6 +55,7 @@ type t = {
   diff_created : (int * int * int, unit) Hashtbl.t;  (* (proc, interval, page) *)
   diff_bytes : (int * int * int, int) Hashtbl.t;
   gc_floor : int array option array;  (* per pid: know at its last Gc_end *)
+  dead : bool array;  (* per pid: a Proc_crash was seen *)
   mutable violations : string list;  (* newest first *)
   mutable nviol : int;
   mutable fed : int;
@@ -71,6 +78,7 @@ let create ~nprocs () =
     diff_created = Hashtbl.create 64;
     diff_bytes = Hashtbl.create 64;
     gc_floor = Array.make nprocs None;
+    dead = Array.make nprocs false;
     violations = [];
     nviol = 0;
     fed = 0;
@@ -225,24 +233,28 @@ let feed t (r : Tmk_trace.Sink.record) =
         p page proc interval floor.(proc)
     | _ -> ())
   | Gc_end _ when in_range -> t.gc_floor.(p) <- Some (Array.copy t.know.(p))
+  | Proc_crash when in_range -> t.dead.(p) <- true
   | _ -> ()
 
 let attach t sink = Tmk_trace.Sink.on_record sink (feed t)
 
 (* End-of-run checks: every barrier crossing that gathered arrivals must
    have completed.  (A trace truncated mid-run will trip these — that is
-   the point.) *)
+   the point.)  Dead processors are excused: a crossing after (or during)
+   a crash completes with the survivors, and a dead arriver is never
+   released. *)
 let finish t =
+  let ndead = Array.fold_left (fun a d -> if d then a + 1 else a) 0 t.dead in
   let pending = ref [] in
   Hashtbl.iter (fun k v -> pending := (k, v) :: !pending) t.bar_in;
   let pending = List.sort compare !pending in
   List.iter
     (fun ((id, occ), arrived) ->
-      if arrived <> t.o_nprocs then
+      if arrived < t.o_nprocs - ndead || arrived > t.o_nprocs then
         viol t "I4 barrier %d crossing %d ended with %d/%d arrivals" id occ arrived
           t.o_nprocs;
       let released = try Hashtbl.find t.bar_out (id, occ) with Not_found -> 0 in
-      if released <> arrived then
+      if released < arrived - ndead || released > arrived then
         viol t "I4 barrier %d crossing %d: %d arrivals but %d releases" id occ arrived
           released)
     pending;

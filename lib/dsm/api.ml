@@ -30,7 +30,17 @@ type run_result = {
   bytes : int;
   retransmissions : int;
   frames_coalesced : int;
+  stopped : string option;
+  recoveries : Protocol.recovery list;
 }
+
+exception Degraded of { pid : int; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Degraded { pid; reason } ->
+      Some (Printf.sprintf "Tmk_dsm.Api.Degraded(processor %d: %s)" pid reason)
+    | _ -> None)
 
 let pid (ctx : ctx) = ctx.cpid
 let nprocs (ctx : ctx) = Protocol.config ctx.cluster |> fun c -> c.Config.nprocs
@@ -231,8 +241,20 @@ let run ?trace cfg app =
     Engine.spawn engine p (fun () -> app ctx)
   done;
   Engine.run engine;
+  (match Protocol.fatality cluster with
+  | Some (pid, reason) -> raise (Degraded { pid; reason })
+  | None -> ());
   let n = cfg.Config.nprocs in
-  let proc_finish = Array.init n (Engine.finish_time engine) in
+  (* A crashed processor never returns: report its silencing instant; a
+     processor parked by a clean stop reports the end of the run. *)
+  let proc_finish =
+    Array.init n (fun p ->
+        if Engine.finished engine p then Engine.finish_time engine p
+        else
+          match Engine.crash_time engine p with
+          | Some at -> at
+          | None -> Engine.end_time engine)
+  in
   let total_time = Array.fold_left Vtime.max Vtime.zero proc_finish in
   let busy =
     Array.init n (fun p ->
@@ -255,4 +277,6 @@ let run ?trace cfg app =
     bytes = Tmk_net.Transport.bytes_sent transport;
     retransmissions = Tmk_net.Transport.retransmissions transport;
     frames_coalesced = Tmk_net.Transport.frames_coalesced transport;
+    stopped = Engine.stop_reason engine;
+    recoveries = Protocol.recoveries cluster;
   }

@@ -47,15 +47,33 @@ type run_result = {
       (** frames saved by batching ([Config.batching]); for identical
           protocol activity, an unbatched run sends
           [messages + frames_coalesced] frames *)
+  stopped : string option;
+      (** set when the engine stopped before quiescence (e.g. a peer was
+          unreachable under a partition fault plan) *)
+  recoveries : Protocol.recovery list;
+      (** completed crash failovers, oldest first (empty without a crash
+          plan) *)
 }
+
+(** Raised by {!run} when a crash made the run unable to complete: the
+    surviving processors needed consistency state that only the dead
+    processor held.  [pid] is the processor whose loss caused the
+    degradation; partial measurements are discarded. *)
+exception Degraded of { pid : int; reason : string }
 
 (** [run config app] — build a cluster, run [app] once per processor to
     completion, and collect the measurements.
 
+    With a crash plan ([Fault_plan.crashes]), processors that die are
+    reported with their crash instant in [proc_finish] and each failover
+    appears in [recoveries]; the run completes with the survivors' work.
+
     [?trace], when given, installs the typed event sink into the
     configuration (overriding [config.trace]) so the caller can export or
     analyze the run's full protocol event stream afterwards — the single
-    entry point for traced and untraced runs alike. *)
+    entry point for traced and untraced runs alike.
+
+    @raise Degraded when a crash makes completion impossible. *)
 val run : ?trace:Tmk_trace.Sink.t -> Config.t -> (ctx -> unit) -> run_result
 
 (** {2 Identity} *)

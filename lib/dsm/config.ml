@@ -12,6 +12,7 @@ type t = {
   lazy_diffs : bool;
   lrc_updates : bool;
   batching : bool;
+  diff_backup : bool;
   trace : Tmk_trace.Sink.t option;
   check : Tmk_check.Checker.t option;
 }
@@ -29,6 +30,7 @@ let default =
     lazy_diffs = true;
     lrc_updates = false;
     batching = true;
+    diff_backup = false;
     trace = None;
     check = None;
   }
@@ -49,6 +51,15 @@ let validate t =
       if s.Tmk_net.Fault_plan.st_pid >= t.nprocs then
         invalid_arg "Config: stall pid outside the cluster")
     t.faults.Tmk_net.Fault_plan.stalls;
+  List.iter
+    (fun c ->
+      if c.Tmk_net.Fault_plan.cr_pid >= t.nprocs then
+        invalid_arg "Config: crash pid outside the cluster";
+      if t.protocol <> Lrc then
+        invalid_arg "Config: crash recovery is implemented for the Lrc protocol only")
+    t.faults.Tmk_net.Fault_plan.crashes;
+  if t.diff_backup && t.protocol <> Lrc then
+    invalid_arg "Config: diff_backup applies to the Lrc protocol only";
   match t.check with
   | None -> ()
   | Some c ->

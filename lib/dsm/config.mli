@@ -44,6 +44,17 @@ type t = {
           recomputation.  [false]: every logical part goes out as its own
           frame and responders recompute diffs on every fetch — the
           unbatched ablation for the E11 scaling study *)
+  diff_backup : bool;
+      (** [true]: every diff is mirrored, at creation, to one
+          deterministic backup peer (the next live processor), so the
+          committed work of a processor that later crashes stays
+          fetchable and barrier programs survive the crash with results
+          identical to a crash-free run restricted to the surviving work.
+          Implies eager diff creation at interval close (a diff that was
+          never created cannot have been mirrored).  [false] (the
+          default): no replication — a crash can strand diffs that only
+          the dead processor held, degrading the run (see
+          {!Api.Degraded}).  Lrc only. *)
   trace : Tmk_trace.Sink.t option;
       (** typed protocol-event sink; [None] (the default) disables
           tracing entirely — no events are recorded and no run behaviour

@@ -55,6 +55,15 @@ type t = {
          page).  Diffs are immutable once created and interval ids are
          never reused (next_interval survives GC), so entries can never go
          stale; the table is cleared with the records it shadows at GC *)
+  backup_store : (int * int * int, Rle.t) Hashtbl.t;
+      (* diffs mirrored TO this node as another processor's backup
+         (Config.diff_backup), keyed like the diff cache; consulted when
+         the creator has crashed, cleared with everything else at GC *)
+  mutable on_diff_create :
+    (page:int -> proc:int -> interval:int -> diff:Rle.t -> unit) option;
+      (* fires whenever a local diff is attached to its write notice —
+         the protocol's diff-replication hook (None outside diff_backup
+         mode) *)
   stats : Stats.t;
   emit : (Tmk_trace.Event.t -> unit) option;
       (* typed-trace emission hook; None disables (and must cost nothing) *)
@@ -96,9 +105,18 @@ let create ?emit ~pid ~nprocs ~pages () =
     dirty = [];
     live_records = 0;
     diff_cache = Hashtbl.create 64;
+    backup_store = Hashtbl.create 16;
+    on_diff_create = None;
     stats = Stats.create ();
     emit;
   }
+
+let set_diff_hook t f = t.on_diff_create <- Some f
+let store_backup t ~proc ~interval_id ~page diff =
+  Hashtbl.replace t.backup_store (proc, interval_id, page) diff
+
+let backup_diff t ~proc ~interval_id ~page =
+  Hashtbl.find_opt t.backup_store (proc, interval_id, page)
 
 let write_fault_twin t page ~charge =
   let entry = t.pages.(page) in
@@ -211,7 +229,10 @@ and make_diff_now t page ~charge =
         emit t
           (Tmk_trace.Event.Diff_create
              { page; bytes = Rle.encoded_size diff; proc = t.pid;
-               interval = wn.wn_interval.iv_id })
+               interval = wn.wn_interval.iv_id });
+      (match t.on_diff_create with
+      | Some f -> f ~page ~proc:t.pid ~interval:wn.wn_interval.iv_id ~diff
+      | None -> ())
     | _ ->
       invalid_arg
         (Printf.sprintf "Node.make_diff_now: page %d twinned without an open notice" page))
@@ -448,6 +469,8 @@ let discard_all_records t ~charge =
   t.dirty <- [];
   t.live_records <- 0;
   Hashtbl.reset t.diff_cache;
+  (* the mirrored diffs shadow records every node is discarding right now *)
+  Hashtbl.reset t.backup_store;
   t.stats.Stats.records_discarded <- t.stats.Stats.records_discarded + discarded;
   discarded
 

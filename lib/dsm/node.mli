@@ -78,6 +78,13 @@ type t = {
   diff_cache : (int * int * int, Tmk_util.Rle.t) Hashtbl.t;
       (** served-diff cache, keyed (proc, interval id, page); see
           {!cached_diff} *)
+  backup_store : (int * int * int, Tmk_util.Rle.t) Hashtbl.t;
+      (** diffs mirrored to this node as another processor's backup
+          ({!Config.diff_backup}); cleared by {!discard_all_records} *)
+  mutable on_diff_create :
+    (page:int -> proc:int -> interval:int -> diff:Tmk_util.Rle.t -> unit) option;
+      (** replication hook, fired when a local diff is attached to its
+          notice; install with {!set_diff_hook} *)
   stats : Stats.t;
   emit : (Tmk_trace.Event.t -> unit) option;
       (** typed-trace hook; [None] disables emission entirely *)
@@ -157,6 +164,20 @@ val cached_diff : t -> proc:int -> interval_id:int -> page:int -> Tmk_util.Rle.t
 (** [cache_diff t ~proc ~interval_id ~page diff] — remember a served
     diff for future fetches of the same (proc, interval, page). *)
 val cache_diff : t -> proc:int -> interval_id:int -> page:int -> Tmk_util.Rle.t -> unit
+
+(** [set_diff_hook t f] — install the diff-replication hook: [f] fires
+    once per locally created diff, right after the diff is attached to
+    its write notice (so inside whatever context created it). *)
+val set_diff_hook :
+  t -> (page:int -> proc:int -> interval:int -> diff:Tmk_util.Rle.t -> unit) -> unit
+
+(** [store_backup t ~proc ~interval_id ~page diff] — hold a mirrored copy
+    of another processor's diff ({!Config.diff_backup}). *)
+val store_backup : t -> proc:int -> interval_id:int -> page:int -> Tmk_util.Rle.t -> unit
+
+(** [backup_diff t ~proc ~interval_id ~page] — look up the mirror store
+    (recovery path: the creator has crashed). *)
+val backup_diff : t -> proc:int -> interval_id:int -> page:int -> Tmk_util.Rle.t option
 
 (** [missing_diffs t page] — the write notices for [page] lacking diffs,
     grouped per processor, each group newest-first. *)

@@ -16,6 +16,10 @@ type lock_request = {
   lr_requester : int;
   lr_vt : Vector_time.t;
   lr_mb : grant Transport.mailbox;
+  lr_epoch : int;
+      (* membership epoch at creation; requests stamped with an older
+         epoch are stale routing from before a crash and are dropped
+         (recovery re-injects a fresh record for every live waiter) *)
 }
 
 type barrier_release = {
@@ -52,6 +56,37 @@ type gc_state = {
   mutable gs_all_in : unit Engine.Ivar.t;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Failure model (crash-stop).
+
+   A crashed processor is silenced by the engine; everyone else learns of
+   the death through the transport's suspicion mechanism (retry-budget
+   exhaustion), either organically — a retransmitted request the dead
+   peer never acknowledges — or through the heartbeat probes processor 0
+   sends while a crash plan is armed.  Detection triggers a membership
+   epoch bump and deterministic metadata failover (see [note_death]). *)
+
+(* One remote operation whose reply may never come because the serving
+   peer can crash: recovery re-issues it against a live peer.  The
+   original reply mailbox is reused; value messages never double-fill, so
+   a late duplicate from the first attempt is harmless. *)
+type pending_op = {
+  po_pid : int;  (* the waiting processor *)
+  po_seq : int;  (* registration order, for deterministic replay *)
+  po_target : int;  (* the peer whose reply is awaited *)
+  po_settled : unit -> bool;  (* reply already arrived *)
+  po_retry : unit -> unit;  (* re-issue; runs in timer context *)
+}
+
+type recovery = {
+  rc_pid : int;  (* the dead processor *)
+  rc_epoch : int;  (* membership epoch after the death *)
+  rc_crash_at : Vtime.t;
+  rc_detected_at : Vtime.t;
+  rc_locks_rehomed : int;  (* locks whose state recovery rebuilt *)
+  rc_retries : int;  (* in-flight operations re-issued *)
+}
+
 type t = {
   cfg : Config.t;
   engine : Engine.t;
@@ -65,6 +100,20 @@ type t = {
   erc_pending : (int, Rle.t list) Hashtbl.t array;  (* ERC updates for absent pages *)
   erc_inflight : int array;  (* ERC update messages not yet delivered, per page *)
   mutable sc : Sc.t option;  (* single-writer protocol state, when Config.Sc *)
+  (* --- failure handling --- *)
+  crashes_planned : bool;  (* gates all registry bookkeeping below *)
+  dead : bool array;  (* deaths detected so far (protocol view) *)
+  mutable epoch : int;  (* membership epoch, bumped per detected death *)
+  waiting_acquires : (int, lock_request) Hashtbl.t array;
+      (* per pid: lock -> the outstanding remote acquire, if any *)
+  grant_target : (int, lock_request) Hashtbl.t;
+      (* lock -> request a grant is in flight to (token owner in transit) *)
+  mutable pending_ops : pending_op list;  (* newest first *)
+  mutable next_op : int;
+  mutable recoveries : recovery list;  (* newest first *)
+  mutable fatal : (int * string) option;
+      (* set when the run cannot make progress without the dead
+         processor's state; surfaced as [Api.Degraded] *)
 }
 
 let config t = t.cfg
@@ -74,6 +123,61 @@ let node t pid = t.nodes.(pid)
 
 let barrier_manager = 0
 let lock_manager t lock = lock mod t.cfg.Config.nprocs
+
+(* --- liveness helpers --- *)
+
+let live t pid = not t.dead.(pid)
+let epoch t = t.epoch
+let fatality t = t.fatal
+let recoveries t = List.rev t.recoveries
+
+let live_count t =
+  let n = ref 0 in
+  Array.iter (fun d -> if not d then incr n) t.dead;
+  !n
+
+(* Lock managership migrates deterministically to the next live
+   processor in cyclic pid order from the static home.  With no deaths
+   this is exactly [lock_manager]. *)
+let effective_lock_manager t lock =
+  let n = t.cfg.Config.nprocs in
+  let m = lock_manager t lock in
+  let rec seek i = if not t.dead.((m + i) mod n) then (m + i) mod n else seek (i + 1) in
+  seek 0
+
+(* The deterministic backup peer for [proc]'s diff mirrors: the next live
+   processor in cyclic pid order.  [None] when nobody else is alive. *)
+let backup_peer t proc =
+  let n = t.cfg.Config.nprocs in
+  let rec seek i =
+    if i >= n then None
+    else
+      let p = (proc + i) mod n in
+      if p <> proc && not t.dead.(p) then Some p else seek (i + 1)
+  in
+  seek 1
+
+let lowest_live_other t pid =
+  let n = t.cfg.Config.nprocs in
+  let rec seek p =
+    if p >= n then None else if p <> pid && not t.dead.(p) then Some p else seek (p + 1)
+  in
+  seek 0
+
+(* A run degrades when surviving processors would need consistency state
+   that only the dead processor held.  Safe from any context: records the
+   fatality and asks the engine to stop at the next event boundary. *)
+let note_fatal t ~pid reason =
+  if t.fatal = None then begin
+    t.fatal <- Some (pid, reason);
+    Engine.request_stop t.engine ("degraded: " ^ reason)
+  end
+
+(* Application-context variant: parks the calling process forever (the
+   engine stops before the park can deadlock anything). *)
+let degrade_app t ~pid reason =
+  note_fatal t ~pid reason;
+  Engine.await (Engine.Ivar.create ())
 
 (* Protocol event tracing: enable with Logs at Debug level on the
    "tmk.protocol" source (tmk_run --verbose), e.g. to watch lock tokens
@@ -137,8 +241,14 @@ let lock_state_of t pid lock =
   match Hashtbl.find_opt t.lock_states.(pid) lock with
   | Some st -> st
   | None ->
-    (* The manager starts out holding the token of each lock it manages. *)
-    let st = { held = false; cached = lock_manager t lock = pid; pending = Queue.create () } in
+    (* The manager starts out holding the token of each lock it manages.
+       Using the effective (post-crash) manager keeps first-touch
+       initialisation globally consistent after a failover: recovery
+       explicitly rebuilds every lock that was ever touched, so this lazy
+       rule only ever runs for locks with no token anywhere. *)
+    let st =
+      { held = false; cached = effective_lock_manager t lock = pid; pending = Queue.create () }
+    in
     Hashtbl.add t.lock_states.(pid) lock st;
     st
 
@@ -163,42 +273,110 @@ let barrier_state_of t id =
 (* ------------------------------------------------------------------ *)
 (* Access misses (§3.5)                                                *)
 
-(* Pick a processor believed to cache the page (never ourselves). *)
-let choose_provider copyset ~self =
-  let provider = Bitset.fold (fun q acc -> if q <> self && acc < 0 then q else acc) copyset (-1) in
-  if provider < 0 then failwith "Protocol: page has an empty copyset" else provider
+exception Empty_copyset of { pid : int; page : int }
+
+let () =
+  Printexc.register_printer (function
+    | Empty_copyset { pid; page } ->
+      Some
+        (Printf.sprintf "Tmk_dsm.Protocol.Empty_copyset(pid %d, page %d): no live copy" pid
+           page)
+    | _ -> None)
+
+(* Pick a live processor believed to cache the page (never ourselves).
+   The choice hashes (page, faulting pid) over the members so concurrent
+   cold misses spread across the copyset instead of all landing on the
+   lowest member (processor 0 holds every page initially, which made it a
+   hot spot).  @raise Empty_copyset when no live candidate remains. *)
+let choose_provider t copyset ~self ~page =
+  let members =
+    Bitset.fold (fun q acc -> if q <> self && not t.dead.(q) then q :: acc else acc) copyset []
+  in
+  match List.rev members with
+  | [] -> raise (Empty_copyset { pid = self; page })
+  | members ->
+    let h = (((page + 1) * 2654435761) + (self * 40503)) land max_int in
+    List.nth members (h mod List.length members)
+
+(* ERC variant: always the lowest live member.  The update protocol's
+   directory admits members whose base copy is still in flight (the
+   faulter joins at serve time, before its reply lands), so an arbitrary
+   member is not yet guaranteed to hold current bytes; the lowest member
+   is the longest-standing one — in practice the page's origin. *)
+let choose_provider_lowest t copyset ~self ~page =
+  let provider =
+    Bitset.fold
+      (fun q acc -> if q <> self && (not t.dead.(q)) && acc < 0 then q else acc)
+      copyset (-1)
+  in
+  if provider < 0 then raise (Empty_copyset { pid = self; page }) else provider
+
+(* Register a re-issuable remote operation (only while a crash plan is
+   armed; the registry would otherwise grow for nothing). *)
+let register_pending t ~pid ~target ~settled ~retry =
+  if t.crashes_planned then begin
+    let seq = t.next_op in
+    t.next_op <- seq + 1;
+    t.pending_ops <-
+      { po_pid = pid; po_seq = seq; po_target = target; po_settled = settled; po_retry = retry }
+      :: t.pending_ops
+  end
 
 let fetch_base_lrc t pid page =
   let node = t.nodes.(pid) in
   let entry = node.Node.pages.(page) in
-  let provider = choose_provider entry.Node.pg_copyset ~self:pid in
-  app_charge Category.Tmk_other Cpu.page_request_build;
-  let bytes, copyset =
-    Transport.rpc ~label:"page-fetch" t.transport ~src:pid ~dst:provider
-      ~bytes:Wire.page_request_bytes
-      ~serve:(fun h ->
-        let pnode = t.nodes.(provider) in
-        h_charge h Category.Tmk_mem Costs.page_copy;
-        let pentry = pnode.Node.pages.(page) in
-        Bitset.add pentry.Node.pg_copyset pid;
-        (* Serve the twin when the page is dirty: diffs record only the
-           bytes that changed relative to their interval's base state, so
-           a base copy containing the provider's uncommitted (not yet
-           diffed) writes would be byte-inconsistent with the very diffs
-           the requester is about to apply over it. *)
-        let snapshot =
-          match pentry.Node.pg_twin with
-          | Some twin -> Bytes.copy twin
-          | None -> Vm.page_snapshot pnode.Node.vm page
-        in
-        (Wire.page_reply_bytes, (snapshot, Bitset.copy pentry.Node.pg_copyset)))
+  let mb = Transport.mailbox () in
+  let serve provider h =
+    let pnode = t.nodes.(provider) in
+    h_charge h Category.Tmk_mem Costs.page_copy;
+    let pentry = pnode.Node.pages.(page) in
+    Bitset.add pentry.Node.pg_copyset pid;
+    (* Serve the twin when the page is dirty: diffs record only the
+       bytes that changed relative to their interval's base state, so
+       a base copy containing the provider's uncommitted (not yet
+       diffed) writes would be byte-inconsistent with the very diffs
+       the requester is about to apply over it. *)
+    let snapshot =
+      match pentry.Node.pg_twin with
+      | Some twin -> Bytes.copy twin
+      | None -> Vm.page_snapshot pnode.Node.vm page
+    in
+    Transport.hsend_value ~label:"page-fetch-reply" t.transport h ~dst:pid
+      ~bytes:Wire.page_reply_bytes mb (snapshot, Bitset.copy pentry.Node.pg_copyset)
   in
-  if Engine.tracing t.engine then
-    emit t ~pid (Tmk_trace.Event.Page_fetch { page; from_ = provider });
-  atomically (fun charge ->
-      Node.validate_page node page bytes ~charge;
-      Bitset.union_into ~src:copyset ~dst:entry.Node.pg_copyset;
-      Bitset.add entry.Node.pg_copyset pid)
+  (* Re-issue against another live copyset member if the provider dies
+     before replying.  The retry runs in timer context, so the request
+     goes out as a context-free notification. *)
+  let rec arm_retry provider =
+    register_pending t ~pid ~target:provider
+      ~settled:(fun () -> Transport.mailbox_filled mb)
+      ~retry:(fun () ->
+        match choose_provider t entry.Node.pg_copyset ~self:pid ~page with
+        | provider' ->
+          arm_retry provider';
+          Transport.notify ~label:"page-fetch" t.transport ~src:pid ~dst:provider'
+            ~bytes:Wire.page_request_bytes ~deliver:(serve provider')
+        | exception Empty_copyset _ ->
+          note_fatal t ~pid
+            (Printf.sprintf "page %d has no live copy (its only copies died with the crash)"
+               page))
+  in
+  match choose_provider t entry.Node.pg_copyset ~self:pid ~page with
+  | exception Empty_copyset _ ->
+    degrade_app t ~pid
+      (Printf.sprintf "page %d has no live copy (its only copies died with the crash)" page)
+  | provider ->
+    app_charge Category.Tmk_other Cpu.page_request_build;
+    Transport.send ~label:"page-fetch" t.transport ~src:pid ~dst:provider
+      ~bytes:Wire.page_request_bytes ~deliver:(serve provider);
+    arm_retry provider;
+    let bytes, copyset = Transport.await_value t.transport mb in
+    if Engine.tracing t.engine then
+      emit t ~pid (Tmk_trace.Event.Page_fetch { page; from_ = provider });
+    atomically (fun charge ->
+        Node.validate_page node page bytes ~charge;
+        Bitset.union_into ~src:copyset ~dst:entry.Node.pg_copyset;
+        Bitset.add entry.Node.pg_copyset pid)
 
 (* Serve one gathered diff-request entry on responder [r].  In batched
    mode repeated fetches of the same (proc, interval, page) diff hit the
@@ -237,6 +415,81 @@ let serve_diff_entry t r h (page, proc, interval_id) =
         Engine.hemit h (Tmk_trace.Event.Diff_cache { page; hit = false })
     end;
     (page, proc, interval_id, diff)
+
+(* Locate a diff whose creator (or original responder) has crashed: a
+   live processor's own notice records (§3.5: a processor that modified
+   the page in a covering interval holds the diff), then the diff-backup
+   mirror stores ([Config.diff_backup]).  [None] means the diff died with
+   the crash. *)
+let lookup_diff_anywhere t ~proc ~interval_id ~page =
+  let n = t.cfg.Config.nprocs in
+  let rec scan p =
+    if p >= n then None
+    else if t.dead.(p) then scan (p + 1)
+    else
+      let pn = t.nodes.(p) in
+      let found =
+        List.find_opt
+          (fun wn -> wn.Node.wn_interval.Node.iv_id = interval_id && wn.Node.wn_diff <> None)
+          pn.Node.pages.(page).Node.pg_notices.(proc)
+      in
+      match found with
+      | Some wn -> wn.Node.wn_diff
+      | None -> (
+        match Node.backup_diff pn ~proc ~interval_id ~page with
+        | Some d -> Some d
+        | None -> scan (p + 1))
+  in
+  scan 0
+
+(* Re-issue a gathered diff fetch whose responder died before replying.
+   The surviving replacement responder re-serves every entry: its own
+   diffs through the normal path, a dead creator's through
+   [lookup_diff_anywhere].  Charging all lookups at one coordinator is a
+   deliberate simplification — the real recovery would fan out, but the
+   total work is the same and the simulator keeps one reply message. *)
+let retry_diff_fetch t ~pid ~entries ~mb =
+  match lowest_live_other t pid with
+  | None -> note_fatal t ~pid "no live peer left to serve diffs"
+  | Some c ->
+    let n = List.length entries in
+    Transport.notify ~label:"diff-fetch" ~parts:n t.transport ~src:pid ~dst:c
+      ~bytes:(Wire.gathered_diff_request_bytes n)
+      ~deliver:(fun h ->
+        let missing = ref None in
+        let replies =
+          List.filter_map
+            (fun (page, proc, interval_id) ->
+              h_charge h Category.Tmk_other Cpu.diff_lookup_per_entry;
+              let diff =
+                if not t.dead.(proc) then
+                  match
+                    Node.find_diff t.nodes.(proc) ~proc ~interval_id ~page
+                      ~charge:(h_charge h)
+                  with
+                  | d -> Some d
+                  | exception (Not_found | Invalid_argument _) ->
+                    lookup_diff_anywhere t ~proc ~interval_id ~page
+                else lookup_diff_anywhere t ~proc ~interval_id ~page
+              in
+              match diff with
+              | Some d -> Some (page, proc, interval_id, d)
+              | None ->
+                if !missing = None then missing := Some (page, proc, interval_id);
+                None)
+            entries
+        in
+        match !missing with
+        | Some (page, proc, interval_id) ->
+          note_fatal t ~pid
+            (Printf.sprintf "diff (proc %d, interval %d, page %d) died with the crash" proc
+               interval_id page)
+        | None ->
+          let sizes = List.map (fun (_, _, _, d) -> Rle.encoded_size d) replies in
+          Transport.hsend_value ~label:"diff-fetch-reply" ~parts:(List.length replies)
+            t.transport h ~dst:pid
+            ~bytes:(Wire.gathered_diff_reply_bytes sizes)
+            mb replies)
 
 (* §3.5 responder assignment for one page: the newest lacking notice per
    processor is a head; undominated heads are the minimal responder set,
@@ -355,6 +608,25 @@ let fetch_and_apply_diffs t pid page missing =
         let entries = List.rev rev_entries in
         let n = List.length entries in
         app_charge Category.Tmk_other Cpu.page_request_build;
+        if t.dead.(r) then begin
+          (* The planned responder died before this fetch was issued —
+             its write notices still dominate, so the assignment keeps
+             naming it.  Route the entries through a live coordinator
+             (surviving notice records, then the diff-backup mirrors)
+             instead of timing out against a silent peer: suspicion for
+             an already-dead processor is ignored, so nothing else
+             would ever complete this fetch. *)
+          let mb = Transport.mailbox () in
+          (match lowest_live_other t pid with
+          | Some c ->
+            register_pending t ~pid ~target:c
+              ~settled:(fun () -> Transport.mailbox_filled mb)
+              ~retry:(fun () -> retry_diff_fetch t ~pid ~entries ~mb)
+          | None -> ());
+          retry_diff_fetch t ~pid ~entries ~mb;
+          (entries, mb) :: acc
+        end
+        else begin
         if Engine.tracing t.engine then begin
           (* one Diff_fetch per (responder, page) group of the request *)
           let by_page = Hashtbl.create 4 in
@@ -369,6 +641,9 @@ let fetch_and_apply_diffs t pid page missing =
             by_page
         end;
         let mb = Transport.mailbox () in
+        register_pending t ~pid ~target:r
+          ~settled:(fun () -> Transport.mailbox_filled mb)
+          ~retry:(fun () -> retry_diff_fetch t ~pid ~entries ~mb);
         Transport.send ~label:"diff-fetch" ~parts:n t.transport ~src:pid ~dst:r
           ~bytes:(Wire.gathered_diff_request_bytes n)
           ~deliver:(fun h ->
@@ -385,7 +660,8 @@ let fetch_and_apply_diffs t pid page missing =
             Transport.hsend_value ~label:"diff-fetch-reply"
               ~parts:(List.length replies) t.transport h ~dst:pid
               ~bytes:(Wire.gathered_diff_reply_bytes sizes) mb replies);
-        (entries, mb) :: acc)
+        (entries, mb) :: acc
+        end)
       assignments []
   in
   let receive (entries, promise) =
@@ -426,7 +702,7 @@ let fetch_and_apply_diffs t pid page missing =
    bursts bounded by their acknowledgements, so the wait is short. *)
 let fetch_base_erc t pid page =
   let node = t.nodes.(pid) in
-  let provider = choose_provider t.erc_dir.(page) ~self:pid in
+  let provider = choose_provider_lowest t t.erc_dir.(page) ~self:pid ~page in
   app_charge Category.Tmk_other Cpu.page_request_build;
   let mb = Transport.mailbox () in
   let rec serve h =
@@ -695,6 +971,11 @@ let attach_for t node ~receiver ~charge =
         end
         else None)
 
+(* Diff mirroring requires the diff to exist the moment its interval
+   closes (a lazily deferred diff would die with its creator), so
+   [Config.diff_backup] forces eager creation. *)
+let eager_diffs t = (not t.cfg.Config.lazy_diffs) || t.cfg.Config.diff_backup
+
 (* ------------------------------------------------------------------ *)
 (* Locks (§3.3)                                                        *)
 
@@ -703,7 +984,7 @@ let grant_payload t granter req ~charge =
   match t.cfg.Config.protocol with
   | Config.Lrc ->
     (* A new interval logically begins at the release-to-another-processor. *)
-    Node.close_interval ~eager_diffs:(not t.cfg.Config.lazy_diffs) node ~charge;
+    Node.close_interval ~eager_diffs:(eager_diffs t) node ~charge;
     let attach = attach_for t node ~receiver:req.lr_requester ~charge in
     let intervals = Node.intervals_since ?attach node req.lr_vt in
     charge Category.Unix_comm Cpu.lock_grant_kernel;
@@ -754,8 +1035,25 @@ let grant_from_app t granter req =
   Transport.send_value ~label:"lock-grant" ~parts:(interval_parts payload.g_intervals)
     t.transport ~src:granter ~dst:req.lr_requester ~bytes req.lr_mb payload
 
+(* A request is stale routing when it predates the current membership
+   epoch (recovery re-injected a fresh copy for every live waiter), when
+   its requester has died, or when its grant already went out. *)
+let stale_request t req =
+  req.lr_epoch < t.epoch
+  || t.dead.(req.lr_requester)
+  || Transport.mailbox_filled req.lr_mb
+
+(* Track the request a grant is in flight to: if the requester dies the
+   token dies with it and recovery regenerates it; if the granter dies
+   the already-sent grant still arrives (crash-stop drops only frames
+   sent after the crash). *)
+let note_grant_inflight t req =
+  if t.crashes_planned then Hashtbl.replace t.grant_target req.lr_lock req
+
 (* A lock request reaching the node at the end of the forwarding chain. *)
 let transfer_request t target req h =
+  if stale_request t req then ()
+  else begin
   let st = lock_state_of t target req.lr_lock in
   Log.debug (fun m ->
       m "[t=%d] lock %d transfer-request at %d from %d (held=%b cached=%b)"
@@ -769,12 +1067,16 @@ let transfer_request t target req h =
   end
   else begin
     st.cached <- false;
+    note_grant_inflight t req;
     grant_from_handler t target req h
   end
+  end
 
-(* The statically assigned manager: record the requester, forward to the
+(* The (effective) manager: record the requester, forward to the
    previous one (§3.3). *)
 let manager_handle t mgr req h =
+  if stale_request t req then ()
+  else begin
   let ms = mgr_state_of t mgr req.lr_lock in
   let target = ms.last_requester in
   assert (target <> req.lr_requester);
@@ -793,6 +1095,7 @@ let manager_handle t mgr req h =
     Transport.hsend ~label:"lock-forward" t.transport h ~dst:target
       ~bytes:(Wire.lock_request_bytes ~nprocs:t.cfg.Config.nprocs)
       ~deliver:(fun h2 -> transfer_request t target req h2)
+  end
   end
 
 let acquire t ~pid ~lock =
@@ -818,8 +1121,17 @@ let acquire t ~pid ~lock =
     app_charge Category.Unix_comm Cpu.lock_request_build_kernel;
     app_charge Category.Tmk_other Cpu.lock_request_build_dsm;
     let mb = Transport.mailbox () in
-    let req = { lr_lock = lock; lr_requester = pid; lr_vt = Vector_time.copy node.Node.vt; lr_mb = mb } in
-    let mgr = lock_manager t lock in
+    let req =
+      {
+        lr_lock = lock;
+        lr_requester = pid;
+        lr_vt = Vector_time.copy node.Node.vt;
+        lr_mb = mb;
+        lr_epoch = t.epoch;
+      }
+    in
+    if t.crashes_planned then Hashtbl.replace t.waiting_acquires.(pid) lock req;
+    let mgr = effective_lock_manager t lock in
     Transport.send ~label:"lock-request" t.transport ~src:pid ~dst:mgr
       ~bytes:(Wire.lock_request_bytes ~nprocs:t.cfg.Config.nprocs)
       ~deliver:(fun h -> manager_handle t mgr req h);
@@ -830,7 +1142,7 @@ let acquire t ~pid ~lock =
     (match t.cfg.Config.protocol with
     | Config.Lrc ->
       atomically (fun charge ->
-          Node.close_interval ~eager_diffs:(not t.cfg.Config.lazy_diffs) node ~charge;
+          Node.close_interval ~eager_diffs:(eager_diffs t) node ~charge;
           (* The piggybacked intervals are exactly the granter's knowledge
              not covered by our request timestamp, so incorporation alone
              realises the pairwise-maximum rule of §2.2; the timestamp
@@ -841,6 +1153,14 @@ let acquire t ~pid ~lock =
     | Config.Erc | Config.Sc -> app_charge Category.Tmk_consistency Cpu.incorporate_base);
     st.held <- true;
     st.cached <- true;
+    (* Deregister only after the token flags are set: recovery must never
+       observe a grant that is in neither the registry nor [st.cached]. *)
+    if t.crashes_planned then begin
+      Hashtbl.remove t.waiting_acquires.(pid) lock;
+      match Hashtbl.find_opt t.grant_target lock with
+      | Some r when r.lr_requester = pid -> Hashtbl.remove t.grant_target lock
+      | _ -> ()
+    end;
     if Engine.tracing t.engine then
       emit t ~pid (Tmk_trace.Event.Lock_acquired { lock; local = false });
     race_lock_acquired t ~pid ~lock
@@ -856,7 +1176,14 @@ let release t ~pid ~lock =
   race_lock_release t ~pid ~lock;
   if t.cfg.Config.protocol = Config.Erc then erc_flush t pid;
   st.held <- false;
-  match Queue.take_opt st.pending with
+  (* Skip waiters invalidated by a crash: stale epochs, dead requesters,
+     requests already granted elsewhere by recovery. *)
+  let rec next_waiter () =
+    match Queue.take_opt st.pending with
+    | Some req when stale_request t req -> next_waiter ()
+    | other -> other
+  in
+  match next_waiter () with
   | None ->
     (* token stays cached here *)
     if Engine.tracing t.engine then
@@ -869,13 +1196,15 @@ let release t ~pid ~lock =
       emit t ~pid
         (Tmk_trace.Event.Lock_release { lock; granted_to = Some req.lr_requester });
     st.cached <- false;
+    note_grant_inflight t req;
     grant_from_app t pid req;
     (* Any stragglers chase the token to its new holder. *)
     Queue.iter
       (fun r ->
-        Transport.send ~label:"lock-forward" t.transport ~src:pid ~dst:req.lr_requester
-          ~bytes:(Wire.lock_request_bytes ~nprocs:t.cfg.Config.nprocs)
-          ~deliver:(fun h -> transfer_request t req.lr_requester r h))
+        if not (stale_request t r) then
+          Transport.send ~label:"lock-forward" t.transport ~src:pid ~dst:req.lr_requester
+            ~bytes:(Wire.lock_request_bytes ~nprocs:t.cfg.Config.nprocs)
+            ~deliver:(fun h -> transfer_request t req.lr_requester r h))
       st.pending;
     Queue.clear st.pending
 
@@ -887,9 +1216,12 @@ let fresh_gc_state () =
 
 let gc_maybe_complete t =
   let gs = t.gc in
+  let live_clients =
+    List.length (List.filter (fun c -> not t.dead.(c.gc_pid)) gs.gs_clients)
+  in
   if
     gs.gs_manager_here
-    && List.length gs.gs_clients = t.cfg.Config.nprocs - 1
+    && live_clients >= live_count t - 1
     && not (Engine.Ivar.is_filled gs.gs_all_in)
   then Engine.fill t.engine gs.gs_all_in ~at:(Engine.now t.engine) ()
 
@@ -941,14 +1273,15 @@ let gc_phase t pid =
         Bitset.iter (fun page -> Bitset.add keepers.(page) who) bitmap
       in
       note_keeps pid keep;
-      List.iter (fun c -> note_keeps c.gc_pid c.gc_keep) clients;
+      List.iter (fun c -> if not t.dead.(c.gc_pid) then note_keeps c.gc_pid c.gc_keep) clients;
       let reply_bytes =
         t.cfg.Config.nprocs * Wire.gc_keep_bitmap_bytes ~npages
       in
       List.iter
         (fun c ->
-          Transport.send_value ~label:"gc-copysets" t.transport ~src:pid ~dst:c.gc_pid
-            ~bytes:reply_bytes c.gc_mb keepers)
+          if not t.dead.(c.gc_pid) then
+            Transport.send_value ~label:"gc-copysets" t.transport ~src:pid ~dst:c.gc_pid
+              ~bytes:reply_bytes c.gc_mb keepers)
         clients;
       keepers
     end
@@ -975,10 +1308,17 @@ let gc_phase t pid =
 (* ------------------------------------------------------------------ *)
 (* Barriers (§3.4)                                                     *)
 
+(* Completion counts live clients against the live membership: a dead
+   processor never arrives, and a client that arrived and then died is
+   kept (its intervals are already incorporated) but not counted or
+   released. *)
 let barrier_maybe_complete t bs ~at =
+  let live_clients =
+    List.length (List.filter (fun bc -> not t.dead.(bc.bc_pid)) bs.bs_clients)
+  in
   if
     bs.bs_manager_here
-    && List.length bs.bs_clients = t.cfg.Config.nprocs - 1
+    && live_clients >= live_count t - 1
     && not (Engine.Ivar.is_filled bs.bs_all_in)
   then Engine.fill t.engine bs.bs_all_in ~at ()
 
@@ -996,7 +1336,7 @@ let barrier t ~pid ~id =
   app_charge Category.Unix_comm Cpu.barrier_arrival_build_kernel;
   app_charge Category.Tmk_other Cpu.barrier_arrival_build_dsm;
   if lrc then atomically (fun charge ->
-      Node.close_interval ~eager_diffs:(not t.cfg.Config.lazy_diffs) node ~charge);
+      Node.close_interval ~eager_diffs:(eager_diffs t) node ~charge);
   let want_gc = lrc && node.Node.live_records > t.cfg.Config.gc_threshold in
   if t.cfg.Config.nprocs = 1 then begin
     if Engine.tracing t.engine then
@@ -1045,8 +1385,11 @@ let barrier t ~pid ~id =
         t.transport ~src:pid ~dst:bc.bc_pid ~bytes bc.bc_mb
         { br_intervals = intervals; br_vt = release_vt; br_gc = run_gc }
     in
-    (* Release in client order for determinism. *)
-    List.iter release_one (List.sort (fun a b -> compare a.bc_pid b.bc_pid) clients);
+    (* Release in client order for determinism; dead clients get none. *)
+    List.iter release_one
+      (List.sort
+         (fun a b -> compare a.bc_pid b.bc_pid)
+         (List.filter (fun bc -> not t.dead.(bc.bc_pid)) clients));
     if Engine.tracing t.engine then
       emit t ~pid (Tmk_trace.Event.Barrier_release { id; epoch });
     race_barrier_depart t ~pid ~id;
@@ -1099,6 +1442,297 @@ let barrier t ~pid ~id =
 let charge_compute _t ~pid:_ ns = app_charge Category.Computation (Vtime.ns ns)
 
 (* ------------------------------------------------------------------ *)
+(* Failure detection and recovery
+
+   Runs in timer/handler context (from a transport suspicion), so it
+   never calls [Engine.advance]: messages go out as context-free
+   notifications and deferred work is posted to handlers.  The simulator
+   rebuilds the metadata with global visibility — the real system's
+   recovery rounds are modelled by the death notices below, and the
+   recovery is treated as instantaneous at the detection time.           *)
+
+(* Drop the dead processor from every live node's copysets (and the ERC
+   directory, for completeness; crashes are Lrc-only). *)
+let prune_copysets t dead_pid =
+  Array.iteri
+    (fun pid node ->
+      if not t.dead.(pid) then
+        Array.iter (fun entry -> Bitset.remove entry.Node.pg_copyset dead_pid) node.Node.pages)
+    t.nodes;
+  Array.iter (fun dir -> Bitset.remove dir dead_pid) t.erc_dir
+
+(* Rebuild one lock's metadata.  The token is located with global
+   visibility: a live casher keeps it; a grant in flight to a live
+   requester is left to land; otherwise it died with the crash and is
+   regenerated at the effective manager.  Every live waiter whose grant
+   can no longer reach it is re-injected (fresh epoch) into the owner's
+   queue in pid order; stale in-flight routing is dropped by
+   [stale_request]. *)
+let recover_lock t lock =
+  let n = t.cfg.Config.nprocs in
+  let waiters = ref [] in
+  for p = n - 1 downto 0 do
+    (match Hashtbl.find_opt t.lock_states.(p) lock with
+    | Some st -> Queue.clear st.pending
+    | None -> ());
+    if not t.dead.(p) then
+      match Hashtbl.find_opt t.waiting_acquires.(p) lock with
+      | Some req when not (Transport.mailbox_filled req.lr_mb) -> waiters := req :: !waiters
+      | _ -> ()
+  done;
+  let cached_at = ref None in
+  for p = n - 1 downto 0 do
+    if not t.dead.(p) then
+      match Hashtbl.find_opt t.lock_states.(p) lock with
+      | Some st when st.cached -> cached_at := Some p
+      | _ -> ()
+  done;
+  let in_flight_to =
+    match Hashtbl.find_opt t.grant_target lock with
+    | Some req when not t.dead.(req.lr_requester) -> Some req.lr_requester
+    | _ -> None
+  in
+  let owner, regenerated =
+    match (!cached_at, in_flight_to) with
+    | Some p, _ -> (p, false)
+    | None, Some r -> (r, false)
+    | None, None -> (effective_lock_manager t lock, true)
+  in
+  let owner_st =
+    match Hashtbl.find_opt t.lock_states.(owner) lock with
+    | Some st -> st
+    | None ->
+      let st = { held = false; cached = false; pending = Queue.create () } in
+      Hashtbl.add t.lock_states.(owner) lock st;
+      st
+  in
+  if regenerated then owner_st.cached <- true;
+  let waiters =
+    List.filter
+      (fun req -> req.lr_requester <> owner || regenerated)
+      (List.sort (fun a b -> compare a.lr_requester b.lr_requester) !waiters)
+  in
+  List.iter
+    (fun old ->
+      let fresh = { old with lr_epoch = t.epoch } in
+      Hashtbl.replace t.waiting_acquires.(old.lr_requester) lock fresh;
+      Queue.add fresh owner_st.pending)
+    waiters;
+  (* Re-home the forwarding chain at the effective manager: the next new
+     request chases the tail of the rebuilt queue. *)
+  let ms = mgr_state_of t (effective_lock_manager t lock) lock in
+  (match List.rev waiters with
+  | last :: _ -> ms.last_requester <- last.lr_requester
+  | [] -> ms.last_requester <- owner);
+  (* A free token (regenerated, or parked at a live casher) with waiters
+     starts moving immediately; a grant in flight drains its queue when
+     the new holder releases.  As at release time, the stragglers chase
+     the token to its new holder — leaving them queued at [owner], which
+     no longer has the token, would strand them forever. *)
+  if owner_st.cached && (not owner_st.held) && not (Queue.is_empty owner_st.pending) then begin
+    match Queue.take_opt owner_st.pending with
+    | Some req ->
+      owner_st.cached <- false;
+      note_grant_inflight t req;
+      Engine.post_handler t.engine ~pid:owner ~at:(Engine.now t.engine) (fun h ->
+          grant_from_handler t owner req h);
+      Queue.iter
+        (fun r ->
+          if not (stale_request t r) then
+            Transport.notify ~label:"lock-forward" t.transport ~src:owner
+              ~dst:req.lr_requester
+              ~bytes:(Wire.lock_request_bytes ~nprocs:t.cfg.Config.nprocs)
+              ~deliver:(fun h -> transfer_request t req.lr_requester r h))
+        owner_st.pending;
+      Queue.clear owner_st.pending
+    | None -> ()
+  end
+
+let recover_locks t =
+  let known = Hashtbl.create 16 in
+  let note l _ = if not (Hashtbl.mem known l) then Hashtbl.add known l () in
+  Array.iter (fun tbl -> Hashtbl.iter note tbl) t.lock_states;
+  Array.iter (fun tbl -> Hashtbl.iter note tbl) t.lock_mgrs;
+  Array.iter (fun tbl -> Hashtbl.iter note tbl) t.waiting_acquires;
+  let locks = List.sort compare (Hashtbl.fold (fun l () acc -> l :: acc) known []) in
+  List.iter (recover_lock t) locks;
+  List.length locks
+
+(* Re-issue every registered in-flight operation that was waiting on the
+   dead processor, in deterministic (pid, registration) order. *)
+let retry_pending_ops t dead_pid =
+  let pending = List.filter (fun op -> not (op.po_settled ())) t.pending_ops in
+  let hit, rest = List.partition (fun op -> op.po_target = dead_pid) pending in
+  t.pending_ops <- rest;
+  let hit = List.sort (fun a b -> compare (a.po_pid, a.po_seq) (b.po_pid, b.po_seq)) hit in
+  List.iter (fun op -> op.po_retry ()) hit;
+  List.length hit
+
+(* Metadata failover, run once per detected death. *)
+let note_death t dead_pid =
+  if not t.dead.(dead_pid) then begin
+    t.dead.(dead_pid) <- true;
+    t.epoch <- t.epoch + 1;
+    let detected_at = Engine.now t.engine in
+    let crash_at =
+      Option.value ~default:detected_at (Engine.crash_time t.engine dead_pid)
+    in
+    if Engine.tracing t.engine then
+      Engine.emit t.engine ~pid:dead_pid
+        (Tmk_trace.Event.Failover { dead = dead_pid; epoch = t.epoch });
+    Log.debug (fun m ->
+        m "[t=%d] processor %d declared dead (epoch %d)" (Engine.now t.engine) dead_pid
+          t.epoch);
+    if dead_pid = barrier_manager then
+      (* Processor 0 is the barrier/GC manager and the initial copyset of
+         every page: its state is not recoverable. *)
+      note_fatal t ~pid:dead_pid "barrier manager (processor 0) crashed"
+    else begin
+      (* Death notices: every live peer learns the new epoch (the
+         simulator applies the membership change with global visibility;
+         the notices model the traffic). *)
+      let monitor = barrier_manager in
+      for q = 0 to t.cfg.Config.nprocs - 1 do
+        if q <> monitor && not t.dead.(q) then
+          Transport.notify ~label:"death-notice" t.transport ~src:monitor ~dst:q
+            ~bytes:Wire.death_notice_bytes
+            ~deliver:(fun h -> h_charge h Category.Tmk_other Cpu.lock_forward)
+      done;
+      prune_copysets t dead_pid;
+      let locks = recover_locks t in
+      let retries = retry_pending_ops t dead_pid in
+      (* Barriers and GC whose completion was gated on the dead client. *)
+      Hashtbl.iter
+        (fun _id bs -> barrier_maybe_complete t bs ~at:(Engine.now t.engine))
+        t.barrier_states;
+      gc_maybe_complete t;
+      if Engine.tracing t.engine then
+        Engine.emit t.engine ~pid:barrier_manager
+          (Tmk_trace.Event.Recovery_done { dead = dead_pid; locks; retries });
+      t.recoveries <-
+        {
+          rc_pid = dead_pid;
+          rc_epoch = t.epoch;
+          rc_crash_at = crash_at;
+          rc_detected_at = detected_at;
+          rc_locks_rehomed = locks;
+          rc_retries = retries;
+        }
+        :: t.recoveries
+    end
+  end
+
+(* Transport suspicion: a crashed peer triggers failover; a peer that is
+   merely unreachable (fault-plan partition) stops the run cleanly, as
+   recovery from a false positive is out of scope. *)
+let on_suspicion t ~src ~dst ~label:_ ~attempts =
+  if not t.dead.(dst) then begin
+    if Engine.crashed t.engine dst then note_death t dst
+    else
+      Engine.request_stop t.engine
+        (Printf.sprintf "peer %d unreachable (from %d after %d attempts)" dst src attempts)
+  end
+
+(* Failure detector: while a crash plan is armed, the lowest functioning
+   processor probes every live peer on a short period with a small retry
+   budget; budget exhaustion raises the suspicion that drives
+   [note_death].  The monitor is recomputed every tick so that the crash of
+   the monitor itself (processor 0, usually) leaves a successor probing —
+   otherwise its death would go undetected with everyone parked on
+   ivars.  Probing stops once every live processor has finished so the
+   heartbeat never delays quiescence. *)
+let heartbeat_period = Vtime.us 25_000
+let heartbeat_budget = 4
+
+(* Recovery restores protocol metadata, but it cannot restore
+   application state the dead processor alone held — a task it popped
+   from a shared work queue and never completed, say.  Survivors then
+   poll forever, and because the heartbeat itself keeps the event queue
+   non-empty the simulation would never end.  So once every planned
+   crash is resolved, survivors owe completion within a grace window:
+   generous (30 simulated seconds, or [crash_grace_factor] times the
+   crash instant for long runs, whichever is larger) so no recovering
+   run is cut short, but finite, turning application-level livelock
+   into the typed degradation. *)
+let crash_grace = Vtime.s 30
+let crash_grace_factor = 10
+
+let arm_heartbeat t =
+  let monitor () =
+    let m = ref None in
+    for p = t.cfg.Config.nprocs - 1 downto 0 do
+      if (not t.dead.(p)) && not (Engine.crashed t.engine p) then m := Some p
+    done;
+    !m
+  in
+  let unfinished_live () =
+    let alive = ref false in
+    for p = 0 to t.cfg.Config.nprocs - 1 do
+      if (not t.dead.(p)) && not (Engine.finished t.engine p) then alive := true
+    done;
+    !alive
+  in
+  (* A planned crash is resolved once its victim is dead (detected and
+     recovered) or finished before the crash instant ever arrived. *)
+  let all_crashes_resolved () =
+    List.for_all
+      (fun { Tmk_net.Fault_plan.cr_pid; _ } ->
+        t.dead.(cr_pid) || Engine.finished t.engine cr_pid)
+      (Tmk_net.Fault_plan.crashes t.cfg.Config.faults)
+  in
+  let grace_deadline () =
+    List.fold_left
+      (fun acc rc ->
+        let allowance =
+          Vtime.max crash_grace (Vtime.scale rc.rc_crash_at crash_grace_factor)
+        in
+        Vtime.max acc (Vtime.add rc.rc_detected_at allowance))
+      Vtime.zero t.recoveries
+  in
+  let probe () =
+    match monitor () with
+    | None -> ()
+    | Some monitor ->
+      for q = 0 to t.cfg.Config.nprocs - 1 do
+        if q <> monitor && (not t.dead.(q)) && not (Engine.finished t.engine q) then
+          Transport.notify ~label:"hb" ~retry_budget:heartbeat_budget t.transport
+            ~src:monitor ~dst:q ~bytes:Wire.heartbeat_bytes
+            ~deliver:(fun _h -> ())
+      done
+  in
+  let rec tick at =
+    Engine.schedule t.engine ~at (fun () ->
+        if Engine.stop_reason t.engine = None && unfinished_live () then
+          if not (all_crashes_resolved ()) then begin
+            probe ();
+            tick (Vtime.add at heartbeat_period)
+          end
+          else
+            match t.recoveries with
+            | [] ->
+              (* Every victim finished before its crash instant: nothing
+                 to detect or to count down.  Stand down so a genuine
+                 application deadlock still surfaces as one. *)
+              ()
+            | rc :: _ ->
+              if Engine.now t.engine > grace_deadline () then
+                (* The protocol recovered long ago; the survivors are
+                   stuck on application state only the dead processor
+                   could produce.  Give them the typed ending, not an
+                   endless simulation. *)
+                note_fatal t ~pid:rc.rc_pid
+                  (Printf.sprintf
+                     "survivors still incomplete %.0f s after recovery: \
+                      application state lost in the crash of processor %d \
+                      cannot be reproduced"
+                     (Vtime.to_s
+                        (Vtime.sub (Engine.now t.engine) rc.rc_detected_at))
+                     rc.rc_pid)
+              else tick (Vtime.add at heartbeat_period))
+  in
+  tick heartbeat_period
+
+(* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
 
 let create cfg =
@@ -1127,6 +1761,7 @@ let create cfg =
         Bitset.add b 0;
         b)
   in
+  let planned_crashes = Tmk_net.Fault_plan.crashes cfg.Config.faults in
   let t =
     {
       cfg;
@@ -1141,6 +1776,15 @@ let create cfg =
       erc_pending = Array.init cfg.Config.nprocs (fun _ -> Hashtbl.create 4);
       erc_inflight = Array.make cfg.Config.pages 0;
       sc = None;
+      crashes_planned = planned_crashes <> [];
+      dead = Array.make cfg.Config.nprocs false;
+      epoch = 0;
+      waiting_acquires = Array.init cfg.Config.nprocs (fun _ -> Hashtbl.create 4);
+      grant_target = Hashtbl.create 16;
+      pending_ops = [];
+      next_op = 0;
+      recoveries = [];
+      fatal = None;
     }
   in
   (if cfg.Config.protocol = Config.Sc then
@@ -1160,4 +1804,40 @@ let create cfg =
             Tmk_check.Race.note_access race ~pid kind ~addr ~width))
       nodes
   | None -> ());
+  (* Suspicions from retry-budget exhaustion drive failure handling. *)
+  Transport.on_suspect transport (fun ~src ~dst ~label ~attempts ->
+      on_suspicion t ~src ~dst ~label ~attempts);
+  (* Diff replication: mirror each locally created diff to its creator's
+     deterministic backup peer the moment it exists. *)
+  if cfg.Config.diff_backup then
+    Array.iter
+      (fun node ->
+        Node.set_diff_hook node (fun ~page ~proc ~interval ~diff ->
+            match backup_peer t proc with
+            | None -> ()
+            | Some b ->
+              let bytes = Wire.diff_backup_bytes (Rle.encoded_size diff) in
+              node.Node.stats.Stats.diff_backups <- node.Node.stats.Stats.diff_backups + 1;
+              node.Node.stats.Stats.diff_backup_bytes <-
+                node.Node.stats.Stats.diff_backup_bytes + bytes;
+              if Engine.tracing engine then
+                Engine.emit engine ~pid:proc
+                  (Tmk_trace.Event.Diff_backup { page; proc; interval; bytes; to_ = b });
+              Transport.notify ~label:"diff-backup" t.transport ~src:proc ~dst:b ~bytes
+                ~deliver:(fun h ->
+                  h_charge h Category.Tmk_mem (Costs.diff_apply 0);
+                  Node.store_backup t.nodes.(b) ~proc ~interval_id:interval ~page diff)))
+      nodes;
+  (* Crash injection: silence the processor at its planned instant;
+     detection and failover run through the suspicion path. *)
+  List.iter
+    (fun { Tmk_net.Fault_plan.cr_pid; cr_at } ->
+      Engine.schedule engine ~at:cr_at (fun () ->
+          if not (Engine.finished engine cr_pid) then begin
+            if Engine.tracing engine then
+              Engine.emit engine ~pid:cr_pid Tmk_trace.Event.Proc_crash;
+            Engine.mark_crashed engine cr_pid
+          end))
+    planned_crashes;
+  if t.crashes_planned then arm_heartbeat t;
   t

@@ -36,11 +36,41 @@
     Under ERC (§5.1), release and barrier arrival instead create diffs of
     every dirty page eagerly and push them as updates to every cacher,
     blocking until all are acknowledged; locks and barriers carry no
-    consistency payload and pages are never invalidated. *)
+    consistency payload and pages are never invalidated.
+
+    {b Failure model (crash-stop, LRC only).}  A processor named in the
+    fault plan's crash schedule goes silent at its planned instant.
+    Detection runs through the transport's suspicion mechanism (organic
+    retransmission exhaustion, plus heartbeat probes from processor 0
+    while a crash plan is armed).  On detection the membership epoch is
+    bumped and metadata fails over deterministically: lock managership
+    migrates to the next live processor in cyclic pid order, lost lock
+    tokens are regenerated, live waiters are re-injected in pid order,
+    in-flight page/diff fetches are re-issued against live peers,
+    copysets are pruned, and barrier/GC completion re-counts against the
+    live membership.  A run that would need state only the dead
+    processor held (processor 0's initial pages, a diff that was never
+    mirrored) records a fatality — surfaced by [Api.run] as [Degraded]
+    — and stops cleanly. *)
 
 open Tmk_sim
 
 type t
+
+(** Raised when a page fetch finds no live processor in the page's
+    copyset (every copy died with a crash).  Application-context fetches
+    convert it into a fatality rather than letting it escape. *)
+exception Empty_copyset of { pid : int; page : int }
+
+(** One completed metadata failover. *)
+type recovery = {
+  rc_pid : int;  (** the dead processor *)
+  rc_epoch : int;  (** membership epoch after the death *)
+  rc_crash_at : Vtime.t;  (** when the processor went silent *)
+  rc_detected_at : Vtime.t;  (** when suspicion declared it dead *)
+  rc_locks_rehomed : int;  (** locks whose metadata was rebuilt *)
+  rc_retries : int;  (** in-flight operations re-issued *)
+}
 
 (** [create config] builds the cluster (engine, transport, nodes, fault
     wiring).  Application processes are spawned by the caller via
@@ -69,3 +99,17 @@ val barrier : t -> pid:int -> id:int -> unit
 (** [charge_compute t ~pid ns] — account [ns] nanoseconds of application
     computation on [pid] (application context). *)
 val charge_compute : t -> pid:int -> int -> unit
+
+(** [live t pid] — whether [pid] has {e not} been declared dead.  (A
+    crashed-but-undetected processor is still "live" here.) *)
+val live : t -> int -> bool
+
+(** [epoch t] — the current membership epoch (0 with no deaths). *)
+val epoch : t -> int
+
+(** [recoveries t] — completed failovers, oldest first. *)
+val recoveries : t -> recovery list
+
+(** [fatality t] — set when the run degraded: the processor whose loss
+    caused it, and why.  {!Api.run} turns this into [Api.Degraded]. *)
+val fatality : t -> (int * string) option

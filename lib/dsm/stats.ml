@@ -17,6 +17,8 @@ type t = {
   mutable diff_cache_hits : int;
   mutable diff_cache_misses : int;
   mutable diff_prefetch_entries : int;
+  mutable diff_backups : int;
+  mutable diff_backup_bytes : int;
 }
 
 let create () =
@@ -39,6 +41,8 @@ let create () =
     diff_cache_hits = 0;
     diff_cache_misses = 0;
     diff_prefetch_entries = 0;
+    diff_backups = 0;
+    diff_backup_bytes = 0;
   }
 
 let add ~into t =
@@ -59,14 +63,17 @@ let add ~into t =
   into.records_discarded <- into.records_discarded + t.records_discarded;
   into.diff_cache_hits <- into.diff_cache_hits + t.diff_cache_hits;
   into.diff_cache_misses <- into.diff_cache_misses + t.diff_cache_misses;
-  into.diff_prefetch_entries <- into.diff_prefetch_entries + t.diff_prefetch_entries
+  into.diff_prefetch_entries <- into.diff_prefetch_entries + t.diff_prefetch_entries;
+  into.diff_backups <- into.diff_backups + t.diff_backups;
+  into.diff_backup_bytes <- into.diff_backup_bytes + t.diff_backup_bytes
 
 let pp ppf t =
   Format.fprintf ppf
     "locks=%d (remote %d) barriers=%d faults=r%d/w%d misses=%d twins=%d diffs=c%d/a%d \
      diff-bytes=%d notices-in=%d intervals-in=%d pages=%d gc=%d discarded=%d \
-     diff-cache=h%d/m%d prefetched=%d"
+     diff-cache=h%d/m%d prefetched=%d backups=%d/%dB"
     t.lock_acquires t.lock_remote t.barriers t.read_faults t.write_faults t.remote_misses
     t.twins_created t.diffs_created t.diffs_applied t.diff_bytes_created
     t.write_notices_in t.intervals_in t.page_fetches t.gc_runs t.records_discarded
-    t.diff_cache_hits t.diff_cache_misses t.diff_prefetch_entries
+    t.diff_cache_hits t.diff_cache_misses t.diff_prefetch_entries t.diff_backups
+    t.diff_backup_bytes

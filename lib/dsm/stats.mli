@@ -31,6 +31,10 @@ type t = {
   mutable diff_prefetch_entries : int;
       (** diff entries gathered onto another page's request to the same
           responder — multi-page request aggregation (batched mode only) *)
+  mutable diff_backups : int;
+      (** diffs mirrored to a backup peer at creation
+          ({!Config.diff_backup} mode only) *)
+  mutable diff_backup_bytes : int;  (** payload bytes of those mirrors *)
 }
 
 val create : unit -> t

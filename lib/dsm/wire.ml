@@ -34,3 +34,10 @@ let erc_update_bytes encoded_size = (2 * id_bytes) + encoded_size
 let ack_bytes = id_bytes
 
 let gc_keep_bitmap_bytes ~npages = id_bytes + ((npages + 7) / 8)
+
+(* Failure machinery: a heartbeat probe is an empty frame plus ids; a
+   death notice names the dead processor and the new epoch; a diff mirror
+   carries one (proc, interval, page) key plus the encoded diff. *)
+let heartbeat_bytes = 2 * id_bytes
+let death_notice_bytes = 2 * id_bytes
+let diff_backup_bytes encoded_size = (3 * id_bytes) + encoded_size

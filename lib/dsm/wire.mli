@@ -67,3 +67,13 @@ val ack_bytes : int
 (** [gc_keep_bitmap_bytes ~npages] — the pages-kept bitmap exchanged
     during garbage collection. *)
 val gc_keep_bitmap_bytes : npages:int -> int
+
+(** [heartbeat_bytes] — one failure-detector probe (ids only). *)
+val heartbeat_bytes : int
+
+(** [death_notice_bytes] — dead processor id plus the new epoch. *)
+val death_notice_bytes : int
+
+(** [diff_backup_bytes encoded_size] — one mirrored diff: its
+    (processor, interval index, page) key plus the runlength encoding. *)
+val diff_backup_bytes : int -> int

@@ -3,9 +3,9 @@ open Tmk_dsm
 module Tablefmt = Tmk_util.Tablefmt
 module Params = Tmk_net.Params
 
-type id = E1 | E2 | E3 | E4 | E5 | E6 | E7 | E8 | E9 | E10 | E11
+type id = E1 | E2 | E3 | E4 | E5 | E6 | E7 | E8 | E9 | E10 | E11 | E12
 
-let all = [ E1; E2; E3; E4; E5; E6; E7; E8; E9; E10; E11 ]
+let all = [ E1; E2; E3; E4; E5; E6; E7; E8; E9; E10; E11; E12 ]
 
 let id_name = function
   | E1 -> "e1"
@@ -19,6 +19,7 @@ let id_name = function
   | E9 -> "e9"
   | E10 -> "e10"
   | E11 -> "e11"
+  | E12 -> "e12"
 
 let id_of_name s =
   match String.lowercase_ascii s with
@@ -33,6 +34,7 @@ let id_of_name s =
   | "e9" -> E9
   | "e10" -> E10
   | "e11" -> E11
+  | "e12" -> E12
   | other -> invalid_arg (Printf.sprintf "Experiments.id_of_name: unknown experiment %S" other)
 
 let describe = function
@@ -47,6 +49,7 @@ let describe = function
   | E9 -> "speedups on the 10 Mbps Ethernet (abstract)"
   | E10 -> "robustness sweep: all applications under 0-20% frame loss (section 3.7)"
   | E11 -> "scaling study, 2-64 processors, batched vs unbatched consistency traffic"
+  | E12 -> "crash survival: recovery latency and diff replication cost, 8 processors"
 
 let atm = Params.atm_aal34
 
@@ -633,6 +636,192 @@ let e11 () =
           json_file;
       ])
 
+(* ------------------------------------------------------------------ *)
+(* E12: crash survival, recovery latency, diff replication cost        *)
+
+let e12_nprocs = 8
+let e12_crash_pid = 4
+
+(* One arm of the E12 matrix.  [Harness.run_checked] raises [Degraded]
+   when the survivors needed state only the dead processor held; the arm
+   records that outcome instead of aborting the experiment. *)
+type e12_outcome =
+  | E12_ok of Harness.metrics * string  (* metrics, result digest *)
+  | E12_degraded of int * string  (* pid whose loss caused it, reason *)
+
+let e12_arm ~app ~crash_at ~backup =
+  let cfg = Harness.config ~app ~nprocs:e12_nprocs ~protocol:Config.Lrc ~net:atm in
+  let cfg = { cfg with Config.diff_backup = backup } in
+  let cfg =
+    match crash_at with
+    | None -> cfg
+    | Some at ->
+      { cfg with
+        Config.faults =
+          Tmk_net.Fault_plan.with_crash Tmk_net.Fault_plan.none ~pid:e12_crash_pid ~at }
+  in
+  match Harness.run_checked ~app cfg with
+  | m, digest -> E12_ok (m, digest)
+  | exception Api.Degraded { pid; reason } -> E12_degraded (pid, reason)
+
+let e12_json ~file data =
+  let b = Buffer.create 8192 in
+  let recovery_json (r : Protocol.recovery) =
+    Printf.sprintf
+      "{\"pid\":%d,\"epoch\":%d,\"crash_at_us\":%.0f,\"detected_at_us\":%.0f,\
+       \"latency_us\":%.0f,\"locks_rehomed\":%d,\"refetches\":%d}"
+      r.Protocol.rc_pid r.Protocol.rc_epoch
+      (Vtime.to_us r.Protocol.rc_crash_at)
+      (Vtime.to_us r.Protocol.rc_detected_at)
+      (Vtime.to_us (Vtime.sub r.Protocol.rc_detected_at r.Protocol.rc_crash_at))
+      r.Protocol.rc_locks_rehomed r.Protocol.rc_retries
+  in
+  let arm_json ~crash ~backup outcome =
+    match outcome with
+    | E12_degraded (pid, reason) ->
+      Printf.sprintf "{\"crash\":%b,\"backup\":%b,\"survived\":false,\"degraded_pid\":%d,\
+                      \"reason\":%S}"
+        crash backup pid reason
+    | E12_ok (m, digest) ->
+      let s = m.Harness.m_raw.Api.total_stats in
+      Printf.sprintf
+        "{\"crash\":%b,\"backup\":%b,\"survived\":true,\"time_s\":%.6f,\"messages\":%d,\
+         \"bytes\":%d,\"diff_backups\":%d,\"diff_backup_bytes\":%d,\"digest\":%S,\
+         \"recoveries\":[%s]}"
+        crash backup m.Harness.m_time_s m.Harness.m_raw.Api.messages
+        m.Harness.m_raw.Api.bytes s.Stats.diff_backups s.Stats.diff_backup_bytes digest
+        (String.concat "," (List.map recovery_json m.Harness.m_raw.Api.recoveries))
+  in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"experiment\":\"E12\",\"protocol\":\"lrc\",\"network\":\"atm-aal34\",\
+        \"nprocs\":%d,\"crash_pid\":%d,\"apps\":["
+       e12_nprocs e12_crash_pid);
+  List.iteri
+    (fun i (app, crash_at, arms) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"app\":%S,\"crash_at_us\":%.0f,\"arms\":[" (Harness.app_name app)
+           (Vtime.to_us crash_at));
+      List.iteri
+        (fun j ((crash, backup), outcome) ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (arm_json ~crash ~backup outcome))
+        arms;
+      Buffer.add_string b "]}")
+    data;
+  Buffer.add_string b "]}\n";
+  let oc = open_out file in
+  Buffer.output_buffer oc b;
+  close_out oc
+
+let e12 () =
+  let data =
+    List.map
+      (fun app ->
+        (* Crash processor 4 halfway through the crash-free run. *)
+        let base = e12_arm ~app ~crash_at:None ~backup:false in
+        let base_time =
+          match base with
+          | E12_ok (m, _) -> m.Harness.m_time_s
+          | E12_degraded _ -> assert false (* no crash plan: cannot degrade *)
+        in
+        let crash_at = Vtime.us (int_of_float (base_time *. 1e6 /. 2.0)) in
+        let arms =
+          [ ((false, false), base);
+            ((false, true), e12_arm ~app ~crash_at:None ~backup:true);
+            ((true, false), e12_arm ~app ~crash_at:(Some crash_at) ~backup:false);
+            ((true, true), e12_arm ~app ~crash_at:(Some crash_at) ~backup:true) ]
+        in
+        (app, crash_at, arms))
+      Harness.all_apps
+  in
+  let json_file = "BENCH_5.json" in
+  e12_json ~file:json_file data;
+  let arm_name (crash, backup) =
+    (if crash then "crash" else "no crash") ^ (if backup then " +backup" else "")
+  in
+  let rows =
+    List.concat_map
+      (fun (app, crash_at, arms) ->
+        List.map
+          (fun (arm, outcome) ->
+            let when_ = if fst arm then Printf.sprintf "%.0f" (Vtime.to_us crash_at) else "-" in
+            match outcome with
+            | E12_degraded (pid, reason) ->
+              [ Harness.app_name app; arm_name arm; when_;
+                Printf.sprintf "degraded (p%d: %s)" pid reason; "-"; "-"; "-" ]
+            | E12_ok (m, _) ->
+              let latency, rehomed, refetches =
+                match m.Harness.m_raw.Api.recoveries with
+                | [] -> ("-", "-", "-")
+                | rs ->
+                  ( String.concat "+"
+                      (List.map
+                         (fun r ->
+                           f0
+                             (Vtime.to_us
+                                (Vtime.sub r.Protocol.rc_detected_at r.Protocol.rc_crash_at)))
+                         rs),
+                    string_of_int
+                      (List.fold_left (fun a r -> a + r.Protocol.rc_locks_rehomed) 0 rs),
+                    string_of_int (List.fold_left (fun a r -> a + r.Protocol.rc_retries) 0 rs) )
+              in
+              [ Harness.app_name app; arm_name arm; when_; "completed " ^ f2 m.Harness.m_time_s ^ "s";
+                latency; rehomed; refetches ])
+          arms)
+      data
+  in
+  let table =
+    Tablefmt.render
+      ~title:
+        (Printf.sprintf
+           "E12. Crash survival: LRC, %d processors, ATM; processor %d dies halfway\n\
+            (failure detection by heartbeat + retransmission exhaustion; lock managership\n\
+            migrates to the next live processor; +backup mirrors each diff to one peer)"
+           e12_nprocs e12_crash_pid)
+      ~header:[ "app"; "arm"; "crash us"; "outcome"; "detect us"; "locks rehomed"; "refetches" ]
+      rows
+  in
+  (* Replication cost: what the diff mirroring adds to a crash-free run. *)
+  let overhead =
+    Tablefmt.render ~title:"Diff replication overhead (no-crash runs, +backup vs plain)"
+      ~header:[ "app"; "mirrored diffs"; "mirror KB"; "msgs +%"; "bytes +%"; "time +%" ]
+      (List.filter_map
+         (fun (app, _, arms) ->
+           match (List.assoc (false, false) arms, List.assoc (false, true) arms) with
+           | E12_ok (plain, _), E12_ok (backed, _) ->
+             let s = backed.Harness.m_raw.Api.total_stats in
+             let pct f g = Printf.sprintf "%+.1f%%" (100.0 *. ((f /. g) -. 1.0)) in
+             Some
+               [ Harness.app_name app;
+                 string_of_int s.Stats.diff_backups;
+                 string_of_int (s.Stats.diff_backup_bytes / 1024);
+                 pct
+                   (float_of_int backed.Harness.m_raw.Api.messages)
+                   (float_of_int plain.Harness.m_raw.Api.messages);
+                 pct
+                   (float_of_int backed.Harness.m_raw.Api.bytes)
+                   (float_of_int plain.Harness.m_raw.Api.bytes);
+                 pct backed.Harness.m_time_s plain.Harness.m_time_s ]
+           | _ -> None)
+         data)
+  in
+  let survived_crashes =
+    List.concat_map
+      (fun (_, _, arms) ->
+        List.filter_map
+          (fun ((crash, _), o) ->
+            if crash then Some (match o with E12_ok _ -> true | E12_degraded _ -> false)
+            else None)
+          arms)
+      data
+  in
+  let n_ok = List.length (List.filter Fun.id survived_crashes) in
+  table ^ "\n" ^ overhead
+  ^ Printf.sprintf "\ncrash arms survived: %d/%d (raw measurements written to %s)\n" n_ok
+      (List.length survived_crashes) json_file
+
 let run = function
   | E1 -> e1 ()
   | E2 -> e2 ()
@@ -645,6 +834,7 @@ let run = function
   | E9 -> e9 ()
   | E10 -> e10 ()
   | E11 -> e11 ()
+  | E12 -> e12 ()
 
 let run_all () =
   String.concat "\n"

@@ -27,6 +27,14 @@ type id =
           synchronization acquire, frames coalesced, and diff-cache
           effectiveness.  Also writes the raw measurements to
           [BENCH_3.json] in the working directory. *)
+  | E12
+      (** crash survival study: the five applications on 8 processors,
+          {no crash, processor 4 dies halfway} × {diff replication
+          off, on} — survival or typed degradation, failure-detection
+          latency, locks re-homed, in-flight fetches re-issued, and the
+          message/byte cost of mirroring each diff to a backup peer.
+          Also writes the raw measurements to [BENCH_5.json] in the
+          working directory. *)
 
 val all : id list
 
@@ -42,5 +50,5 @@ val describe : id -> string
 (** [run id] — execute the experiment and return its rendered report. *)
 val run : id -> string
 
-(** [run_all ()] — E1 through E11, concatenated. *)
+(** [run_all ()] — E1 through E12, concatenated. *)
 val run_all : unit -> string

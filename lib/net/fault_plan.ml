@@ -1,6 +1,7 @@
 open Tmk_sim
 
 type stall = { st_pid : int; st_start : Vtime.t; st_len : Vtime.t }
+type crash = { cr_pid : int; cr_at : Vtime.t }
 
 type t = {
   loss : float;
@@ -10,6 +11,7 @@ type t = {
   link_loss : ((int * int) * float) list;
   stalls : stall list;
   unreachable : int list;
+  crashes : crash list;
 }
 
 let none =
@@ -21,6 +23,7 @@ let none =
     link_loss = [];
     stalls = [];
     unreachable = [];
+    crashes = [];
   }
 
 let check_rate name r =
@@ -37,7 +40,15 @@ let validate t =
     (fun s ->
       if s.st_pid < 0 then invalid_arg "Fault_plan: negative stall pid";
       if s.st_len < Vtime.zero then invalid_arg "Fault_plan: negative stall length")
-    t.stalls
+    t.stalls;
+  List.iter
+    (fun c ->
+      if c.cr_pid < 0 then invalid_arg "Fault_plan: negative crash pid";
+      if c.cr_at < Vtime.zero then invalid_arg "Fault_plan: negative crash time")
+    t.crashes;
+  let pids = List.map (fun c -> c.cr_pid) t.crashes in
+  if List.length (List.sort_uniq compare pids) <> List.length pids then
+    invalid_arg "Fault_plan: a processor crashes at most once"
 
 let with_loss t rate =
   check_rate "loss" rate;
@@ -61,9 +72,22 @@ let with_stall t ~pid ~start ~len =
 
 let with_unreachable t pid = { t with unreachable = pid :: t.unreachable }
 
+let with_crash t ~pid ~at =
+  if List.exists (fun c -> c.cr_pid = pid) t.crashes then
+    invalid_arg (Printf.sprintf "Fault_plan: processor %d already crashes" pid);
+  { t with crashes = { cr_pid = pid; cr_at = at } :: t.crashes }
+
+(* Crash times in injection order: ascending time, then pid, so the
+   protocol schedules them deterministically whatever order the plan was
+   built in. *)
+let crashes t =
+  List.sort
+    (fun a b -> compare (a.cr_at, a.cr_pid) (b.cr_at, b.cr_pid))
+    t.crashes
+
 let is_faulty t =
   t.loss > 0.0 || t.dup > 0.0 || t.reorder > 0.0 || t.link_loss <> []
-  || t.unreachable <> []
+  || t.unreachable <> [] || t.crashes <> []
 
 let loss_for t ~src ~dst =
   match List.assoc_opt (src, dst) t.link_loss with
@@ -113,6 +137,21 @@ let parse_stalls spec =
   | "" -> []
   | spec -> List.map parse_one (String.split_on_char ',' spec)
 
+(* "pid@t_us", comma-separated, e.g. "3@5000,1@20000". *)
+let parse_crashes spec =
+  let parse_one s =
+    match String.split_on_char '@' (String.trim s) with
+    | [ pid; at ] -> (
+      match (int_of_string_opt pid, int_of_string_opt at) with
+      | Some pid, Some at -> { cr_pid = pid; cr_at = Vtime.us at }
+      | _ -> invalid_arg (Printf.sprintf "Fault_plan.parse_crashes: bad crash %S" s))
+    | _ ->
+      invalid_arg (Printf.sprintf "Fault_plan.parse_crashes: %S is not pid@t_us" s)
+  in
+  match String.trim spec with
+  | "" -> []
+  | spec -> List.map parse_one (String.split_on_char ',' spec)
+
 let describe t =
   if not (is_faulty t) && t.stalls = [] then "no faults"
   else begin
@@ -132,5 +171,6 @@ let describe t =
           (Vtime.to_us s.st_len))
       t.stalls;
     List.iter (fun p -> addf "p%d unreachable" p) t.unreachable;
+    List.iter (fun c -> addf "crash p%d @%.0fus" c.cr_pid (Vtime.to_us c.cr_at)) (crashes t);
     String.concat ", " (List.rev !parts)
   end

@@ -19,8 +19,11 @@
       frames keep arriving but service waits for the window to end;
     - {e unreachable peers}: every frame to or from a listed processor is
       dropped, modelling a network partition.  The transport's bounded
-      retry budget converts this into {!Transport.Peer_unreachable}
-      instead of retransmitting forever.
+      retry budget converts this into a per-peer {e suspicion} (see
+      {!Transport.on_suspect}) instead of retransmitting forever;
+    - {e crashes}: a processor fails crash-stop at a fixed virtual time —
+      it goes silent, every frame to or from it from then on is dropped,
+      and the DSM protocol's failure detection and recovery take over.
 
     All draws come from the transport's seeded PRNG, so a (seed, plan)
     pair reproduces the event stream bit-for-bit. *)
@@ -29,6 +32,9 @@ open Tmk_sim
 
 (** One handler-loop pause window. *)
 type stall = { st_pid : int; st_start : Vtime.t; st_len : Vtime.t }
+
+(** One crash-stop failure. *)
+type crash = { cr_pid : int; cr_at : Vtime.t }
 
 type t = {
   loss : float;  (** global frame-drop probability *)
@@ -39,6 +45,7 @@ type t = {
       (** [(src, dst), rate] overrides of the global loss rate, directed *)
   stalls : stall list;
   unreachable : int list;  (** partitioned processors *)
+  crashes : crash list;  (** crash-stop failures *)
 }
 
 (** [none] — the ideal network: no faults, 200 µs default reorder window
@@ -54,6 +61,13 @@ val with_reorder : ?window:Vtime.t -> t -> float -> t
 val with_link_loss : t -> src:int -> dst:int -> float -> t
 val with_stall : t -> pid:int -> start:Vtime.t -> len:Vtime.t -> t
 val with_unreachable : t -> int -> t
+
+(** [with_crash t ~pid ~at] — processor [pid] fails crash-stop at [at].
+    @raise Invalid_argument if [pid] already crashes in the plan. *)
+val with_crash : t -> pid:int -> at:Vtime.t -> t
+
+(** [crashes t] — the planned crashes, sorted by (time, pid). *)
+val crashes : t -> crash list
 
 (** [validate t] re-checks every field (for plans built literally).
     @raise Invalid_argument when a rate or window is out of range. *)
@@ -80,6 +94,11 @@ val stall_until : t -> pid:int -> at:Vtime.t -> Vtime.t
     [pid@start_us+len_us] windows.
     @raise Invalid_argument on malformed specs. *)
 val parse_stalls : string -> stall list
+
+(** [parse_crashes "3@5000,1@20000"] — CLI syntax: comma-separated
+    [pid@t_us] crash points.
+    @raise Invalid_argument on malformed specs. *)
+val parse_crashes : string -> crash list
 
 (** [describe t] — a one-line human-readable summary ("loss 5.0%, stall
     p1 @2000us +500us"). *)

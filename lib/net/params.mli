@@ -73,7 +73,8 @@ type t = {
           timers double from [retransmit_timeout] up to this cap *)
   max_retransmits : int;
       (** retry budget per message; once exhausted the transport raises
-          {!Transport.Peer_unreachable} instead of retransmitting forever *)
+          a per-peer suspicion ({!Transport.on_suspect}) instead of
+          retransmitting forever *)
 }
 
 (** [atm_aal34] — the paper's primary configuration. *)

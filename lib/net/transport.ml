@@ -15,18 +15,6 @@ type mix_entry = {
   mix_dups : int;
 }
 
-exception
-  Peer_unreachable of { src : int; dst : int; label : string; attempts : int }
-
-let () =
-  Printexc.register_printer (function
-    | Peer_unreachable { src; dst; label; attempts } ->
-      Some
-        (Printf.sprintf
-           "Transport.Peer_unreachable (%s from %d to %d, %d attempts)" label src
-           dst attempts)
-    | _ -> None)
-
 type t = {
   engine : Engine.t;
   params : Params.t;
@@ -40,6 +28,9 @@ type t = {
   mutable dup_frames : int;
   mutable dups_suppressed : int;
   mutable coalesced : int;  (* frames saved by batching: Σ (parts − 1) *)
+  mutable suspicions : int;  (* retry budgets exhausted *)
+  mutable on_suspect :
+    (src:int -> dst:int -> label:string -> attempts:int -> unit) option;
   mutable next_msg_id : int;
   delivered : (int, unit) Hashtbl.t;
       (* duplicate suppression, reliable mode only; entries are pruned once
@@ -73,6 +64,8 @@ let create ?(plan = Fault_plan.none) ?(batching = true) ~engine ~params ~prng ()
     dup_frames = 0;
     dups_suppressed = 0;
     coalesced = 0;
+    suspicions = 0;
+    on_suspect = None;
     next_msg_id = 0;
     delivered = Hashtbl.create 64;
   }
@@ -85,6 +78,26 @@ let batching t = t.batching
 (* Delivery faults engage the ack/retransmit protocol; stall-only plans
    delay service but never lose frames. *)
 let reliable t = Fault_plan.is_faulty t.plan
+
+let on_suspect t f = t.on_suspect <- Some f
+let suspicions t = t.suspicions
+
+(* A retry budget ran out: the peer is *suspected*.  This fires from a
+   scheduled timer callback, so it must never raise — the simulation
+   would be left torn mid-event.  The consumer (the DSM protocol's
+   failure detector) is told through the registered callback; without
+   one, the run is terminated cleanly at the next event boundary, with
+   stats and traces intact. *)
+let suspected t ~src ~dst ~label ~attempts =
+  t.suspicions <- t.suspicions + 1;
+  if Engine.tracing t.engine then
+    Engine.emit t.engine ~pid:src (Tmk_trace.Event.Peer_suspect { dst; label; attempts });
+  match t.on_suspect with
+  | Some f -> f ~src ~dst ~label ~attempts
+  | None ->
+    Engine.request_stop t.engine
+      (Printf.sprintf "peer %d unreachable (%s from %d, %d attempts)" dst label src
+         attempts)
 
 let fresh_id t =
   let id = t.next_msg_id in
@@ -161,8 +174,13 @@ let transmit ?(label = "other") ?(retrans = false) ?(parts = 1)
       let occupancy = Vtime.ns (total * p.Params.wire_ns_per_byte) in
       t.link_free.(slot) <- Vtime.add start occupancy;
       let loss = Fault_plan.loss_for t.plan ~src ~dst in
+      (* A crashed endpoint is silent from its crash instant on: frames
+         already in flight still arrive (their [arrive] events are
+         scheduled), but nothing sent at or after the crash touches the
+         wire in either direction. *)
       let dropped =
-        Fault_plan.unreachable_link t.plan ~src ~dst
+        Engine.crashed t.engine src || Engine.crashed t.engine dst
+        || Fault_plan.unreachable_link t.plan ~src ~dst
         || (loss > 0.0 && Tmk_util.Prng.float t.prng 1.0 < loss)
       in
       if dropped then begin
@@ -253,15 +271,21 @@ type rel = {
 
 (* In reliable mode each one-way message is acknowledged; the sender
    retransmits on an exponentially backed-off timer until the ack lands
-   or the retry budget runs out (Peer_unreachable).  Acks and
+   or the retry budget runs out (the peer is {i suspected}).  Acks and
    retransmissions consume CPU through self-posted handlers so the
    charges land on the right processor even though the original caller
    has moved on. *)
-let rec oneway ?(label = "other") ?(parts = 1) t ~src ~dst ~bytes ~at ~deliver =
+let rec oneway ?(label = "other") ?(parts = 1) ?retry_budget t ~src ~dst ~bytes ~at
+    ~deliver =
   if not (reliable t) then
     transmit ~label ~parts t ~src ~dst ~bytes ~at ~on_arrival:(fun arrival ->
         deliver_to_handler t ~dst ~bytes ~arrival ~deliver)
   else begin
+    let budget =
+      match retry_budget with
+      | Some b -> min b t.params.Params.max_retransmits
+      | None -> t.params.Params.max_retransmits
+    in
     let id = fresh_id t in
     let st = { acked = false; expected = 0; checked = 0; attempts = 0; cancel = ignore } in
     let maybe_prune () =
@@ -299,15 +323,17 @@ let rec oneway ?(label = "other") ?(parts = 1) t ~src ~dst ~bytes ~at ~deliver =
       let timeout = Vtime.add at (Params.retransmit_delay t.params ~attempt:st.attempts) in
       st.cancel <-
         Engine.schedule_cancellable t.engine ~at:timeout (fun () ->
-            if not st.acked then begin
-              if st.attempts >= t.params.Params.max_retransmits then
-                raise (Peer_unreachable { src; dst; label; attempts = st.attempts });
-              (* The user-level timer fires on [src]: charge the resend. *)
-              post_to t ~pid:src ~at:timeout (fun h ->
-                  if not st.acked then begin
-                    Engine.hcharge h Category.Unix_comm (Params.send_cost t.params bytes);
-                    attempt ~at:(Engine.hnow h)
-                  end)
+            (* A dead sender retransmits nothing (and suspects no one). *)
+            if (not st.acked) && not (Engine.crashed t.engine src) then begin
+              if st.attempts >= budget then
+                suspected t ~src ~dst ~label ~attempts:st.attempts
+              else
+                (* The user-level timer fires on [src]: charge the resend. *)
+                post_to t ~pid:src ~at:timeout (fun h ->
+                    if not st.acked then begin
+                      Engine.hcharge h Category.Unix_comm (Params.send_cost t.params bytes);
+                      attempt ~at:(Engine.hnow h)
+                    end)
             end)
     in
     attempt ~at
@@ -342,12 +368,22 @@ let hsend ?label ?(parts = 1) t h ~dst ~bytes ~deliver =
   Engine.hcharge h Category.Unix_comm (burst_send_cost t ~bytes ~parts);
   oneway ?label ~parts t ~src:(Engine.hpid h) ~dst ~bytes ~at:(Engine.hnow h) ~deliver
 
+(* Context-free reliable one-way send at the current instant: usable from
+   scheduled thunks and recovery code where neither process-context
+   [Engine.advance] nor a handler context is available.  The sender CPU
+   is deliberately not charged (a heartbeat or mirror runs below the
+   measurement's resolution); delivery still charges the receiver. *)
+let notify ?label ?(parts = 1) ?retry_budget t ~src ~dst ~bytes ~deliver =
+  oneway ?label ~parts ?retry_budget t ~src ~dst ~bytes ~at:(Engine.now t.engine)
+    ~deliver
+
 (* ------------------------------------------------------------------ *)
 (* Messages that wake a blocked process.                               *)
 
 type 'a mailbox = (int * 'a) Engine.Ivar.t
 
 let mailbox () = Engine.Ivar.create ()
+let mailbox_filled mb = Engine.Ivar.is_filled mb
 
 (* The data lands in the mailbox at wire arrival (deferred past any stall
    window on the receiver); the interrupt/resume and receive CPU are
@@ -356,7 +392,8 @@ let mailbox () = Engine.Ivar.create ()
    additionally runs a (cheap) handler on [dst] to source the
    acknowledgement; the single-use mailbox doubles as the duplicate
    filter, so no dedup-table entry is needed. *)
-let value_message ?(label = "other") ?(parts = 1) t ~src ~dst ~bytes ~at mb v =
+let value_message ?(label = "other") ?(parts = 1) ?retry_budget t ~src ~dst ~bytes ~at
+    mb v =
   let fill_at arrival =
     let at = Fault_plan.stall_until t.plan ~pid:dst ~at:arrival in
     if not (Engine.Ivar.is_filled mb) then Engine.fill t.engine mb ~at (bytes, v)
@@ -365,6 +402,11 @@ let value_message ?(label = "other") ?(parts = 1) t ~src ~dst ~bytes ~at mb v =
   if not (reliable t) then
     transmit ~label ~parts t ~src ~dst ~bytes ~at ~on_arrival:fill_at
   else begin
+    let budget =
+      match retry_budget with
+      | Some b -> min b t.params.Params.max_retransmits
+      | None -> t.params.Params.max_retransmits
+    in
     let st = { acked = false; expected = 0; checked = 0; attempts = 0; cancel = ignore } in
     let on_ack () =
       if not st.acked then begin
@@ -387,14 +429,15 @@ let value_message ?(label = "other") ?(parts = 1) t ~src ~dst ~bytes ~at mb v =
       let timeout = Vtime.add at (Params.retransmit_delay t.params ~attempt:st.attempts) in
       st.cancel <-
         Engine.schedule_cancellable t.engine ~at:timeout (fun () ->
-            if not st.acked then begin
-              if st.attempts >= t.params.Params.max_retransmits then
-                raise (Peer_unreachable { src; dst; label; attempts = st.attempts });
-              post_to t ~pid:src ~at:timeout (fun h ->
-                  if not st.acked then begin
-                    Engine.hcharge h Category.Unix_comm (Params.send_cost t.params bytes);
-                    attempt ~at:(Engine.hnow h)
-                  end)
+            if (not st.acked) && not (Engine.crashed t.engine src) then begin
+              if st.attempts >= budget then
+                suspected t ~src ~dst ~label ~attempts:st.attempts
+              else
+                post_to t ~pid:src ~at:timeout (fun h ->
+                    if not st.acked then begin
+                      Engine.hcharge h Category.Unix_comm (Params.send_cost t.params bytes);
+                      attempt ~at:(Engine.hnow h)
+                    end)
             end)
     in
     attempt ~at

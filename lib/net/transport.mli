@@ -30,9 +30,19 @@
     [deliver] callback.  The suppression table is pruned as soon as a
     message's ack has landed and its last in-flight copy has been
     filtered, so it holds only in-flight messages.  A message still
-    unacknowledged after [Params.max_retransmits] transmissions raises
-    {!Peer_unreachable} (a permanently partitioned peer terminates the
-    run instead of retransmitting forever).
+    unacknowledged after its retry budget ([Params.max_retransmits]
+    transmissions, or the smaller [?retry_budget] given at the send) makes
+    the sender {e suspect} the peer: the event is counted, traced
+    ({!Tmk_trace.Event.Peer_suspect}) and reported through the
+    {!on_suspect} callback so the DSM layer's failure detector can react.
+    Without a registered callback the run is terminated cleanly
+    ({!Engine.request_stop}) — never by an exception out of a timer
+    callback, which would tear the simulation mid-event.
+
+    Crash-stop failures ({!Fault_plan.with_crash}, injected via
+    {!Engine.mark_crashed}) silence an endpoint: frames to or from a
+    crashed processor are dropped by the medium, and a crashed sender
+    neither retransmits nor suspects anyone.
 
     All fault draws come from the transport's seeded PRNG: a (seed, plan)
     pair reproduces the run bit-for-bit.
@@ -44,11 +54,6 @@
 open Tmk_sim
 
 type t
-
-(** Raised (out of {!Engine.run}) when a message exhausts its retry
-    budget — the peer is treated as unreachable. *)
-exception
-  Peer_unreachable of { src : int; dst : int; label : string; attempts : int }
 
 (** [create ~engine ~params ~prng] builds a transport over [engine]'s
     processors.  [prng] drives the fault draws.  [?plan] installs a fault
@@ -88,6 +93,16 @@ val reliable : t -> bool
     frames (see {!create}). *)
 val batching : t -> bool
 
+(** [on_suspect t f] registers the suspicion callback: [f] fires (from a
+    timer callback — no process context, no CPU charges) each time a
+    message from [src] to [dst] exhausts its retry budget.  One callback;
+    a later registration replaces the earlier. *)
+val on_suspect :
+  t -> (src:int -> dst:int -> label:string -> attempts:int -> unit) -> unit
+
+(** [suspicions t] — how many retry budgets have been exhausted. *)
+val suspicions : t -> int
+
 (** [send t ~src ~dst ~bytes ~deliver] — one-way message from the
     application process currently running on [src].  Charges send CPU via
     {!Engine.advance}, so it must be called from process context.
@@ -119,12 +134,34 @@ val hsend :
   deliver:(Engine.hctx -> unit) ->
   unit
 
+(** [notify t ~src ~dst ~bytes ~deliver] — context-free one-way message
+    departing at the current simulation instant.  Callable from scheduled
+    thunks and recovery code where neither process nor handler context
+    exists; sender CPU is not charged (delivery still charges the
+    receiver).  [?retry_budget] caps this message's transmissions below
+    [Params.max_retransmits] — the failure detector's probes use a small
+    budget to detect silence quickly. *)
+val notify :
+  ?label:string ->
+  ?parts:int ->
+  ?retry_budget:int ->
+  t ->
+  src:Engine.pid ->
+  dst:Engine.pid ->
+  bytes:int ->
+  deliver:(Engine.hctx -> unit) ->
+  unit
+
 (** Mailbox for messages that wake a blocked process (replies, lock
     grants, barrier releases). *)
 type 'a mailbox
 
 (** [mailbox ()] makes an empty mailbox. *)
 val mailbox : unit -> 'a mailbox
+
+(** [mailbox_filled mb] — whether a value has already landed in [mb]
+    (recovery uses this to tell settled operations from stuck ones). *)
+val mailbox_filled : 'a mailbox -> bool
 
 (** [send_value t ~src ~dst ~bytes mb v] — one-way message carrying [v]
     into [mb] on [dst]; application-context variant. *)

@@ -32,6 +32,7 @@ type proc = {
   mutable spawned : bool;
   mutable finished_at : Vtime.t option;
   mutable had_handler : bool;
+  mutable crashed_at : Vtime.t option;
 }
 
 and hctx = {
@@ -53,6 +54,7 @@ and t = {
   blocked : bool array;  (* per-pid: process suspended on an ivar *)
   mutable blocked_count : int;
   mutable sink : Tmk_trace.Sink.t option;
+  mutable stop_reason : string option;
 }
 
 let create ~nprocs =
@@ -69,6 +71,7 @@ let create ~nprocs =
       spawned = false;
       finished_at = None;
       had_handler = false;
+      crashed_at = None;
     }
   in
   {
@@ -80,10 +83,40 @@ let create ~nprocs =
     blocked = Array.make nprocs false;
     blocked_count = 0;
     sink = None;
+    stop_reason = None;
   }
 
 let nprocs t = Array.length t.procs
 let now t = t.clock
+
+(* ------------------------------------------------------------------ *)
+(* Crash-stop failures and clean termination                           *)
+
+let crashed t pid = t.procs.(pid).crashed_at <> None
+let crash_time t pid = t.procs.(pid).crashed_at
+
+(* A crashed processor executes nothing from this instant on: its pending
+   handler queue is discarded and every later resume point (chunk end,
+   ivar fill, handler delivery) checks [crashed] before running.  The
+   suspended continuation, if any, is simply never resumed — leaked, which
+   is fine in a simulator. *)
+let mark_crashed t pid =
+  let proc = t.procs.(pid) in
+  if proc.crashed_at = None then begin
+    proc.crashed_at <- Some t.clock;
+    Queue.clear proc.handler_queue;
+    proc.handler_running <- false;
+    if t.blocked.(pid) then begin
+      t.blocked.(pid) <- false;
+      t.blocked_count <- t.blocked_count - 1
+    end
+  end
+
+(* Ask the main loop to return at the next event boundary: the clean
+   alternative to raising out of a timer callback.  Stats, busy times and
+   traces accumulated so far all stay intact.  The first reason wins. *)
+let request_stop t reason = if t.stop_reason = None then t.stop_reason <- Some reason
+let stop_reason t = t.stop_reason
 
 (* ------------------------------------------------------------------ *)
 (* Typed event tracing                                                 *)
@@ -159,7 +192,8 @@ let charge proc cat dt =
    until no new theft occurred. *)
 let rec finish_chunk t proc resume at =
   schedule t ~at (fun () ->
-    if proc.stolen > Vtime.zero then begin
+    if proc.crashed_at <> None then ()
+    else if proc.stolen > Vtime.zero then begin
       let extra = proc.stolen in
       proc.stolen <- Vtime.zero;
       finish_chunk t proc resume (Vtime.add at extra)
@@ -216,23 +250,30 @@ let spawn t pid main =
                     t.blocked_count <- t.blocked_count + 1;
                     let waiter v at =
                       (* Resume no earlier than the fill and no earlier
-                         than the end of any handler occupying our CPU. *)
-                      let resume_at = Vtime.max at proc.handler_busy_until in
-                      schedule t ~at:resume_at (fun () ->
-                          t.blocked.(pid) <- false;
-                          t.blocked_count <- t.blocked_count - 1;
-                          t.running_pid <- Some pid;
-                          continue k v;
-                          t.running_pid <- None)
+                         than the end of any handler occupying our CPU.
+                         A crashed processor never resumes; its blocked
+                         bookkeeping was cleared by [mark_crashed]. *)
+                      if proc.crashed_at = None then
+                        let resume_at = Vtime.max at proc.handler_busy_until in
+                        schedule t ~at:resume_at (fun () ->
+                            if proc.crashed_at = None then begin
+                              t.blocked.(pid) <- false;
+                              t.blocked_count <- t.blocked_count - 1;
+                              t.running_pid <- Some pid;
+                              continue k v;
+                              t.running_pid <- None
+                            end)
                     in
                     iv.Ivar.state <- Ivar.Empty (waiter :: waiters))
             | _ -> None);
       }
   in
   schedule t ~at:Vtime.zero (fun () ->
-      t.running_pid <- Some pid;
-      body ();
-      t.running_pid <- None)
+      if proc.crashed_at = None then begin
+        t.running_pid <- Some pid;
+        body ();
+        t.running_pid <- None
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Handlers                                                           *)
@@ -250,37 +291,50 @@ let hfresh h = h.hfresh
    runs the body at its start time and schedules the next pump at the
    resulting end time. *)
 let rec handler_pump t proc =
-  match Queue.take_opt proc.handler_queue with
-  | None -> proc.handler_running <- false
-  | Some f ->
-    proc.handler_running <- true;
-    let start = Vtime.max t.clock proc.handler_busy_until in
-    (* Fresh = the handler slot was idle when this request begins service,
-       so a real system would pay a full signal dispatch; back-to-back
-       requests are drained by the already-running handler loop. *)
-    let fresh = (not proc.had_handler) || start > proc.handler_busy_until in
-    proc.had_handler <- true;
-    schedule t ~at:start (fun () ->
-        let h =
-          { hproc = proc; hstart = start; hcharged = Vtime.zero; hengine = t; hfresh = fresh }
-        in
-        f h;
-        let fin = Vtime.add start h.hcharged in
-        proc.handler_busy_until <- fin;
-        if proc.in_chunk then proc.stolen <- Vtime.add proc.stolen h.hcharged;
-        schedule t ~at:fin (fun () -> handler_pump t proc))
+  if proc.crashed_at <> None then begin
+    Queue.clear proc.handler_queue;
+    proc.handler_running <- false
+  end
+  else
+    match Queue.take_opt proc.handler_queue with
+    | None -> proc.handler_running <- false
+    | Some f ->
+      proc.handler_running <- true;
+      let start = Vtime.max t.clock proc.handler_busy_until in
+      (* Fresh = the handler slot was idle when this request begins service,
+         so a real system would pay a full signal dispatch; back-to-back
+         requests are drained by the already-running handler loop. *)
+      let fresh = (not proc.had_handler) || start > proc.handler_busy_until in
+      proc.had_handler <- true;
+      schedule t ~at:start (fun () ->
+          if proc.crashed_at <> None then ()
+          else begin
+            let h =
+              { hproc = proc; hstart = start; hcharged = Vtime.zero; hengine = t;
+                hfresh = fresh }
+            in
+            f h;
+            let fin = Vtime.add start h.hcharged in
+            proc.handler_busy_until <- fin;
+            if proc.in_chunk then proc.stolen <- Vtime.add proc.stolen h.hcharged;
+            schedule t ~at:fin (fun () -> handler_pump t proc)
+          end)
 
 let post_handler t ~pid ~at f =
   let proc = t.procs.(pid) in
   schedule t ~at (fun () ->
-      Queue.add f proc.handler_queue;
-      if not proc.handler_running then handler_pump t proc)
+      if proc.crashed_at = None then begin
+        Queue.add f proc.handler_queue;
+        if not proc.handler_running then handler_pump t proc
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Main loop                                                          *)
 
 let run t =
   let rec loop () =
+    if t.stop_reason <> None then ()
+    else
     match Tmk_util.Heap.pop_opt t.events with
     | None ->
       if t.blocked_count > 0 then begin

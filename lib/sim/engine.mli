@@ -113,9 +113,36 @@ val hpid : hctx -> pid
     callers should charge the cheaper amortised delivery cost. *)
 val hfresh : hctx -> bool
 
-(** [run t] executes events until quiescence.
-    @raise Deadlock if the queue empties while some process is blocked. *)
+(** [run t] executes events until quiescence, or until {!request_stop} is
+    called.
+    @raise Deadlock if the queue empties while some live (non-crashed)
+    process is blocked. *)
 val run : t -> unit
+
+(** {2 Crash-stop failures and clean termination} *)
+
+(** [mark_crashed t pid] fails processor [pid] at the current instant:
+    its pending handler queue is discarded and no further code (process
+    resume, handler, chunk completion) ever runs on it.  Frames already
+    on the wire are unaffected — a crash-stop node simply goes silent.
+    Idempotent. *)
+val mark_crashed : t -> pid -> unit
+
+(** [crashed t pid] holds once {!mark_crashed} was applied to [pid]. *)
+val crashed : t -> pid -> bool
+
+(** [crash_time t pid] is when [pid] crashed, if it did. *)
+val crash_time : t -> pid -> Vtime.t option
+
+(** [request_stop t reason] makes {!run} return at the next event
+    boundary instead of raising from wherever the caller happens to be
+    (e.g. a retransmission-timer callback).  Stats, busy times and the
+    trace stream all remain intact and renderable.  The first reason
+    wins; later requests are ignored. *)
+val request_stop : t -> string -> unit
+
+(** [stop_reason t] is the reason passed to {!request_stop}, if any. *)
+val stop_reason : t -> string option
 
 (** The payload lists exactly the processes suspended on an ivar when the
     event queue ran dry — the real culprits, not merely every unfinished

@@ -110,6 +110,8 @@ let cat_of (ev : Event.t) =
   | Interval_close _ | Interval_recv _ | Write_notice_recv _ -> "consistency"
   | Frame_send _ | Frame_recv _ | Frame_drop _ | Frame_dup _ | Frame_batch _ -> "net"
   | Gc_begin _ | Gc_end _ -> "gc"
+  | Proc_crash | Peer_suspect _ | Failover _ | Recovery_done _ | Diff_backup _ ->
+    "failure"
   | Proc_finish | Mark _ -> "engine"
 
 (* Begin/end pairing: a begin event opens a span under a key; the

@@ -29,6 +29,11 @@ type t =
   | Diff_cache of { page : int; hit : bool }
   | Gc_begin of { live : int }
   | Gc_end of { discarded : int }
+  | Proc_crash
+  | Peer_suspect of { dst : int; label : string; attempts : int }
+  | Failover of { dead : int; epoch : int }
+  | Recovery_done of { dead : int; locks : int; retries : int }
+  | Diff_backup of { page : int; proc : int; interval : int; bytes : int; to_ : int }
   | Proc_finish
   | Mark of string
 
@@ -65,6 +70,11 @@ let name = function
   | Diff_cache _ -> "diff-cache"
   | Gc_begin _ -> "gc-begin"
   | Gc_end _ -> "gc-end"
+  | Proc_crash -> "proc-crash"
+  | Peer_suspect _ -> "peer-suspect"
+  | Failover _ -> "failover"
+  | Recovery_done _ -> "recovery-done"
+  | Diff_backup _ -> "diff-backup"
   | Proc_finish -> "proc-finish"
   | Mark _ -> "mark"
 
@@ -109,6 +119,15 @@ let args = function
   | Diff_cache { page; hit } -> [ ("page", Int page); ("hit", Bool hit) ]
   | Gc_begin { live } -> [ ("live", Int live) ]
   | Gc_end { discarded } -> [ ("discarded", Int discarded) ]
+  | Proc_crash -> []
+  | Peer_suspect { dst; label; attempts } ->
+    [ ("dst", Int dst); ("label", Str label); ("attempts", Int attempts) ]
+  | Failover { dead; epoch } -> [ ("dead", Int dead); ("epoch", Int epoch) ]
+  | Recovery_done { dead; locks; retries } ->
+    [ ("dead", Int dead); ("locks", Int locks); ("retries", Int retries) ]
+  | Diff_backup { page; proc; interval; bytes; to_ } ->
+    [ ("page", Int page); ("proc", Int proc); ("interval", Int interval);
+      ("bytes", Int bytes); ("to", Int to_) ]
   | Proc_finish -> []
   | Mark msg -> [ ("msg", Str msg) ]
 
@@ -182,6 +201,16 @@ let of_args ev_name ev_args =
       | "diff-cache" -> Diff_cache { page = int "page"; hit = bool "hit" }
       | "gc-begin" -> Gc_begin { live = int "live" }
       | "gc-end" -> Gc_end { discarded = int "discarded" }
+      | "proc-crash" -> Proc_crash
+      | "peer-suspect" ->
+        Peer_suspect { dst = int "dst"; label = str "label"; attempts = int "attempts" }
+      | "failover" -> Failover { dead = int "dead"; epoch = int "epoch" }
+      | "recovery-done" ->
+        Recovery_done { dead = int "dead"; locks = int "locks"; retries = int "retries" }
+      | "diff-backup" ->
+        Diff_backup
+          { page = int "page"; proc = int "proc"; interval = int "interval";
+            bytes = int "bytes"; to_ = int "to" }
       | "proc-finish" -> Proc_finish
       | "mark" -> Mark (str "msg")
       | _ -> raise Bad_args

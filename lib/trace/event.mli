@@ -85,6 +85,21 @@ type t =
   (* Garbage collection (§3.6) *)
   | Gc_begin of { live : int }  (** live consistency records at entry *)
   | Gc_end of { discarded : int }
+  (* Crash-stop failures and recovery *)
+  | Proc_crash  (** the processor failed (crash-stop): silent from here on *)
+  | Peer_suspect of { dst : int; label : string; attempts : int }
+      (** this processor's retry budget for a [label] message to [dst] ran
+          out after [attempts] transmissions — the failure-detection
+          signal *)
+  | Failover of { dead : int; epoch : int }
+      (** recovery from [dead]'s crash begins; the membership advanced to
+          [epoch] *)
+  | Recovery_done of { dead : int; locks : int; retries : int }
+      (** recovery finished: [locks] lock tokens/queues were rebuilt and
+          [retries] in-flight fetches re-driven *)
+  | Diff_backup of { page : int; proc : int; interval : int; bytes : int; to_ : int }
+      (** [diff_backup] mode mirrored a freshly created diff to its
+          deterministic backup peer [to_] *)
   (* Engine *)
   | Proc_finish  (** the application process returned *)
   | Mark of string  (** free-text marker ({!Tmk_sim.Engine.trace} shim) *)

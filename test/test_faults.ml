@@ -163,21 +163,42 @@ let stalls_delay_delivery () =
   check Alcotest.int "no retransmissions" 0 (Transport.retransmissions tr);
   check Alcotest.int "no acks" 1 (Transport.messages_sent tr)
 
-let unreachable_peer_raises () =
-  (* A permanently partitioned peer must terminate the run with
-     Peer_unreachable once the retry budget is exhausted — not hang. *)
+let unreachable_peer_suspected () =
+  (* A permanently partitioned peer must surface as a suspicion once the
+     retry budget is exhausted — not hang, and not abort the run with an
+     exception from inside a timer callback.  Without an on_suspect
+     consumer the run stops cleanly, stats intact. *)
   let plan = Fault_plan.with_unreachable Fault_plan.none 1 in
   let engine, tr = make ~plan () in
   Engine.spawn engine 1 (fun () -> ());
   Engine.spawn engine 0 (fun () ->
       ignore (Transport.rpc tr ~src:0 ~dst:1 ~bytes:8 ~serve:(fun _ -> (8, ()))));
-  match Engine.run engine with
-  | () -> Alcotest.fail "expected Peer_unreachable"
-  | exception Transport.Peer_unreachable { src; dst; attempts; _ } ->
+  Engine.run engine;
+  check Alcotest.int "one suspicion" 1 (Transport.suspicions tr);
+  check Alcotest.bool "run stopped cleanly" true (Engine.stop_reason engine <> None);
+  check Alcotest.bool "stats survived" true (Transport.messages_sent tr > 0)
+
+let suspicion_reaches_callback () =
+  (* With a registered failure detector the transport reports the stuck
+     peer instead of terminating; the callback sees src/dst/attempts. *)
+  let plan = Fault_plan.with_unreachable Fault_plan.none 1 in
+  let engine, tr = make ~plan () in
+  let seen = ref None in
+  Transport.on_suspect tr (fun ~src ~dst ~label:_ ~attempts ->
+      if !seen = None then seen := Some (src, dst, attempts));
+  Engine.spawn engine 1 (fun () -> ());
+  Engine.spawn engine 0 (fun () ->
+      Transport.send tr ~src:0 ~dst:1 ~bytes:8 ~deliver:(fun _ -> ()));
+  Engine.run engine;
+  match !seen with
+  | None -> Alcotest.fail "expected the suspicion callback to fire"
+  | Some (src, dst, attempts) ->
     check Alcotest.int "src" 0 src;
     check Alcotest.int "dst" 1 dst;
     check Alcotest.int "attempts capped at the budget"
-      Params.atm_aal34.Params.max_retransmits attempts
+      Params.atm_aal34.Params.max_retransmits attempts;
+    check Alcotest.bool "callback keeps the run alive" true
+      (Engine.stop_reason engine = None)
 
 let transport_runs_are_deterministic () =
   let run () =
@@ -300,7 +321,8 @@ let suite =
     Alcotest.test_case "duplication suppressed" `Quick duplication_suppressed;
     Alcotest.test_case "reordering exactly once" `Quick reordering_is_exactly_once;
     Alcotest.test_case "stalls delay delivery" `Quick stalls_delay_delivery;
-    Alcotest.test_case "unreachable peer raises" `Quick unreachable_peer_raises;
+    Alcotest.test_case "unreachable peer suspected" `Quick unreachable_peer_suspected;
+    Alcotest.test_case "suspicion reaches callback" `Quick suspicion_reaches_callback;
     Alcotest.test_case "transport deterministic" `Quick transport_runs_are_deterministic;
     Alcotest.test_case "jacobi immune to loss" `Quick
       (app_result_immune_to_loss "jacobi" run_jacobi);

@@ -7,6 +7,7 @@ let () =
       ("sim", Test_sim.suite);
       ("net", Test_net.suite);
       ("faults", Test_faults.suite);
+      ("crash", Test_crash.suite);
       ("mem", Test_mem.suite);
       ("dsm", Test_dsm.suite);
       ("node", Test_node.suite);
