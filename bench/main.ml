@@ -10,7 +10,11 @@
      bench/main.exe e12        crash-survival study only (writes BENCH_5.json)
      bench/main.exe ablation   run the ablation suite A1-A5
      bench/main.exe micro      run the Bechamel microbenchmarks
-     bench/main.exe all        everything *)
+     bench/main.exe all        everything
+
+   Options:
+     --jobs N    run independent sweep arms (E10, E11) on N OCaml domains;
+                 reports are byte-identical at any N (default 1) *)
 
 open Tmk_harness
 
@@ -78,6 +82,17 @@ let run_micro () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse_jobs acc = function
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some jobs when jobs >= 1 -> Experiments.set_jobs jobs
+      | _ -> failwith (Printf.sprintf "bench: --jobs expects a positive integer, got %S" n));
+      parse_jobs acc rest
+    | "--jobs" :: [] -> failwith "bench: --jobs expects an argument"
+    | arg :: rest -> parse_jobs (arg :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = parse_jobs [] args in
   let t0 = Unix.gettimeofday () in
   let run_one id =
     match Experiments.id_of_name id with

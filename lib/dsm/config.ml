@@ -13,6 +13,7 @@ type t = {
   lrc_updates : bool;
   batching : bool;
   diff_backup : bool;
+  vm_fast_path : bool;
   trace : Tmk_trace.Sink.t option;
   check : Tmk_check.Checker.t option;
 }
@@ -31,6 +32,7 @@ let default =
     lrc_updates = false;
     batching = true;
     diff_backup = false;
+    vm_fast_path = true;
     trace = None;
     check = None;
   }

@@ -55,6 +55,12 @@ type t = {
           default): no replication — a crash can strand diffs that only
           the dead processor held, degrading the run (see
           {!Api.Degraded}).  Lrc only. *)
+  vm_fast_path : bool;
+      (** [true] (the default): typed accessors on writable, unobserved
+          pages skip the software-MMU protection check (see
+          {!Tmk_mem.Vm.set_fast_path}).  Purely a simulator-speed knob —
+          results, traffic and simulated time are bit-identical either
+          way; [false] forces every access through the checked path *)
   trace : Tmk_trace.Sink.t option;
       (** typed protocol-event sink; [None] (the default) disables
           tracing entirely — no events are recorded and no run behaviour

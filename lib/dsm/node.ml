@@ -75,8 +75,8 @@ let tracing t = t.emit <> None
 let emit t ev = match t.emit with None -> () | Some f -> f ev
 let vt_array t vt = Array.init t.nprocs (Vector_time.get vt)
 
-let create ?emit ~pid ~nprocs ~pages () =
-  let vm = Vm.create ~pages in
+let create ?emit ?(vm_fast_path = true) ~pid ~nprocs ~pages () =
+  let vm = Vm.create ~fast_path:vm_fast_path ~pages () in
   let make_entry _ =
     let copyset = Bitset.create nprocs in
     Bitset.add copyset 0;
@@ -151,11 +151,13 @@ let proc_intervals_since ?attach t q vt =
   take [] t.intervals.(q)
 
 let intervals_since ?attach t vt =
-  let rec collect q acc =
-    if q >= t.nprocs then List.concat (List.rev acc)
-    else collect (q + 1) (proc_intervals_since ?attach t q vt :: acc)
-  in
-  collect 0 []
+  (* Flatten once into a push-in-order buffer instead of concatenating
+     per-processor lists (the concat re-walked every earlier prefix). *)
+  let out = Tmk_util.Vec.create () in
+  for q = 0 to t.nprocs - 1 do
+    List.iter (Tmk_util.Vec.push out) (proc_intervals_since ?attach t q vt)
+  done;
+  Tmk_util.Vec.to_list out
 
 let own_intervals_since ?attach t vt = proc_intervals_since ?attach t t.pid vt
 

@@ -94,8 +94,16 @@ type t = {
     holds every page [Read_only] (it is the initial copyset), everyone
     else holds nothing ([No_access], no copy).  [emit], when given,
     receives the node's bookkeeping events (twin creation, interval
-    close, diff create/apply, invalidations, record receipt). *)
-val create : ?emit:(Tmk_trace.Event.t -> unit) -> pid:int -> nprocs:int -> pages:int -> unit -> t
+    close, diff create/apply, invalidations, record receipt).
+    [vm_fast_path] (default [true]) is forwarded to {!Tmk_mem.Vm.create}. *)
+val create :
+  ?emit:(Tmk_trace.Event.t -> unit) ->
+  ?vm_fast_path:bool ->
+  pid:int ->
+  nprocs:int ->
+  pages:int ->
+  unit ->
+  t
 
 (** [write_fault_twin t page ~charge] — handle a write fault on a valid
     page: make the twin, upgrade to read-write (§3.7 SIGSEGV handler, twin

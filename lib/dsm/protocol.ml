@@ -231,10 +231,10 @@ let race_barrier_depart t ~pid ~id =
    real implementation masks signals around these sections; we run the
    mutations instantaneously and charge the accumulated CPU afterwards. *)
 let atomically f =
-  let charges = ref [] in
-  let charge cat dt = charges := (cat, dt) :: !charges in
+  let charges = Tmk_util.Vec.create () in
+  let charge cat dt = Tmk_util.Vec.push charges (cat, dt) in
   let result = f charge in
-  List.iter (fun (cat, dt) -> Engine.advance cat dt) (List.rev !charges);
+  Tmk_util.Vec.iter (fun (cat, dt) -> Engine.advance cat dt) charges;
   result
 
 let lock_state_of t pid lock =
@@ -523,6 +523,18 @@ let fetch_and_apply_diffs t pid page missing =
   app_charge Category.Tmk_consistency (Vtime.scale Cpu.miss_plan total_notices);
   let _, responders = plan_page_fetch missing in
   let assignments = Hashtbl.create 4 in
+  (* per-responder entry buffers, appended in plan order (a reverse-and-flip
+     list accumulation here was quadratic in the number of lacking
+     processors before it grew a rev_append; the buffer keeps it linear and
+     allocation-light) *)
+  let entries_for r =
+    match Hashtbl.find_opt assignments r with
+    | Some v -> v
+    | None ->
+      let v = Tmk_util.Vec.create () in
+      Hashtbl.add assignments r v;
+      v
+  in
   let assign (q, wns) =
     let vt_q = (List.hd wns).Node.wn_interval.Node.iv_vt in
     let r =
@@ -530,11 +542,8 @@ let fetch_and_apply_diffs t pid page missing =
       | Some (r, _) -> r
       | None -> assert false (* q's own head is undominated or covered *)
     in
-    let entries = List.map (fun wn -> (page, q, wn.Node.wn_interval.Node.iv_id)) wns in
-    (* accumulated in reverse and flipped once below: [prev @ entries] here
-       would be quadratic in the number of lacking processors *)
-    let prev = Option.value ~default:[] (Hashtbl.find_opt assignments r) in
-    Hashtbl.replace assignments r (List.rev_append entries prev)
+    let v = entries_for r in
+    List.iter (fun wn -> Tmk_util.Vec.push v (page, q, wn.Node.wn_interval.Node.iv_id)) wns
   in
   List.iter assign missing;
   (* Multi-page gathering (batched mode): ride the requests already going
@@ -582,17 +591,13 @@ let fetch_and_apply_diffs t pid page missing =
                   match List.find_opt holds contacted with
                   | None -> ()
                   | Some r ->
-                    let entries =
-                      List.map
-                        (fun wn -> (q_page, g, wn.Node.wn_interval.Node.iv_id))
-                        wns
-                    in
-                    gathered := !gathered + List.length entries;
-                    pentry.Node.pg_fetched <- false;
-                    let prev =
-                      Option.value ~default:[] (Hashtbl.find_opt assignments r)
-                    in
-                    Hashtbl.replace assignments r (List.rev_append entries prev)
+                    let v = entries_for r in
+                    List.iter
+                      (fun wn ->
+                        Tmk_util.Vec.push v (q_page, g, wn.Node.wn_interval.Node.iv_id))
+                      wns;
+                    gathered := !gathered + List.length wns;
+                    pentry.Node.pg_fetched <- false
                 end)
               groups)
       node.Node.pages;
@@ -604,9 +609,9 @@ let fetch_and_apply_diffs t pid page missing =
   end;
   let promises =
     Hashtbl.fold
-      (fun r rev_entries acc ->
-        let entries = List.rev rev_entries in
-        let n = List.length entries in
+      (fun r entry_buf acc ->
+        let entries = Tmk_util.Vec.to_list entry_buf in
+        let n = Tmk_util.Vec.length entry_buf in
         app_charge Category.Tmk_other Cpu.page_request_build;
         if t.dead.(r) then begin
           (* The planned responder died before this fetch was issued —
@@ -1753,7 +1758,8 @@ let create cfg =
           | None -> None
           | Some _ -> Some (fun ev -> Engine.emit engine ~pid ev)
         in
-        Node.create ?emit ~pid ~nprocs:cfg.Config.nprocs ~pages:cfg.Config.pages ())
+        Node.create ?emit ~vm_fast_path:cfg.Config.vm_fast_path ~pid
+          ~nprocs:cfg.Config.nprocs ~pages:cfg.Config.pages ())
   in
   let erc_dir =
     Array.init cfg.Config.pages (fun _ ->

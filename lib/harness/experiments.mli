@@ -47,6 +47,11 @@ val id_of_name : string -> id
 (** [describe id] — one-line description. *)
 val describe : id -> string
 
+(** [set_jobs n] — run the independent arms of sweep experiments (E10,
+    E11) on up to [n] OCaml domains via {!Harness.parallel_map}.  The
+    default is 1 (sequential); reports are byte-identical at any value. *)
+val set_jobs : int -> unit
+
 (** [run id] — execute the experiment and return its rendered report. *)
 val run : id -> string
 

@@ -242,3 +242,28 @@ let speedup ~app ~nprocs ~protocol ~net =
   let base = run ~app ~nprocs:1 ~protocol ~net in
   let par = run ~app ~nprocs ~protocol ~net in
   base.m_time_s /. par.m_time_s
+
+(* Independent simulation arms on OCaml 5 domains.  Every run builds its
+   own cluster, engine and RNG streams from the config's seed, so arms
+   share no mutable state; results land in an index-keyed slot array, so
+   the output order (and therefore every report built from it) is
+   identical to the sequential order whatever the interleaving. *)
+let parallel_map ~jobs f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  if jobs <= 1 || n <= 1 then List.map f items
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (f arr.(i));
+        worker ()
+      end
+    in
+    let helpers = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers;
+    Array.to_list (Array.map (function Some r -> r | None -> assert false) results)
+  end

@@ -103,3 +103,11 @@ val run_checked : app:app -> Config.t -> metrics * string
     synchronization local). *)
 val speedup :
   app:app -> nprocs:int -> protocol:Config.protocol -> net:Tmk_net.Params.t -> float
+
+(** [parallel_map ~jobs f items] — map [f] over [items] on up to [jobs]
+    OCaml domains (sequentially when [jobs <= 1]).  Results are returned
+    in item order regardless of scheduling, so reports built from them
+    are byte-identical to a sequential run.  [f] must be self-contained —
+    every simulation run is (it builds its own cluster and RNG streams
+    from the config seed) — and must not force shared [lazy] values. *)
+val parallel_map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list

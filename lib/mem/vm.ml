@@ -6,19 +6,31 @@ exception Fault_loop of { page : int; kind : access }
 type t = {
   data : Bytes.t;
   prot : prot array;
+  fast : Bytes.t;
+      (* per-page "unchecked OK" bitmap: ['\001'] exactly when the page is
+         [Read_write], no access hook is installed, and the fast path is
+         enabled — the accessors may then touch [data] directly, skipping
+         the full [ensure] (range/prot check + hook dispatch).  Kept
+         consistent by [refresh_fast] on every [set_prot] /
+         [set_access_hook] / [set_fast_path]. *)
   npages : int;
+  mutable fast_enabled : bool;
   mutable on_fault : access -> int -> unit;
   mutable on_access : (access -> int -> int -> unit) option;
 }
 
 let page_size = 4096
+let page_shift = 12
+let offset_mask = page_size - 1
 
-let create ~pages =
+let create ?(fast_path = true) ~pages () =
   if pages <= 0 then invalid_arg "Vm.create: pages must be positive";
   {
     data = Bytes.make (pages * page_size) '\000';
     prot = Array.make pages Read_write;
+    fast = Bytes.make pages (if fast_path then '\001' else '\000');
     npages = pages;
+    fast_enabled = fast_path;
     on_fault = (fun _ page -> failwith (Printf.sprintf "Vm: unhandled fault on page %d" page));
     on_access = None;
   }
@@ -26,11 +38,33 @@ let create ~pages =
 let npages t = t.npages
 let size_bytes t = t.npages * page_size
 
+let refresh_fast t page =
+  Bytes.unsafe_set t.fast page
+    (if t.fast_enabled && t.on_access = None && t.prot.(page) = Read_write then '\001'
+     else '\000')
+
+let refresh_fast_all t =
+  for page = 0 to t.npages - 1 do
+    refresh_fast t page
+  done
+
 let set_fault_handler t f = t.on_fault <- f
-let set_access_hook t f = t.on_access <- Some f
+
+let set_access_hook t f =
+  t.on_access <- Some f;
+  refresh_fast_all t
+
+let fast_path t = t.fast_enabled
+
+let set_fast_path t enabled =
+  t.fast_enabled <- enabled;
+  refresh_fast_all t
 
 let prot t page = t.prot.(page)
-let set_prot t page p = t.prot.(page) <- p
+
+let set_prot t page p =
+  t.prot.(page) <- p;
+  refresh_fast t page
 
 let page_of_addr addr = addr / page_size
 let addr_of_page page = page * page_size
@@ -65,20 +99,34 @@ let ensure t addr width kind =
   end;
   match t.on_access with None -> () | Some f -> f kind addr width
 
+(* Fast-path admission: the access is entirely inside one page whose fast
+   bit is set.  [addr lsr page_shift] maps any negative address to a huge
+   positive page (lsr is a logical shift), so the single [page < npages]
+   compare also rejects addr < 0; the offset mask check rejects accesses
+   that would straddle the page boundary (so an in-bounds fast access can
+   never leave the page, and [page < npages] alone proves the whole access
+   is in range).  Everything else falls through to [ensure], which raises
+   the exact errors the checked path always raised. *)
+let[@inline] fast_ok t addr width =
+  let page = addr lsr page_shift in
+  page < t.npages
+  && Bytes.unsafe_get t.fast page <> '\000'
+  && addr land offset_mask <= page_size - width
+
 let read_u8 t addr =
-  ensure t addr 1 Read;
+  if not (fast_ok t addr 1) then ensure t addr 1 Read;
   Char.code (Bytes.unsafe_get t.data addr)
 
 let write_u8 t addr v =
-  ensure t addr 1 Write;
+  if not (fast_ok t addr 1) then ensure t addr 1 Write;
   Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xFF))
 
 let read_i64 t addr =
-  ensure t addr 8 Read;
+  if not (fast_ok t addr 8) then ensure t addr 8 Read;
   Bytes.get_int64_le t.data addr
 
 let write_i64 t addr v =
-  ensure t addr 8 Write;
+  if not (fast_ok t addr 8) then ensure t addr 8 Write;
   Bytes.set_int64_le t.data addr v
 
 let read_int t addr = Int64.to_int (read_i64 t addr)
@@ -103,7 +151,7 @@ let patch t page rle =
       invalid_arg "Vm.patch: run out of page bounds";
     Bytes.blit bytes 0 t.data (base + offset) len
   in
-  List.iter apply_run rle
+  List.iter apply_run (Tmk_util.Rle.runs rle)
 
 let diff_against t page ~twin =
   Tmk_util.Rle.encode ~old_:twin (page_snapshot t page)

@@ -26,8 +26,11 @@ val page_size : int
 
 (** [create ~pages] makes an address space of [pages] pages, zero-filled,
     all [Read_write] (the DSM sets initial protections itself), with a
-    fault handler that raises. *)
-val create : pages:int -> t
+    fault handler that raises.  [fast_path] (default [true]) lets the
+    typed accessors skip the protection check on pages where it cannot
+    fault — see {!set_fast_path}; pass [false] to force every access
+    through the checked path. *)
+val create : ?fast_path:bool -> pages:int -> unit -> t
 
 (** [npages t] / [size_bytes t] — capacity. *)
 val npages : t -> int
@@ -54,6 +57,25 @@ val set_access_hook : t -> (access -> int -> int -> unit) -> unit
 val prot : t -> int -> prot
 
 val set_prot : t -> int -> prot -> unit
+
+(** {2 Fast path}
+
+    The typed accessors keep a per-page "unchecked OK" bitmap: a page's
+    bit is set exactly when it is [Read_write], no access hook is
+    installed, and the fast path is enabled.  An access wholly inside such
+    a page cannot fault and has no observer, so it reads or writes the
+    backing buffer directly, skipping the protection check and hook
+    dispatch.  All other accesses — including out-of-range and straddling
+    ones — take the checked path and behave exactly as before.  The bitmap
+    is maintained by [set_prot], [set_access_hook], and [set_fast_path];
+    results are bit-identical with the fast path on or off. *)
+
+(** [fast_path t] — whether the fast path is enabled. *)
+val fast_path : t -> bool
+
+(** [set_fast_path t enabled] — enable or disable the fast path (e.g. to
+    measure its effect); contents and semantics are unaffected. *)
+val set_fast_path : t -> bool -> unit
 
 (** [page_of_addr addr] is [addr / page_size]. *)
 val page_of_addr : int -> int

@@ -335,6 +335,9 @@ let report a =
   (if a.a_barriers = [] then add "no barrier activity."
    else
      let shown = take 20 a.a_barriers in
+     (* count each list once for the whole report block — [a_barriers] can
+        hold one epoch per barrier of a long run *)
+     let n_barriers = List.length a.a_barriers and n_shown = List.length shown in
      (* Average skew over the gaps between consecutive arrivals: n
         processors have n-1 gaps; single-processor runs have none. *)
      let gaps = List.length a.a_procs - 1 in
@@ -354,10 +357,8 @@ let report a =
             [ "barrier"; "epoch"; "first ms"; "last ms"; "skew ms"; "skew/gap";
               "mgr ms" ]
           rows);
-     if List.length a.a_barriers > List.length shown then
-       add
-         (Printf.sprintf "(… %d more epochs not shown)"
-            (List.length a.a_barriers - List.length shown)));
+     if n_barriers > n_shown then
+       add (Printf.sprintf "(… %d more epochs not shown)" (n_barriers - n_shown)));
   (if a.a_procs = [] then add "no per-processor activity."
    else
      let rows =

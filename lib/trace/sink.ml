@@ -6,11 +6,13 @@ type record = { r_time : int; r_pid : int; r_ev : Event.t }
 type t = {
   mutable buf : record array;
   mutable len : int;
-  mutable listeners : (record -> unit) list;
+  listeners : (record -> unit) Tmk_util.Vec.t;
+      (* push order = registration order = notification order; the old
+         [l @ [f]] registration re-copied the whole list per listener *)
 }
 
 let dummy = { r_time = 0; r_pid = -1; r_ev = Event.Proc_finish }
-let create () = { buf = Array.make 256 dummy; len = 0; listeners = [] }
+let create () = { buf = Array.make 256 dummy; len = 0; listeners = Tmk_util.Vec.create () }
 
 let emit t ~time ~pid ev =
   if t.len = Array.length t.buf then begin
@@ -21,9 +23,9 @@ let emit t ~time ~pid ev =
   let r = { r_time = time; r_pid = pid; r_ev = ev } in
   t.buf.(t.len) <- r;
   t.len <- t.len + 1;
-  List.iter (fun f -> f r) t.listeners
+  Tmk_util.Vec.iter (fun f -> f r) t.listeners
 
-let on_record t f = t.listeners <- t.listeners @ [ f ]
+let on_record t f = Tmk_util.Vec.push t.listeners f
 let length t = t.len
 
 let iter f t =

@@ -1,21 +1,64 @@
 type run = { offset : int; bytes : Bytes.t }
-type t = run list
+
+(* Run count and payload ride along from encode time: both sit on the
+   stats path of every diff (wire sizing, trace events, cache caps), and
+   recomputing them by walking the run list was measurable at scale. *)
+type t = { runs : run list; nruns : int; payload : int }
 
 let header_bytes = 4
+
+let runs t = t.runs
+let is_empty t = t.nruns = 0
+let run_count t = t.nruns
+let payload_size t = t.payload
+let encoded_size t = t.payload + (header_bytes * t.nruns)
+
+let of_runs runs =
+  let nruns, payload =
+    List.fold_left (fun (c, p) r -> (c + 1, p + Bytes.length r.bytes)) (0, 0) runs
+  in
+  { runs; nruns; payload }
+
+(* SWAR helper: [x] is the XOR of two 8-byte words; a zero byte of [x]
+   marks a byte position where the words agree. *)
+let no_equal_byte x =
+  Int64.equal
+    (Int64.logand
+       (Int64.logand (Int64.sub x 0x0101010101010101L) (Int64.lognot x))
+       0x8080808080808080L)
+    0L
 
 let encode ?(join_gap = 4) ~old_ current =
   let n = Bytes.length old_ in
   if Bytes.length current <> n then
     invalid_arg "Rle.encode: buffers must have equal length";
-  (* Scan for maximal differing runs; then merge runs whose separating gap
-     of equal bytes is shorter than [join_gap]. *)
+  (* Scan for maximal differing runs, comparing 8-byte words and dropping
+     to byte granularity only inside a word that differs; then merge runs
+     whose separating gap of equal bytes is shorter than [join_gap].  The
+     spans produced are byte-for-byte identical to a plain byte scan. *)
+  let rec diff_byte i =
+    (* precondition: a differing byte exists at or after [i] *)
+    if Bytes.unsafe_get old_ i <> Bytes.unsafe_get current i then i else diff_byte (i + 1)
+  in
   let rec find_diff i =
-    if i >= n then None
+    if i + 8 <= n then
+      if Int64.equal (Bytes.get_int64_le old_ i) (Bytes.get_int64_le current i) then
+        find_diff (i + 8)
+      else Some (diff_byte i)
+    else if i >= n then None
     else if Bytes.unsafe_get old_ i <> Bytes.unsafe_get current i then Some i
     else find_diff (i + 1)
   in
+  let rec same_byte i =
+    (* precondition: an equal byte exists at or after [i] *)
+    if Bytes.unsafe_get old_ i = Bytes.unsafe_get current i then i else same_byte (i + 1)
+  in
   let rec find_same i =
-    if i >= n then n
+    if i + 8 <= n then begin
+      let x = Int64.logxor (Bytes.get_int64_le old_ i) (Bytes.get_int64_le current i) in
+      if no_equal_byte x then find_same (i + 8) else same_byte i
+    end
+    else if i >= n then n
     else if Bytes.unsafe_get old_ i = Bytes.unsafe_get current i then i
     else find_same (i + 1)
   in
@@ -29,10 +72,15 @@ let encode ?(join_gap = 4) ~old_ current =
        | (s0, e0) :: rest when start - e0 < join_gap -> spans ((s0, stop) :: rest) stop
        | _ -> spans ((start, stop) :: acc) stop)
   in
-  let to_run (start, stop) =
-    { offset = start; bytes = Bytes.sub current start (stop - start) }
+  let rec build spans nruns payload acc =
+    match spans with
+    | [] -> { runs = List.rev acc; nruns; payload }
+    | (start, stop) :: rest ->
+      let len = stop - start in
+      build rest (nruns + 1) (payload + len)
+        ({ offset = start; bytes = Bytes.sub current start len } :: acc)
   in
-  List.map to_run (spans [] 0)
+  build (spans [] 0) 0 0 []
 
 let apply t target =
   let n = Bytes.length target in
@@ -41,23 +89,17 @@ let apply t target =
     if offset < 0 || offset + len > n then invalid_arg "Rle.apply: run out of bounds";
     Bytes.blit bytes 0 target offset len
   in
-  List.iter apply_run t
-
-let is_empty t = t = []
-let run_count t = List.length t
-
-let payload_size t =
-  List.fold_left (fun acc r -> acc + Bytes.length r.bytes) 0 t
-
-let encoded_size t = payload_size t + (header_bytes * run_count t)
+  List.iter apply_run t.runs
 
 let overlaps a b =
   let covers r pos = pos >= r.offset && pos < r.offset + Bytes.length r.bytes in
   let run_overlap ra rb =
     covers ra rb.offset || covers rb ra.offset
   in
-  List.exists (fun ra -> List.exists (run_overlap ra) b) a
+  List.exists (fun ra -> List.exists (run_overlap ra) b.runs) a.runs
 
 let pp ppf t =
   let pp_run ppf r = Format.fprintf ppf "%d+%d" r.offset (Bytes.length r.bytes) in
-  Format.fprintf ppf "[%a]" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_run) t
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_run)
+    t.runs

@@ -3,13 +3,19 @@
     TreadMarks represents page modifications as {e diffs}: "a runlength
     encoded record of the modifications to the page" (paper §2.4), computed
     by comparing the current page contents against its twin.  This module
-    implements that encoding generically over [Bytes.t]; [Tmk_mem.Diff]
-    layers page identity and interval metadata on top. *)
+    implements that encoding generically over [Bytes.t]; [Tmk_mem.Vm]
+    layers page identity on top.
+
+    The comparison runs 8 bytes at a time over the flat buffers (dropping
+    to byte granularity only inside a differing word), and the run count
+    and payload size are computed once at encode time — both sit on the
+    per-diff stats path.  The runs produced are byte-for-byte identical to
+    a naive per-byte scan. *)
 
 (** One modified run: [bytes] replaces the region starting at [offset]. *)
 type run = { offset : int; bytes : Bytes.t }
 
-type t = run list
+type t
 
 (** [encode ~old_ current] computes the runs where [current] differs from
     [old_].  Runs are maximal, disjoint, and sorted by increasing offset.
@@ -24,17 +30,24 @@ val encode : ?join_gap:int -> old_:Bytes.t -> Bytes.t -> t
     @raise Invalid_argument if a run falls outside [target]. *)
 val apply : t -> Bytes.t -> unit
 
+(** [runs t] — the runs, sorted by increasing offset. *)
+val runs : t -> run list
+
+(** [of_runs runs] — rebuild a diff from explicit runs (tests and
+    hand-crafted fixtures; [encode] is the normal constructor). *)
+val of_runs : run list -> t
+
 (** [is_empty t] holds when no byte differs. *)
 val is_empty : t -> bool
 
-(** [run_count t] is the number of runs. *)
+(** [run_count t] is the number of runs; O(1). *)
 val run_count : t -> int
 
-(** [payload_size t] is the total number of modified bytes carried. *)
+(** [payload_size t] is the total number of modified bytes carried; O(1). *)
 val payload_size : t -> int
 
 (** [encoded_size t] is the wire size: per-run header ([header_bytes]) plus
-    payload. *)
+    payload; O(1). *)
 val encoded_size : t -> int
 
 (** Size in bytes of one run header on the wire (offset + length, 2 bytes

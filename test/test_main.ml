@@ -18,5 +18,6 @@ let () =
       ("batching", Test_batching.suite);
       ("trace", Test_trace.suite);
       ("check", Test_check.suite);
+      ("perf", Test_perf.suite);
       ("fuzz", Test_fuzz.suite);
     ]

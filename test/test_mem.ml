@@ -8,7 +8,7 @@ let qtest ?(count = 200) name gen prop =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
 
 let accessors_roundtrip () =
-  let vm = Vm.create ~pages:4 in
+  let vm = Vm.create ~pages:4 () in
   Vm.write_u8 vm 0 0xAB;
   check Alcotest.int "u8" 0xAB (Vm.read_u8 vm 0);
   Vm.write_i64 vm 8 0x1122334455667788L;
@@ -23,18 +23,18 @@ let accessors_roundtrip () =
   check (Alcotest.float 0.0) "end of space" 2.5 (Vm.read_f64 vm last)
 
 let bounds_checks () =
-  let vm = Vm.create ~pages:1 in
+  let vm = Vm.create ~pages:1 () in
   Alcotest.check_raises "negative" (Invalid_argument "Vm: address -1 out of range")
     (fun () -> ignore (Vm.read_u8 vm (-1)));
   Alcotest.check_raises "past end" (Invalid_argument "Vm: address 4089 out of range")
     (fun () -> ignore (Vm.read_i64 vm 4089));
-  let vm2 = Vm.create ~pages:2 in
+  let vm2 = Vm.create ~pages:2 () in
   Alcotest.check_raises "straddle"
     (Invalid_argument "Vm: access at 4092 straddles a page boundary") (fun () ->
       ignore (Vm.read_i64 vm2 4092))
 
 let read_fault_dispatch () =
-  let vm = Vm.create ~pages:2 in
+  let vm = Vm.create ~pages:2 () in
   Vm.write_int vm 4096 77;
   Vm.set_prot vm 1 Vm.No_access;
   let faults = ref [] in
@@ -48,7 +48,7 @@ let read_fault_dispatch () =
   check Alcotest.int "still one fault" 1 (List.length !faults)
 
 let write_fault_on_read_only () =
-  let vm = Vm.create ~pages:1 in
+  let vm = Vm.create ~pages:1 () in
   Vm.set_prot vm 0 Vm.Read_only;
   let faulted = ref false in
   Vm.set_fault_handler vm (fun kind page ->
@@ -60,7 +60,7 @@ let write_fault_on_read_only () =
   check Alcotest.int "write landed" 5 (Vm.read_int vm 0)
 
 let fault_loop_detected () =
-  let vm = Vm.create ~pages:1 in
+  let vm = Vm.create ~pages:1 () in
   Vm.set_prot vm 0 Vm.No_access;
   Vm.set_fault_handler vm (fun _ _ -> (* forgets to fix the protection *) ());
   (match Vm.read_u8 vm 0 with
@@ -69,24 +69,24 @@ let fault_loop_detected () =
   | exception _ -> Alcotest.fail "wrong exception")
 
 let snapshot_install_roundtrip () =
-  let vm = Vm.create ~pages:2 in
+  let vm = Vm.create ~pages:2 () in
   for i = 0 to 511 do
     Vm.write_int vm (4096 + (i * 8)) (i * i)
   done;
   let snap = Vm.page_snapshot vm 1 in
-  let vm2 = Vm.create ~pages:2 in
+  let vm2 = Vm.create ~pages:2 () in
   Vm.install_page vm2 1 snap;
   for i = 0 to 511 do
     check Alcotest.int "copied" (i * i) (Vm.read_int vm2 (4096 + (i * 8)))
   done
 
 let install_wrong_size () =
-  let vm = Vm.create ~pages:1 in
+  let vm = Vm.create ~pages:1 () in
   Alcotest.check_raises "wrong size" (Invalid_argument "Vm.install_page: wrong page size")
     (fun () -> Vm.install_page vm 0 (Bytes.create 100))
 
 let diff_patch_roundtrip () =
-  let vm = Vm.create ~pages:1 in
+  let vm = Vm.create ~pages:1 () in
   Vm.write_int vm 0 1;
   Vm.write_int vm 1000 2;
   let twin = Vm.page_snapshot vm 0 in
@@ -96,7 +96,7 @@ let diff_patch_roundtrip () =
   let diff = Vm.diff_against vm 0 ~twin in
   check Alcotest.bool "nonempty" false (Tmk_util.Rle.is_empty diff);
   (* A second VM holding the twin contents catches up via the diff. *)
-  let vm2 = Vm.create ~pages:1 in
+  let vm2 = Vm.create ~pages:1 () in
   Vm.install_page vm2 0 twin;
   Vm.patch vm2 0 diff;
   check Alcotest.bool "pages equal" true
@@ -107,7 +107,7 @@ let diff_patch_random =
     QCheck.(pair int64 (list_of_size (QCheck.Gen.int_range 0 40) (pair (int_range 0 511) small_int)))
     (fun (seed, writes) ->
       ignore seed;
-      let vm = Vm.create ~pages:1 in
+      let vm = Vm.create ~pages:1 () in
       (* Seed page with a pattern. *)
       for i = 0 to 511 do
         Vm.write_int vm (i * 8) i
@@ -115,13 +115,13 @@ let diff_patch_random =
       let twin = Vm.page_snapshot vm 0 in
       List.iter (fun (slot, v) -> Vm.write_int vm (slot * 8) v) writes;
       let diff = Vm.diff_against vm 0 ~twin in
-      let vm2 = Vm.create ~pages:1 in
+      let vm2 = Vm.create ~pages:1 () in
       Vm.install_page vm2 0 twin;
       Vm.patch vm2 0 diff;
       Bytes.equal (Vm.page_snapshot vm 0) (Vm.page_snapshot vm2 0))
 
 let identical_page_empty_diff () =
-  let vm = Vm.create ~pages:1 in
+  let vm = Vm.create ~pages:1 () in
   Vm.write_int vm 0 9;
   let twin = Vm.page_snapshot vm 0 in
   check Alcotest.bool "empty" true (Tmk_util.Rle.is_empty (Vm.diff_against vm 0 ~twin))

@@ -147,11 +147,11 @@ let missing_diffs_prefix () =
   (* Diffs arrive in complete fetch rounds, oldest first within a round,
      so the lacking notices always form a newest-first prefix.  Store the
      older diff: only the newer remains missing. *)
-  Node.store_diff n ~proc:1 ~interval_id:1 ~page:2 [];
+  Node.store_diff n ~proc:1 ~interval_id:1 ~page:2 (Tmk_util.Rle.of_runs []);
   (match Node.missing_diffs n 2 with
   | [ (1, [ wn ]) ] -> check Alcotest.int "newer still lacking" 2 wn.Node.wn_interval.Node.iv_id
   | _ -> Alcotest.fail "unexpected");
-  Node.store_diff n ~proc:1 ~interval_id:2 ~page:2 [];
+  Node.store_diff n ~proc:1 ~interval_id:2 ~page:2 (Tmk_util.Rle.of_runs []);
   check Alcotest.bool "none lacking" true (Node.missing_diffs n 2 = [])
 
 (* Replay: applying an older foreign diff must re-apply newer held diffs

@@ -1,0 +1,176 @@
+(* Digest equivalence for the simulator's hot-path machinery.
+
+   The fast paths this PR adds (software-MMU unchecked-access bitmap,
+   word-granular RLE, domain-parallel sweeps) are pure simulator-speed
+   changes: every simulated quantity — application answer, Stats counters,
+   message/byte counts, simulated time — must be bit-identical with them
+   on or off.  These tests enforce that end-to-end:
+
+   - all five applications at 8 and 32 processors: same digest and same
+     run accounting with [Config.vm_fast_path] true vs false;
+   - the same with the race detector attached (its [on_access] hook must
+     still observe every shared access — the checker's findings and the
+     digest both have to match, and a Vm-level test counts hook calls);
+   - a sweep mapped with [Harness.parallel_map ~jobs:4] equals the
+     sequential map, element for element.
+
+   The equivalence runs themselves fan out across domains (they are
+   independent simulations), which keeps the suite's wall time near the
+   slowest single run instead of the sum. *)
+
+open Tmk_dsm
+module Harness = Tmk_harness.Harness
+module Vm = Tmk_mem.Vm
+
+let check = Alcotest.check
+
+let cfg_of ~app ~nprocs ~fast =
+  let cfg =
+    Harness.config ~app ~nprocs ~protocol:Config.Lrc ~net:Tmk_net.Params.atm_aal34
+  in
+  { cfg with Config.vm_fast_path = fast }
+
+(* One comparable record per run: the digest plus every piece of
+   simulated accounting a fast path could plausibly disturb. *)
+type fingerprint = {
+  fp_digest : string;
+  fp_stats : Stats.t;
+  fp_time : int;
+  fp_messages : int;
+  fp_bytes : int;
+}
+
+let fingerprint ~app cfg =
+  let m, digest = Harness.run_checked ~app cfg in
+  let raw = m.Harness.m_raw in
+  {
+    fp_digest = digest;
+    fp_stats = raw.Api.total_stats;
+    fp_time = raw.Api.total_time;
+    fp_messages = raw.Api.messages;
+    fp_bytes = raw.Api.bytes;
+  }
+
+let proc_counts = [ 8; 32 ]
+
+(* All (app, nprocs, fast?) arms, run once across domains, keyed for the
+   per-app test cases below. *)
+let equivalence_runs =
+  lazy
+    (let arms =
+       List.concat_map
+         (fun app ->
+           List.concat_map
+             (fun nprocs -> [ (app, nprocs, true); (app, nprocs, false) ])
+             proc_counts)
+         Harness.all_apps
+     in
+     let results =
+       Harness.parallel_map ~jobs:4
+         (fun (app, nprocs, fast) -> fingerprint ~app (cfg_of ~app ~nprocs ~fast))
+         arms
+     in
+     let tbl = Hashtbl.create 32 in
+     List.iter2 (fun arm fp -> Hashtbl.replace tbl arm fp) arms results;
+     tbl)
+
+let check_equal ~what fast slow =
+  check Alcotest.string (what ^ ": digest") slow.fp_digest fast.fp_digest;
+  check Alcotest.bool (what ^ ": digest nonempty") true (fast.fp_digest <> "");
+  check Alcotest.bool (what ^ ": stats") true (fast.fp_stats = slow.fp_stats);
+  check Alcotest.int (what ^ ": simulated time") slow.fp_time fast.fp_time;
+  check Alcotest.int (what ^ ": messages") slow.fp_messages fast.fp_messages;
+  check Alcotest.int (what ^ ": bytes") slow.fp_bytes fast.fp_bytes
+
+let fast_path_equivalence app () =
+  let runs = Lazy.force equivalence_runs in
+  List.iter
+    (fun nprocs ->
+      let what = Printf.sprintf "%s %dp" (Harness.app_name app) nprocs in
+      check_equal ~what
+        (Hashtbl.find runs (app, nprocs, true))
+        (Hashtbl.find runs (app, nprocs, false)))
+    proc_counts
+
+(* ------------------------------------------------------------------ *)
+(* With the race detector attached the Vm access hook is installed, so
+   the fast bitmap must stay all-clear and the checker must see exactly
+   the accesses it always saw — same findings, same digest.  Racey is
+   the positive fixture (its findings are non-empty), so a hook that
+   silently missed accesses would show up as a findings mismatch.        *)
+
+let checked_fingerprint ~fast =
+  let app = Harness.Racey in
+  let cfg = cfg_of ~app ~nprocs:8 ~fast in
+  let race = Tmk_check.Race.create ~nprocs:8 ~pages:cfg.Config.pages () in
+  let cfg = { cfg with Config.check = Some (Tmk_check.Checker.create ~race ()) } in
+  let fp = fingerprint ~app cfg in
+  (fp, Tmk_check.Race.report race)
+
+let race_detector_equivalence () =
+  let fast_fp, fast_report = checked_fingerprint ~fast:true in
+  let slow_fp, slow_report = checked_fingerprint ~fast:false in
+  check Alcotest.bool "racy fixture still flagged" true
+    (fast_report <> "" && fast_report = slow_report);
+  check_equal ~what:"racey 8p, race detector on" fast_fp slow_fp
+
+(* Vm-level hook coverage: with the fast path enabled, installing an
+   access hook must force every typed access back onto the observed path
+   — one hook call per load or store, with the right kind and width. *)
+let hook_sees_every_access () =
+  let vm = Vm.create ~fast_path:true ~pages:2 () in
+  let seen = ref [] in
+  Vm.set_access_hook vm (fun kind addr width -> seen := (kind, addr, width) :: !seen);
+  Vm.write_int vm 0 42;
+  ignore (Vm.read_int vm 0);
+  Vm.write_u8 vm 4096 7;
+  ignore (Vm.read_u8 vm 4096);
+  check Alcotest.bool "every access observed" true
+    (List.rev !seen
+    = [ (Vm.Write, 0, 8); (Vm.Read, 0, 8); (Vm.Write, 4096, 1); (Vm.Read, 4096, 1) ])
+
+(* Fast-path semantics: out-of-range and straddling accesses must keep
+   raising exactly as the checked path does. *)
+let fast_path_still_raises () =
+  let vm = Vm.create ~fast_path:true ~pages:1 () in
+  let raises f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  check Alcotest.bool "negative addr" true (raises (fun () -> Vm.read_u8 vm (-1)));
+  check Alcotest.bool "past the end" true (raises (fun () -> Vm.read_u8 vm 4096));
+  check Alcotest.bool "straddle" true (raises (fun () -> Vm.read_i64 vm 4092));
+  Vm.write_u8 vm 4095 9;
+  check Alcotest.int "last byte still accessible" 9 (Vm.read_u8 vm 4095)
+
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel sweeps: mapping the arms on 4 domains must be
+   indistinguishable from the sequential map.                           *)
+
+let parallel_map_equivalence () =
+  let arms =
+    List.concat_map
+      (fun app -> List.map (fun n -> (app, n)) [ 2; 4 ])
+      [ Harness.Tsp; Harness.Jacobi ]
+  in
+  let run (app, nprocs) = fingerprint ~app (cfg_of ~app ~nprocs ~fast:true) in
+  let sequential = Harness.parallel_map ~jobs:1 run arms in
+  let parallel = Harness.parallel_map ~jobs:4 run arms in
+  check Alcotest.int "same length" (List.length sequential) (List.length parallel)
+  ;
+  List.iteri
+    (fun i (s, p) -> check_equal ~what:(Printf.sprintf "arm %d" i) p s)
+    (List.combine sequential parallel)
+
+let suite =
+  let app_case app =
+    Alcotest.test_case
+      (Printf.sprintf "fast path preserves %s at 8 and 32 procs" (Harness.app_name app))
+      `Slow (fast_path_equivalence app)
+  in
+  List.map app_case Harness.all_apps
+  @ [
+      Alcotest.test_case "race detector findings unchanged by fast path" `Slow
+        race_detector_equivalence;
+      Alcotest.test_case "access hook observes every access" `Quick hook_sees_every_access;
+      Alcotest.test_case "fast path keeps checked-path errors" `Quick fast_path_still_raises;
+      Alcotest.test_case "parallel_map jobs:4 equals sequential" `Slow
+        parallel_map_equivalence;
+    ]

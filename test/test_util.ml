@@ -179,7 +179,7 @@ let rle_runs_sorted_disjoint =
         | a :: (b :: _ as rest) ->
           a.Rle.offset + Bytes.length a.Rle.bytes <= b.Rle.offset && ok rest
       in
-      ok diff)
+      ok (Rle.runs diff))
 
 let rle_join_gap () =
   (* Two 1-byte changes 2 bytes apart must join into one run with the
