@@ -1,20 +1,22 @@
 (* Benchmark driver: regenerates every table and figure of the paper's
    evaluation (experiments E1-E10, see DESIGN.md for the index) plus the
-   E11 scaling study, the E12 crash-survival study, and Bechamel
-   microbenchmarks of the implementation's hot paths.
+   E11 scaling study, the E12 crash-survival study, the E13 coherence
+   backend comparison, and Bechamel microbenchmarks of the
+   implementation's hot paths.
 
    Usage:
-     bench/main.exe            run E1-E12
+     bench/main.exe            run E1-E13
      bench/main.exe e3 e8 a2   run selected experiments/ablations
      bench/main.exe e11        scaling study only (writes BENCH_3.json)
      bench/main.exe e12        crash-survival study only (writes BENCH_5.json)
+     bench/main.exe e13        backend comparison only (writes BENCH_7.json)
      bench/main.exe ablation   run the ablation suite A1-A5
      bench/main.exe micro      run the Bechamel microbenchmarks
      bench/main.exe all        everything
 
    Options:
-     --jobs N    run independent sweep arms (E10, E11) on N OCaml domains;
-                 reports are byte-identical at any N (default 1) *)
+     --jobs N    run independent sweep arms (E10, E11, E13) on N OCaml
+                 domains; reports are byte-identical at any N (default 1) *)
 
 open Tmk_harness
 

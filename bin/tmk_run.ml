@@ -57,9 +57,9 @@ let run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold ~eager
   in
   pf "application : %s (%s)@." (Tmk_harness.Harness.app_name app)
     (Tmk_harness.Harness.workload_description app);
-  pf "cluster     : %d processors, %s, %s release consistency, batching %s@." nprocs
+  pf "cluster     : %d processors, %s, %s, batching %s@." nprocs
     m.Tmk_harness.Harness.m_net
-    (Tmk_dsm.Config.protocol_name protocol)
+    (Tmk_dsm.Config.protocol_description protocol)
     (if batching then "on" else "off");
   pf "faults      : %s@." (Tmk_net.Fault_plan.describe faults);
   pf "time        : %.3f simulated seconds@." m.Tmk_harness.Harness.m_time_s;
@@ -163,11 +163,10 @@ let app_conv =
   Arg.conv (parse, fun ppf app -> Format.pp_print_string ppf (Tmk_harness.Harness.app_name app))
 
 let protocol_conv =
-  let parse = function
-    | "lazy" | "lrc" -> Ok Tmk_dsm.Config.Lrc
-    | "eager" | "erc" -> Ok Tmk_dsm.Config.Erc
-    | "sc" | "single-writer" -> Ok Tmk_dsm.Config.Sc
-    | s -> Error (`Msg (Printf.sprintf "unknown protocol %S (lazy|eager|sc)" s))
+  let parse s =
+    match Tmk_dsm.Config.protocol_of_string s with
+    | p -> Ok p
+    | exception Invalid_argument msg -> Error (`Msg msg)
   in
   Arg.conv
     (parse, fun ppf p -> Format.pp_print_string ppf (Tmk_dsm.Config.protocol_name p))
@@ -202,7 +201,11 @@ let cmd =
   in
   let protocol =
     Arg.(value & opt protocol_conv Tmk_dsm.Config.Lrc
-         & info [ "c"; "protocol" ] ~docv:"PROTO" ~doc:"Consistency protocol: lazy (TreadMarks), eager (Munin-style update), or sc (single-writer baseline).")
+         & info [ "c"; "protocol" ] ~docv:"PROTO"
+             ~doc:"Coherence backend: lazy (TreadMarks LRC), eager (Munin-style update), \
+                   sc (single-writer baseline), tardis (timestamp leases, no \
+                   invalidations), or sc-abd (majority-quorum replication, crash-tolerant \
+                   with zero recovery).")
   in
   let net =
     Arg.(value & opt net_conv Params.atm_aal34

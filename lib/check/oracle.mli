@@ -32,6 +32,15 @@ val create : nprocs:int -> unit -> t
 
 val nprocs : t -> int
 
+(** [set_vt_checked t b] — enable or disable the vector-time invariants
+    (I1, I2, and the knowledge-coverage half of I3; on by default).
+    Coherence backends without vector timestamps on the wire
+    ([Backend.caps.c_vt_on_wire = false]: Tardis, SC-ABD) emit no
+    interval events and make knowledge comparisons vacuous, so [Api.run]
+    switches these checks off for them; the structural barrier checks
+    (I4) and diff conservation (I5) stay on for every backend. *)
+val set_vt_checked : t -> bool -> unit
+
 (** [feed t r] — consume one record in stream order. *)
 val feed : t -> Tmk_trace.Sink.record -> unit
 

@@ -1,0 +1,63 @@
+open Tmk_sim
+
+type caps = {
+  c_name : string;
+  c_crash_runs : bool;
+  c_zero_recovery : bool;
+  c_diff_backup : bool;
+  c_vt_on_wire : bool;
+}
+
+type payload = {
+  p_bytes : int;
+  p_parts : int;
+  p_absorb : charge:Node.charge -> unit;
+}
+
+type arrival = {
+  v_bytes : int;
+  v_parts : int;
+  v_absorb_mgr : charge:Node.charge -> unit;
+  v_release : charge:Node.charge -> payload;
+}
+
+type acq = { a_grant : granter:int -> charge:Node.charge -> payload }
+
+type t = {
+  b_caps : caps;
+  b_handle_fault : pid:int -> Tmk_mem.Vm.access -> int -> unit;
+  b_lock_request_bytes : int;
+  b_pre_acquire : pid:int -> unit;
+  b_make_acquire : pid:int -> acq;
+  b_pre_release : pid:int -> unit;
+  b_pre_barrier : pid:int -> unit;
+  b_barrier_begin : pid:int -> unit;
+  b_make_arrival : pid:int -> arrival;
+  b_barrier_depart : pid:int -> unit;
+  b_want_gc : pid:int -> bool;
+  b_gc_validate : pid:int -> unit;
+  b_on_death : int -> unit;
+}
+
+(* Plain-synchronization payloads: a fixed-size header, no piggybacked
+   consistency records, a flat incorporation charge at the receiver. *)
+
+let plain_absorb ~charge = charge Category.Tmk_consistency Cpu.incorporate_base
+
+let plain_grant ~nprocs ~granter:_ ~charge =
+  charge Category.Unix_comm Cpu.lock_grant_kernel;
+  charge Category.Tmk_other Cpu.lock_grant_dsm;
+  { p_bytes = Wire.lock_grant_bytes ~nprocs []; p_parts = 1; p_absorb = plain_absorb }
+
+let plain_release ~nprocs =
+  { p_bytes = Wire.barrier_release_bytes ~nprocs []; p_parts = 1; p_absorb = plain_absorb }
+
+let plain_arrival ~nprocs =
+  {
+    v_bytes = Wire.barrier_arrival_bytes ~nprocs [];
+    v_parts = 1;
+    v_absorb_mgr = plain_absorb;
+    v_release = (fun ~charge:_ -> plain_release ~nprocs);
+  }
+
+let noop_pid ~pid:_ = ()

@@ -1,0 +1,211 @@
+open Tmk_sim
+module Transport = Tmk_net.Transport
+module Vm = Tmk_mem.Vm
+module Costs = Tmk_mem.Costs
+module Bitset = Tmk_util.Bitset
+
+type pending_op = {
+  po_pid : int;
+  po_seq : int;
+  po_target : int;
+  po_settled : unit -> bool;
+  po_retry : unit -> unit;
+}
+
+type t = {
+  cfg : Config.t;
+  engine : Engine.t;
+  transport : Transport.t;
+  nodes : Node.t array;
+  crashes_planned : bool;
+  dead : bool array;
+  mutable epoch : int;
+  mutable pending_ops : pending_op list;
+  mutable next_op : int;
+  mutable fatal : (int * string) option;
+}
+
+let barrier_manager = 0
+
+exception Empty_copyset of { pid : int; page : int }
+
+let () =
+  Printexc.register_printer (function
+    | Empty_copyset { pid; page } ->
+      Some
+        (Printf.sprintf "Tmk_dsm.Protocol.Empty_copyset(pid %d, page %d): no live copy" pid
+           page)
+    | _ -> None)
+
+let live t pid = not t.dead.(pid)
+
+let live_count t =
+  let n = ref 0 in
+  Array.iter (fun d -> if not d then incr n) t.dead;
+  !n
+
+let lowest_live_other t pid =
+  let n = t.cfg.Config.nprocs in
+  let rec seek p =
+    if p >= n then None else if p <> pid && not t.dead.(p) then Some p else seek (p + 1)
+  in
+  seek 0
+
+let backup_peer t proc =
+  let n = t.cfg.Config.nprocs in
+  let rec seek i =
+    if i >= n then None
+    else
+      let p = (proc + i) mod n in
+      if p <> proc && not t.dead.(p) then Some p else seek (i + 1)
+  in
+  seek 1
+
+(* A run degrades when surviving processors would need consistency state
+   that only the dead processor held.  Safe from any context: records the
+   fatality and asks the engine to stop at the next event boundary. *)
+let note_fatal t ~pid reason =
+  if t.fatal = None then begin
+    t.fatal <- Some (pid, reason);
+    Engine.request_stop t.engine ("degraded: " ^ reason)
+  end
+
+(* Application-context variant: parks the calling process forever (the
+   engine stops before the park can deadlock anything). *)
+let degrade_app t ~pid reason =
+  note_fatal t ~pid reason;
+  Engine.await (Engine.Ivar.create ())
+
+(* Protocol event tracing: enable with Logs at Debug level on the
+   "tmk.protocol" source (tmk_run --verbose). *)
+let log_src = Logs.Src.create "tmk.protocol" ~doc:"TreadMarks protocol events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let app_charge cat dt = Engine.advance cat dt
+let h_charge h cat dt = Engine.hcharge h cat dt
+
+(* Typed-trace emission.  Always guard with [Engine.tracing] (or
+   [Engine.htracing] in handler context) at the call site so the event
+   value is never even allocated when tracing is off. *)
+let emit t ~pid ev = Engine.emit t.engine ~pid ev
+
+(* Application-context protocol bookkeeping must not interleave with this
+   processor's request handlers: [Engine.advance] is a scheduling point,
+   so charging time in the middle of a mutation sequence would let a
+   handler observe (and mutate) half-updated consistency structures.  The
+   real implementation masks signals around these sections; we run the
+   mutations instantaneously and charge the accumulated CPU afterwards. *)
+let atomically f =
+  let charges = Tmk_util.Vec.create () in
+  let charge cat dt = Tmk_util.Vec.push charges (cat, dt) in
+  let result = f charge in
+  Tmk_util.Vec.iter (fun (cat, dt) -> Engine.advance cat dt) charges;
+  result
+
+(* Pick a live processor believed to cache the page (never ourselves).
+   The choice hashes (page, faulting pid) over the members so concurrent
+   cold misses spread across the copyset instead of all landing on the
+   lowest member (processor 0 holds every page initially, which made it a
+   hot spot).  @raise Empty_copyset when no live candidate remains. *)
+let choose_provider t copyset ~self ~page =
+  let members =
+    Bitset.fold (fun q acc -> if q <> self && not t.dead.(q) then q :: acc else acc) copyset []
+  in
+  match List.rev members with
+  | [] -> raise (Empty_copyset { pid = self; page })
+  | members ->
+    let h = (((page + 1) * 2654435761) + (self * 40503)) land max_int in
+    List.nth members (h mod List.length members)
+
+(* ERC variant: always the lowest live member.  The update protocol's
+   directory admits members whose base copy is still in flight (the
+   faulter joins at serve time, before its reply lands), so an arbitrary
+   member is not yet guaranteed to hold current bytes; the lowest member
+   is the longest-standing one — in practice the page's origin. *)
+let choose_provider_lowest t copyset ~self ~page =
+  let provider =
+    Bitset.fold
+      (fun q acc -> if q <> self && (not t.dead.(q)) && acc < 0 then q else acc)
+      copyset (-1)
+  in
+  if provider < 0 then raise (Empty_copyset { pid = self; page }) else provider
+
+(* Register a re-issuable remote operation (only while a crash plan is
+   armed; the registry would otherwise grow for nothing). *)
+let register_pending t ~pid ~target ~settled ~retry =
+  if t.crashes_planned then begin
+    let seq = t.next_op in
+    t.next_op <- seq + 1;
+    t.pending_ops <-
+      { po_pid = pid; po_seq = seq; po_target = target; po_settled = settled; po_retry = retry }
+      :: t.pending_ops
+  end
+
+let note_miss t pid page =
+  let node = t.nodes.(pid) in
+  Log.debug (fun m -> m "[t=%d] miss at %d on page %d" (Engine.now t.engine) pid page);
+  node.Node.stats.Stats.remote_misses <- node.Node.stats.Stats.remote_misses + 1
+
+(* Shared fault prologue of the release-consistent backends (§3.7's
+   SIGSEGV handler): charges, stats, events, twin creation on a write to
+   a valid page, and the miss dispatch for invalid pages. *)
+let rc_fault t pid kind page ~miss =
+  let node = t.nodes.(pid) in
+  app_charge Category.Unix_mem Costs.sigsegv;
+  app_charge Category.Tmk_other Cpu.fault_dispatch;
+  (match kind with
+  | Vm.Read -> node.Node.stats.Stats.read_faults <- node.Node.stats.Stats.read_faults + 1
+  | Vm.Write -> node.Node.stats.Stats.write_faults <- node.Node.stats.Stats.write_faults + 1);
+  let ekind =
+    match kind with Vm.Read -> Tmk_trace.Event.Read | Vm.Write -> Tmk_trace.Event.Write
+  in
+  if Engine.tracing t.engine then
+    emit t ~pid (Tmk_trace.Event.Page_fault { page; kind = ekind });
+  (match (Vm.prot node.Node.vm page, kind) with
+  | Vm.Read_only, Vm.Write ->
+    atomically (fun charge -> Node.write_fault_twin node page ~charge)
+  | Vm.No_access, Vm.Read -> miss ()
+  | Vm.No_access, Vm.Write ->
+    miss ();
+    (* The miss can leave the page invalid again if a notice raced in;
+       the Vm fault dispatcher retries and we fall into the miss path
+       once more. *)
+    if Vm.prot node.Node.vm page = Vm.Read_only then
+      atomically (fun charge -> Node.write_fault_twin node page ~charge)
+  | (Vm.Read_only | Vm.Read_write), _ -> assert false);
+  if Engine.tracing t.engine then
+    emit t ~pid (Tmk_trace.Event.Page_fault_done { page; kind = ekind })
+
+let create cfg =
+  let engine = Engine.create ~nprocs:cfg.Config.nprocs in
+  (match cfg.Config.trace with
+  | Some sink -> Engine.set_sink engine sink
+  | None -> ());
+  let prng = Tmk_util.Prng.split_named (Tmk_util.Prng.create cfg.Config.seed) "net" in
+  let transport =
+    Transport.create ~plan:cfg.Config.faults ~batching:cfg.Config.batching ~engine
+      ~params:cfg.Config.net ~prng ()
+  in
+  let nodes =
+    Array.init cfg.Config.nprocs (fun pid ->
+        let emit =
+          match cfg.Config.trace with
+          | None -> None
+          | Some _ -> Some (fun ev -> Engine.emit engine ~pid ev)
+        in
+        Node.create ?emit ~vm_fast_path:cfg.Config.vm_fast_path ~pid
+          ~nprocs:cfg.Config.nprocs ~pages:cfg.Config.pages ())
+  in
+  {
+    cfg;
+    engine;
+    transport;
+    nodes;
+    crashes_planned = Tmk_net.Fault_plan.crashes cfg.Config.faults <> [];
+    dead = Array.make cfg.Config.nprocs false;
+    epoch = 0;
+    pending_ops = [];
+    next_op = 0;
+    fatal = None;
+  }

@@ -1,0 +1,104 @@
+(** Backend-agnostic cluster substrate.
+
+    The pieces of a running cluster that every coherence backend and the
+    protocol core share: configuration, engine, transport, the per-node
+    DSM state, the membership view (detected deaths, epoch), the
+    re-issuable-operation registry for crash recovery, and the small
+    context helpers (atomic sections, charging, tracing, provider
+    choice).  {!Protocol} builds one of these, hands it to the selected
+    backend's [make], and layers locks/barriers/GC/failover on top. *)
+
+open Tmk_sim
+
+(** One remote operation whose reply may never come because the serving
+    peer can crash: recovery re-issues it against a live peer.  The
+    original reply mailbox is reused; value messages never double-fill,
+    so a late duplicate from the first attempt is harmless. *)
+type pending_op = {
+  po_pid : int;  (** the waiting processor *)
+  po_seq : int;  (** registration order, for deterministic replay *)
+  po_target : int;  (** the peer whose reply is awaited *)
+  po_settled : unit -> bool;  (** reply already arrived *)
+  po_retry : unit -> unit;  (** re-issue; runs in timer context *)
+}
+
+type t = {
+  cfg : Config.t;
+  engine : Engine.t;
+  transport : Tmk_net.Transport.t;
+  nodes : Node.t array;
+  crashes_planned : bool;  (** gates the pending-op registry *)
+  dead : bool array;  (** deaths detected so far (protocol view) *)
+  mutable epoch : int;  (** membership epoch, bumped per detected death *)
+  mutable pending_ops : pending_op list;  (** newest first *)
+  mutable next_op : int;
+  mutable fatal : (int * string) option;
+}
+
+(** [create cfg] builds engine, transport and nodes.  [cfg] must already
+    be validated. *)
+val create : Config.t -> t
+
+(** The centralized barrier (and GC) manager. *)
+val barrier_manager : int
+
+(** Raised when a page fetch finds no live processor in the page's
+    copyset (every copy died with a crash). *)
+exception Empty_copyset of { pid : int; page : int }
+
+val live : t -> int -> bool
+val live_count : t -> int
+
+(** [lowest_live_other t pid] — the lowest-numbered live processor other
+    than [pid]; [None] when nobody else is alive. *)
+val lowest_live_other : t -> int -> int option
+
+(** The deterministic backup peer for [proc]'s diff mirrors: the next
+    live processor in cyclic pid order. *)
+val backup_peer : t -> int -> int option
+
+(** [note_fatal t ~pid reason] — record that the run cannot make
+    progress (surfaced as [Api.Degraded]) and stop the engine at the
+    next event boundary.  Safe from any context. *)
+val note_fatal : t -> pid:int -> string -> unit
+
+(** Application-context variant: parks the calling process forever. *)
+val degrade_app : t -> pid:int -> string -> 'a
+
+val app_charge : Category.t -> Vtime.t -> unit
+val h_charge : Engine.hctx -> Category.t -> Vtime.t -> unit
+
+(** [atomically f] — run protocol bookkeeping without scheduling points:
+    [f] receives a charge collector, mutations run instantaneously, and
+    the accumulated CPU is charged afterwards (the real implementation
+    masks signals around these sections). *)
+val atomically : (Node.charge -> 'a) -> 'a
+
+val emit : t -> pid:int -> Tmk_trace.Event.t -> unit
+
+(** Shared Logs source ("tmk.protocol"). *)
+module Log : Logs.LOG
+
+(** [choose_provider t copyset ~self ~page] — a live copyset member
+    (never [self]), hashed over (page, self) to spread concurrent
+    misses.  @raise Empty_copyset when no live candidate remains. *)
+val choose_provider : t -> Tmk_util.Bitset.t -> self:int -> page:int -> int
+
+(** Lowest live member variant (ERC: the longest-standing member is the
+    only one guaranteed to hold current bytes). *)
+val choose_provider_lowest : t -> Tmk_util.Bitset.t -> self:int -> page:int -> int
+
+(** [register_pending t ~pid ~target ~settled ~retry] — register a
+    re-issuable remote operation (no-op unless a crash plan is armed). *)
+val register_pending :
+  t -> pid:int -> target:int -> settled:(unit -> bool) -> retry:(unit -> unit) -> unit
+
+(** [note_miss t pid page] — common access-miss bookkeeping (stats,
+    debug log). *)
+val note_miss : t -> int -> int -> unit
+
+(** [rc_fault t pid kind page ~miss] — the shared fault prologue of the
+    release-consistent backends (LRC, ERC): SIGSEGV and dispatch
+    charges, fault stats and events, twin creation on write-to-valid,
+    and the protection-state dispatch into [miss] for invalid pages. *)
+val rc_fault : t -> int -> Tmk_mem.Vm.access -> int -> miss:(unit -> unit) -> unit

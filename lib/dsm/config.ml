@@ -1,4 +1,4 @@
-type protocol = Lrc | Erc | Sc
+type protocol = Lrc | Erc | Sc | Tardis | Sc_abd
 
 type t = {
   nprocs : int;
@@ -56,12 +56,12 @@ let validate t =
   List.iter
     (fun c ->
       if c.Tmk_net.Fault_plan.cr_pid >= t.nprocs then
-        invalid_arg "Config: crash pid outside the cluster";
-      if t.protocol <> Lrc then
-        invalid_arg "Config: crash recovery is implemented for the Lrc protocol only")
+        invalid_arg "Config: crash pid outside the cluster")
     t.faults.Tmk_net.Fault_plan.crashes;
-  if t.diff_backup && t.protocol <> Lrc then
-    invalid_arg "Config: diff_backup applies to the Lrc protocol only";
+  (* Whether crash schedules or diff_backup are admissible depends on the
+     selected coherence backend's capabilities; Protocol.create checks
+     them against [Backend.caps] (this module cannot: the backend modules
+     sit above it in the dependency order). *)
   match t.check with
   | None -> ()
   | Some c ->
@@ -78,4 +78,30 @@ let validate t =
         invalid_arg "Config: invariant oracle sized for a different cluster"
     | None -> ())
 
-let protocol_name = function Lrc -> "lazy" | Erc -> "eager" | Sc -> "sc"
+let protocol_name = function
+  | Lrc -> "lazy"
+  | Erc -> "eager"
+  | Sc -> "sc"
+  | Tardis -> "tardis"
+  | Sc_abd -> "sc-abd"
+
+let protocol_description = function
+  | Lrc -> "lazy release consistency"
+  | Erc -> "eager release consistency"
+  | Sc -> "sequentially-consistent single-writer"
+  | Tardis -> "tardis timestamp coherence"
+  | Sc_abd -> "sc-abd quorum replication"
+
+let all_protocols = [ Lrc; Erc; Sc; Tardis; Sc_abd ]
+
+let protocol_of_string s =
+  match String.lowercase_ascii s with
+  | "lazy" | "lrc" -> Lrc
+  | "eager" | "erc" -> Erc
+  | "sc" | "single-writer" -> Sc
+  | "tardis" -> Tardis
+  | "sc-abd" | "abd" -> Sc_abd
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Config.protocol_of_string: unknown protocol %S (valid: %s)" other
+         (String.concat ", " (List.map protocol_name all_protocols)))

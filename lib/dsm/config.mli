@@ -1,12 +1,23 @@
 (** Cluster configuration. *)
 
-(** Consistency protocol (§2 and §5.1). *)
+(** Consistency protocol (§2 and §5.1), i.e. the coherence backend the
+    cluster runs ({!Backend}). *)
 type protocol =
   | Lrc  (** lazy release consistency, invalidate, lazy diffs (TreadMarks) *)
   | Erc  (** eager release consistency, update protocol (the Munin-style baseline) *)
   | Sc
       (** sequentially consistent single-writer protocol (the Li-Hudak-style
           "early DSM" baseline of §2.3; see {!Sc}) *)
+  | Tardis
+      (** timestamp-counter coherence with read leases: no vector
+          timestamps on the wire, per-page write/read counters at a
+          distributed manager, lease sweeps at synchronization (see
+          {!Tardis}) *)
+  | Sc_abd
+      (** majority-quorum replicated sequential consistency: ABD-style
+          two-phase word-granularity reads/writes over full replicas,
+          crash-stop tolerant with zero recovery protocol (see
+          {!Sc_abd}) *)
 
 type t = {
   nprocs : int;  (** cluster size (the paper uses up to 8) *)
@@ -54,7 +65,8 @@ type t = {
           never created cannot have been mirrored).  [false] (the
           default): no replication — a crash can strand diffs that only
           the dead processor held, degrading the run (see
-          {!Api.Degraded}).  Lrc only. *)
+          {!Api.Degraded}).  Only meaningful for backends whose
+          [Backend.caps.c_diff_backup] is set (Lrc). *)
   vm_fast_path : bool;
       (** [true] (the default): typed accessors on writable, unobserved
           pages skip the software-MMU protection check (see
@@ -81,8 +93,23 @@ type t = {
     scalar FPU). *)
 val default : t
 
-(** [validate t] checks invariants.
+(** [validate t] checks invariants.  Capability-dependent admissibility
+    (crash schedules, [diff_backup]) is checked by [Protocol.create]
+    against the selected backend's {!Backend.caps}.
     @raise Invalid_argument when a field is out of range. *)
 val validate : t -> unit
 
 val protocol_name : protocol -> string
+
+(** [protocol_description p] — a short human label for stats output,
+    e.g. ["lazy release consistency"], ["sc-abd quorum replication"]. *)
+val protocol_description : protocol -> string
+
+(** Every protocol, in declaration order. *)
+val all_protocols : protocol list
+
+(** [protocol_of_string s] — inverse of {!protocol_name}
+    (case-insensitive; also accepts the aliases "lrc", "erc",
+    "single-writer" and "abd").
+    @raise Invalid_argument on unknown names, listing the valid ones. *)
+val protocol_of_string : string -> protocol

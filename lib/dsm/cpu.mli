@@ -88,3 +88,20 @@ val erc_flush_per_page : Vtime.t
 (** [gc_per_record] — discarding one consistency record during garbage
     collection. *)
 val gc_per_record : Vtime.t
+
+(** [tardis_manager] — one Tardis manager bookkeeping step (timestamp
+    compare/bump, request queue maintenance); same magnitude as the SC
+    manager's per-step cost. *)
+val tardis_manager : Vtime.t
+
+(** [lease_sweep_per_page] — examining one cached page during a Tardis
+    lease sweep (the invalidation's mprotect is charged separately). *)
+val lease_sweep_per_page : Vtime.t
+
+(** [abd_serve] — replica-side service of one SC-ABD quorum message
+    (timestamp scan or word-filtered store application). *)
+val abd_serve : Vtime.t
+
+(** [abd_merge_per_reply] — requester-side word-wise merge of one quorum
+    read reply. *)
+val abd_merge_per_reply : Vtime.t

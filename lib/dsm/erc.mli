@@ -1,0 +1,10 @@
+(** Eager release consistency (§5.1), packaged as a {!Backend}.
+
+    At every release and barrier arrival the dirty pages are diffed and
+    the diffs pushed as updates to every cacher in the page's directory,
+    with the release blocked until all updates are acknowledged
+    (DASH-style).  Locks and barriers carry no consistency payload and
+    pages are never invalidated — a miss is always a cold fetch. *)
+
+val caps : Backend.caps
+val make : Cluster.t -> Backend.t

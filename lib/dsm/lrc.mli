@@ -1,0 +1,16 @@
+(** Lazy release consistency (§3) — the TreadMarks protocol proper,
+    packaged as a {!Backend}.
+
+    Multiple-writer pages with twins and lazy diffs; interval and
+    write-notice records piggybacked on lock grants and barrier
+    messages; misses fetch a base copy (cold) plus the missing diffs
+    from the minimal responder set of §3.5, applied in vector-timestamp
+    order.  Honors [Config.lrc_updates] (hybrid update protocol),
+    [Config.lazy_diffs], [Config.diff_backup] (diff mirroring, which
+    forces eager diffs) and [Config.gc_threshold]. *)
+
+val caps : Backend.caps
+
+(** [make cl] wires the backend to [cl] (installing the diff-backup hook
+    when configured) and returns its hook table. *)
+val make : Cluster.t -> Backend.t

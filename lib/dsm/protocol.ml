@@ -1,43 +1,50 @@
+(* The backend-agnostic protocol core: locks (distributed queue with
+   static managers and forwarding, §3.3), centralized barriers (§3.4),
+   garbage collection orchestration (§3.6), and crash detection /
+   metadata failover.  Everything coherence-specific — fault handling,
+   what synchronization messages carry and what absorbing them does —
+   lives behind the {!Backend} hook table selected from
+   [Config.protocol]. *)
+
 open Tmk_sim
 module Transport = Tmk_net.Transport
 module Vm = Tmk_mem.Vm
-module Costs = Tmk_mem.Costs
-module Rle = Tmk_util.Rle
 module Bitset = Tmk_util.Bitset
 
-(* ------------------------------------------------------------------ *)
-(* Message payloads (sizes are computed via [Wire]; the values travel
-   as closures/records inside the simulator).                          *)
+type recovery = {
+  rc_pid : int;
+  rc_epoch : int;
+  rc_crash_at : Vtime.t;
+  rc_detected_at : Vtime.t;
+  rc_locks_rehomed : int;
+  rc_retries : int;
+}
 
-type grant = { g_intervals : Node.msg_interval list; g_granter_vt : Vector_time.t }
+(* Every detected death, whether or not it produced a recovery record: a
+   zero-recovery backend (SC-ABD) rides out a crash without rebuilding
+   anything, but the grace-window bookkeeping below still needs the
+   detection times. *)
+type death = { d_pid : int; d_crash_at : Vtime.t; d_detected_at : Vtime.t }
 
 type lock_request = {
   lr_lock : int;
   lr_requester : int;
-  lr_vt : Vector_time.t;
-  lr_mb : grant Transport.mailbox;
+  lr_acq : Backend.acq;  (* grant builder, capturing the request-time state *)
+  lr_mb : Backend.payload Transport.mailbox;
   lr_epoch : int;
       (* membership epoch at creation; requests stamped with an older
          epoch are stale routing from before a crash and are dropped
          (recovery re-injects a fresh record for every live waiter) *)
 }
 
-type barrier_release = {
-  br_intervals : Node.msg_interval list;
-  br_vt : Vector_time.t;
-  br_gc : bool;
-}
-
-(* ------------------------------------------------------------------ *)
-(* Lock and barrier state                                              *)
+type barrier_release = { br_payload : Backend.payload; br_gc : bool }
 
 type lock_state = { mutable held : bool; mutable cached : bool; pending : lock_request Queue.t }
-
 type mgr_state = { mutable last_requester : int }
 
 type barrier_client = {
   bc_pid : int;
-  bc_vt : Vector_time.t;
+  bc_release : charge:Node.charge -> Backend.payload;
   bc_mb : barrier_release Transport.mailbox;
 }
 
@@ -56,143 +63,61 @@ type gc_state = {
   mutable gs_all_in : unit Engine.Ivar.t;
 }
 
-(* ------------------------------------------------------------------ *)
-(* Failure model (crash-stop).
-
-   A crashed processor is silenced by the engine; everyone else learns of
-   the death through the transport's suspicion mechanism (retry-budget
-   exhaustion), either organically — a retransmitted request the dead
-   peer never acknowledges — or through the heartbeat probes processor 0
-   sends while a crash plan is armed.  Detection triggers a membership
-   epoch bump and deterministic metadata failover (see [note_death]). *)
-
-(* One remote operation whose reply may never come because the serving
-   peer can crash: recovery re-issues it against a live peer.  The
-   original reply mailbox is reused; value messages never double-fill, so
-   a late duplicate from the first attempt is harmless. *)
-type pending_op = {
-  po_pid : int;  (* the waiting processor *)
-  po_seq : int;  (* registration order, for deterministic replay *)
-  po_target : int;  (* the peer whose reply is awaited *)
-  po_settled : unit -> bool;  (* reply already arrived *)
-  po_retry : unit -> unit;  (* re-issue; runs in timer context *)
-}
-
-type recovery = {
-  rc_pid : int;  (* the dead processor *)
-  rc_epoch : int;  (* membership epoch after the death *)
-  rc_crash_at : Vtime.t;
-  rc_detected_at : Vtime.t;
-  rc_locks_rehomed : int;  (* locks whose state recovery rebuilt *)
-  rc_retries : int;  (* in-flight operations re-issued *)
-}
-
 type t = {
-  cfg : Config.t;
-  engine : Engine.t;
-  transport : Transport.t;
-  nodes : Node.t array;
+  cl : Cluster.t;
+  backend : Backend.t;
   lock_states : (int, lock_state) Hashtbl.t array;  (* per node *)
   lock_mgrs : (int, mgr_state) Hashtbl.t array;  (* per node, manager role *)
   barrier_states : (int, barrier_state) Hashtbl.t;  (* at the central manager *)
   mutable gc : gc_state;
-  erc_dir : Bitset.t array;  (* ERC copyset directory (one entry per page) *)
-  erc_pending : (int, Rle.t list) Hashtbl.t array;  (* ERC updates for absent pages *)
-  erc_inflight : int array;  (* ERC update messages not yet delivered, per page *)
-  mutable sc : Sc.t option;  (* single-writer protocol state, when Config.Sc *)
-  (* --- failure handling --- *)
-  crashes_planned : bool;  (* gates all registry bookkeeping below *)
-  dead : bool array;  (* deaths detected so far (protocol view) *)
-  mutable epoch : int;  (* membership epoch, bumped per detected death *)
   waiting_acquires : (int, lock_request) Hashtbl.t array;
       (* per pid: lock -> the outstanding remote acquire, if any *)
   grant_target : (int, lock_request) Hashtbl.t;
       (* lock -> request a grant is in flight to (token owner in transit) *)
-  mutable pending_ops : pending_op list;  (* newest first *)
-  mutable next_op : int;
+  mutable deaths : death list;  (* newest first *)
   mutable recoveries : recovery list;  (* newest first *)
-  mutable fatal : (int * string) option;
-      (* set when the run cannot make progress without the dead
-         processor's state; surfaced as [Api.Degraded] *)
 }
 
-let config t = t.cfg
-let engine t = t.engine
-let transport t = t.transport
-let node t pid = t.nodes.(pid)
+let config t = t.cl.Cluster.cfg
+let engine t = t.cl.Cluster.engine
+let transport t = t.cl.Cluster.transport
+let node t pid = t.cl.Cluster.nodes.(pid)
+let barrier_manager = Cluster.barrier_manager
+let lock_manager t lock = lock mod (config t).Config.nprocs
 
-let barrier_manager = 0
-let lock_manager t lock = lock mod t.cfg.Config.nprocs
+let backend_caps = function
+  | Config.Lrc -> Lrc.caps
+  | Config.Erc -> Erc.caps
+  | Config.Sc -> Sc.caps
+  | Config.Tardis -> Tardis.caps
+  | Config.Sc_abd -> Sc_abd.caps
 
 (* --- liveness helpers --- *)
 
-let live t pid = not t.dead.(pid)
-let epoch t = t.epoch
-let fatality t = t.fatal
+let live t pid = Cluster.live t.cl pid
+let epoch t = t.cl.Cluster.epoch
+let fatality t = t.cl.Cluster.fatal
 let recoveries t = List.rev t.recoveries
-
-let live_count t =
-  let n = ref 0 in
-  Array.iter (fun d -> if not d then incr n) t.dead;
-  !n
+let live_count t = Cluster.live_count t.cl
+let dead t pid = t.cl.Cluster.dead.(pid)
 
 (* Lock managership migrates deterministically to the next live
    processor in cyclic pid order from the static home.  With no deaths
    this is exactly [lock_manager]. *)
 let effective_lock_manager t lock =
-  let n = t.cfg.Config.nprocs in
+  let n = (config t).Config.nprocs in
   let m = lock_manager t lock in
-  let rec seek i = if not t.dead.((m + i) mod n) then (m + i) mod n else seek (i + 1) in
+  let rec seek i = if not (dead t ((m + i) mod n)) then (m + i) mod n else seek (i + 1) in
   seek 0
 
-(* The deterministic backup peer for [proc]'s diff mirrors: the next live
-   processor in cyclic pid order.  [None] when nobody else is alive. *)
-let backup_peer t proc =
-  let n = t.cfg.Config.nprocs in
-  let rec seek i =
-    if i >= n then None
-    else
-      let p = (proc + i) mod n in
-      if p <> proc && not t.dead.(p) then Some p else seek (i + 1)
-  in
-  seek 1
+let note_fatal t ~pid reason = Cluster.note_fatal t.cl ~pid reason
 
-let lowest_live_other t pid =
-  let n = t.cfg.Config.nprocs in
-  let rec seek p =
-    if p >= n then None else if p <> pid && not t.dead.(p) then Some p else seek (p + 1)
-  in
-  seek 0
+module Log = Cluster.Log
 
-(* A run degrades when surviving processors would need consistency state
-   that only the dead processor held.  Safe from any context: records the
-   fatality and asks the engine to stop at the next event boundary. *)
-let note_fatal t ~pid reason =
-  if t.fatal = None then begin
-    t.fatal <- Some (pid, reason);
-    Engine.request_stop t.engine ("degraded: " ^ reason)
-  end
-
-(* Application-context variant: parks the calling process forever (the
-   engine stops before the park can deadlock anything). *)
-let degrade_app t ~pid reason =
-  note_fatal t ~pid reason;
-  Engine.await (Engine.Ivar.create ())
-
-(* Protocol event tracing: enable with Logs at Debug level on the
-   "tmk.protocol" source (tmk_run --verbose), e.g. to watch lock tokens
-   move or flushes drain. *)
-let log_src = Logs.Src.create "tmk.protocol" ~doc:"TreadMarks protocol events"
-
-module Log = (val Logs.src_log log_src : Logs.LOG)
-
-let app_charge cat dt = Engine.advance cat dt
-let h_charge h cat dt = Engine.hcharge h cat dt
-
-(* Typed-trace emission.  Always guard with [Engine.tracing] (or
-   [Engine.htracing] in handler context) at the call site so the event
-   value is never even allocated when tracing is off. *)
-let emit t ~pid ev = Engine.emit t.engine ~pid ev
+let app_charge = Cluster.app_charge
+let h_charge = Cluster.h_charge
+let atomically = Cluster.atomically
+let emit t ~pid ev = Cluster.emit t.cl ~pid ev
 
 (* The race detector, when one rides along in [Config.check].  Sync
    edges are reported from application context at the four points the
@@ -200,7 +125,7 @@ let emit t ~pid ev = Engine.emit t.engine ~pid ev
    acquired after the grant is absorbed, barrier arrival before the
    arrival message goes out, departure after the release is absorbed. *)
 let race_of t =
-  match t.cfg.Config.check with
+  match (config t).Config.check with
   | Some c -> Tmk_check.Checker.race c
   | None -> None
 
@@ -223,19 +148,6 @@ let race_barrier_depart t ~pid ~id =
   match race_of t with
   | Some r -> Tmk_check.Race.barrier_depart r ~pid ~id
   | None -> ()
-
-(* Application-context protocol bookkeeping must not interleave with this
-   processor's request handlers: [Engine.advance] is a scheduling point,
-   so charging time in the middle of a mutation sequence would let a
-   handler observe (and mutate) half-updated consistency structures.  The
-   real implementation masks signals around these sections; we run the
-   mutations instantaneously and charge the accumulated CPU afterwards. *)
-let atomically f =
-  let charges = Tmk_util.Vec.create () in
-  let charge cat dt = Tmk_util.Vec.push charges (cat, dt) in
-  let result = f charge in
-  Tmk_util.Vec.iter (fun (cat, dt) -> Engine.advance cat dt) charges;
-  result
 
 let lock_state_of t pid lock =
   match Hashtbl.find_opt t.lock_states.(pid) lock with
@@ -271,781 +183,44 @@ let barrier_state_of t id =
     bs
 
 (* ------------------------------------------------------------------ *)
-(* Access misses (§3.5)                                                *)
-
-exception Empty_copyset of { pid : int; page : int }
-
-let () =
-  Printexc.register_printer (function
-    | Empty_copyset { pid; page } ->
-      Some
-        (Printf.sprintf "Tmk_dsm.Protocol.Empty_copyset(pid %d, page %d): no live copy" pid
-           page)
-    | _ -> None)
-
-(* Pick a live processor believed to cache the page (never ourselves).
-   The choice hashes (page, faulting pid) over the members so concurrent
-   cold misses spread across the copyset instead of all landing on the
-   lowest member (processor 0 holds every page initially, which made it a
-   hot spot).  @raise Empty_copyset when no live candidate remains. *)
-let choose_provider t copyset ~self ~page =
-  let members =
-    Bitset.fold (fun q acc -> if q <> self && not t.dead.(q) then q :: acc else acc) copyset []
-  in
-  match List.rev members with
-  | [] -> raise (Empty_copyset { pid = self; page })
-  | members ->
-    let h = (((page + 1) * 2654435761) + (self * 40503)) land max_int in
-    List.nth members (h mod List.length members)
-
-(* ERC variant: always the lowest live member.  The update protocol's
-   directory admits members whose base copy is still in flight (the
-   faulter joins at serve time, before its reply lands), so an arbitrary
-   member is not yet guaranteed to hold current bytes; the lowest member
-   is the longest-standing one — in practice the page's origin. *)
-let choose_provider_lowest t copyset ~self ~page =
-  let provider =
-    Bitset.fold
-      (fun q acc -> if q <> self && (not t.dead.(q)) && acc < 0 then q else acc)
-      copyset (-1)
-  in
-  if provider < 0 then raise (Empty_copyset { pid = self; page }) else provider
-
-(* Register a re-issuable remote operation (only while a crash plan is
-   armed; the registry would otherwise grow for nothing). *)
-let register_pending t ~pid ~target ~settled ~retry =
-  if t.crashes_planned then begin
-    let seq = t.next_op in
-    t.next_op <- seq + 1;
-    t.pending_ops <-
-      { po_pid = pid; po_seq = seq; po_target = target; po_settled = settled; po_retry = retry }
-      :: t.pending_ops
-  end
-
-let fetch_base_lrc t pid page =
-  let node = t.nodes.(pid) in
-  let entry = node.Node.pages.(page) in
-  let mb = Transport.mailbox () in
-  let serve provider h =
-    let pnode = t.nodes.(provider) in
-    h_charge h Category.Tmk_mem Costs.page_copy;
-    let pentry = pnode.Node.pages.(page) in
-    Bitset.add pentry.Node.pg_copyset pid;
-    (* Serve the twin when the page is dirty: diffs record only the
-       bytes that changed relative to their interval's base state, so
-       a base copy containing the provider's uncommitted (not yet
-       diffed) writes would be byte-inconsistent with the very diffs
-       the requester is about to apply over it. *)
-    let snapshot =
-      match pentry.Node.pg_twin with
-      | Some twin -> Bytes.copy twin
-      | None -> Vm.page_snapshot pnode.Node.vm page
-    in
-    Transport.hsend_value ~label:"page-fetch-reply" t.transport h ~dst:pid
-      ~bytes:Wire.page_reply_bytes mb (snapshot, Bitset.copy pentry.Node.pg_copyset)
-  in
-  (* Re-issue against another live copyset member if the provider dies
-     before replying.  The retry runs in timer context, so the request
-     goes out as a context-free notification. *)
-  let rec arm_retry provider =
-    register_pending t ~pid ~target:provider
-      ~settled:(fun () -> Transport.mailbox_filled mb)
-      ~retry:(fun () ->
-        match choose_provider t entry.Node.pg_copyset ~self:pid ~page with
-        | provider' ->
-          arm_retry provider';
-          Transport.notify ~label:"page-fetch" t.transport ~src:pid ~dst:provider'
-            ~bytes:Wire.page_request_bytes ~deliver:(serve provider')
-        | exception Empty_copyset _ ->
-          note_fatal t ~pid
-            (Printf.sprintf "page %d has no live copy (its only copies died with the crash)"
-               page))
-  in
-  match choose_provider t entry.Node.pg_copyset ~self:pid ~page with
-  | exception Empty_copyset _ ->
-    degrade_app t ~pid
-      (Printf.sprintf "page %d has no live copy (its only copies died with the crash)" page)
-  | provider ->
-    app_charge Category.Tmk_other Cpu.page_request_build;
-    Transport.send ~label:"page-fetch" t.transport ~src:pid ~dst:provider
-      ~bytes:Wire.page_request_bytes ~deliver:(serve provider);
-    arm_retry provider;
-    let bytes, copyset = Transport.await_value t.transport mb in
-    if Engine.tracing t.engine then
-      emit t ~pid (Tmk_trace.Event.Page_fetch { page; from_ = provider });
-    atomically (fun charge ->
-        Node.validate_page node page bytes ~charge;
-        Bitset.union_into ~src:copyset ~dst:entry.Node.pg_copyset;
-        Bitset.add entry.Node.pg_copyset pid)
-
-(* Serve one gathered diff-request entry on responder [r].  In batched
-   mode repeated fetches of the same (proc, interval, page) diff hit the
-   responder's cache instead of recomputing/relocating the RLE (diffs are
-   immutable and interval ids never reused, so a hit is always current). *)
-
-(* A speculative (other-page) diff rides a gathered reply only if it is
-   small: gathering targets the many-small-messages regime the paper
-   highlights (§4.7), where a round trip costs far more than the payload;
-   a large diff would instead dominate the reply the fault is stalled on,
-   losing more latency than the saved round trip.  The faulting page's
-   own diffs are always served in full.  Entries the responder declines
-   simply stay missing at the requester (which blacklists the page from
-   future gathering) and are fetched on their own later miss — cheaply,
-   since serving them here already warmed the responder's diff cache. *)
-let gather_entry_max = 512
-let serve_diff_entry t r h (page, proc, interval_id) =
-  let rnode = t.nodes.(r) in
-  let batched = t.cfg.Config.batching in
-  let cached = if batched then Node.cached_diff rnode ~proc ~interval_id ~page else None in
-  match cached with
-  | Some diff ->
-    h_charge h Category.Tmk_other Cpu.diff_cache_hit;
-    rnode.Node.stats.Stats.diff_cache_hits <- rnode.Node.stats.Stats.diff_cache_hits + 1;
-    if Engine.htracing h then
-      Engine.hemit h (Tmk_trace.Event.Diff_cache { page; hit = true });
-    (page, proc, interval_id, diff)
-  | None ->
-    h_charge h Category.Tmk_other Cpu.diff_lookup_per_entry;
-    let diff = Node.find_diff rnode ~proc ~interval_id ~page ~charge:(h_charge h) in
-    if batched then begin
-      Node.cache_diff rnode ~proc ~interval_id ~page diff;
-      rnode.Node.stats.Stats.diff_cache_misses <-
-        rnode.Node.stats.Stats.diff_cache_misses + 1;
-      if Engine.htracing h then
-        Engine.hemit h (Tmk_trace.Event.Diff_cache { page; hit = false })
-    end;
-    (page, proc, interval_id, diff)
-
-(* Locate a diff whose creator (or original responder) has crashed: a
-   live processor's own notice records (§3.5: a processor that modified
-   the page in a covering interval holds the diff), then the diff-backup
-   mirror stores ([Config.diff_backup]).  [None] means the diff died with
-   the crash. *)
-let lookup_diff_anywhere t ~proc ~interval_id ~page =
-  let n = t.cfg.Config.nprocs in
-  let rec scan p =
-    if p >= n then None
-    else if t.dead.(p) then scan (p + 1)
-    else
-      let pn = t.nodes.(p) in
-      let found =
-        List.find_opt
-          (fun wn -> wn.Node.wn_interval.Node.iv_id = interval_id && wn.Node.wn_diff <> None)
-          pn.Node.pages.(page).Node.pg_notices.(proc)
-      in
-      match found with
-      | Some wn -> wn.Node.wn_diff
-      | None -> (
-        match Node.backup_diff pn ~proc ~interval_id ~page with
-        | Some d -> Some d
-        | None -> scan (p + 1))
-  in
-  scan 0
-
-(* Re-issue a gathered diff fetch whose responder died before replying.
-   The surviving replacement responder re-serves every entry: its own
-   diffs through the normal path, a dead creator's through
-   [lookup_diff_anywhere].  Charging all lookups at one coordinator is a
-   deliberate simplification — the real recovery would fan out, but the
-   total work is the same and the simulator keeps one reply message. *)
-let retry_diff_fetch t ~pid ~entries ~mb =
-  match lowest_live_other t pid with
-  | None -> note_fatal t ~pid "no live peer left to serve diffs"
-  | Some c ->
-    let n = List.length entries in
-    Transport.notify ~label:"diff-fetch" ~parts:n t.transport ~src:pid ~dst:c
-      ~bytes:(Wire.gathered_diff_request_bytes n)
-      ~deliver:(fun h ->
-        let missing = ref None in
-        let replies =
-          List.filter_map
-            (fun (page, proc, interval_id) ->
-              h_charge h Category.Tmk_other Cpu.diff_lookup_per_entry;
-              let diff =
-                if not t.dead.(proc) then
-                  match
-                    Node.find_diff t.nodes.(proc) ~proc ~interval_id ~page
-                      ~charge:(h_charge h)
-                  with
-                  | d -> Some d
-                  | exception (Not_found | Invalid_argument _) ->
-                    lookup_diff_anywhere t ~proc ~interval_id ~page
-                else lookup_diff_anywhere t ~proc ~interval_id ~page
-              in
-              match diff with
-              | Some d -> Some (page, proc, interval_id, d)
-              | None ->
-                if !missing = None then missing := Some (page, proc, interval_id);
-                None)
-            entries
-        in
-        match !missing with
-        | Some (page, proc, interval_id) ->
-          note_fatal t ~pid
-            (Printf.sprintf "diff (proc %d, interval %d, page %d) died with the crash" proc
-               interval_id page)
-        | None ->
-          let sizes = List.map (fun (_, _, _, d) -> Rle.encoded_size d) replies in
-          Transport.hsend_value ~label:"diff-fetch-reply" ~parts:(List.length replies)
-            t.transport h ~dst:pid
-            ~bytes:(Wire.gathered_diff_reply_bytes sizes)
-            mb replies)
-
-(* §3.5 responder assignment for one page: the newest lacking notice per
-   processor is a head; undominated heads are the minimal responder set,
-   and each processor's lacking notices go to a responder whose newest
-   interval covers them (a processor that modified the page in interval i
-   holds all of the page's diffs for intervals with smaller timestamps). *)
-let plan_page_fetch missing =
-  let heads =
-    List.map
-      (fun (q, wns) ->
-        match wns with
-        | wn :: _ -> (q, wn.Node.wn_interval.Node.iv_vt)
-        | [] -> assert false)
-      missing
-  in
-  let dominated (q, vt) =
-    List.exists (fun (r, vt') -> r <> q && Vector_time.leq vt vt') heads
-  in
-  (heads, List.filter (fun h -> not (dominated h)) heads)
-
-(* Fetch the diffs for [missing] (per-processor groups of notices lacking
-   diffs) from the minimal processor set, in parallel, then apply them in
-   vector-timestamp order.  In batched mode the requests additionally
-   gather other invalidated pages' lacking diffs whenever an
-   already-contacted responder provably holds them, so a page-miss burst
-   at scale costs one request/response pair per responder instead of one
-   per (responder, page). *)
-let fetch_and_apply_diffs t pid page missing =
-  let node = t.nodes.(pid) in
-  let total_notices = List.fold_left (fun acc (_, wns) -> acc + List.length wns) 0 missing in
-  app_charge Category.Tmk_consistency (Vtime.scale Cpu.miss_plan total_notices);
-  let _, responders = plan_page_fetch missing in
-  let assignments = Hashtbl.create 4 in
-  (* per-responder entry buffers, appended in plan order (a reverse-and-flip
-     list accumulation here was quadratic in the number of lacking
-     processors before it grew a rev_append; the buffer keeps it linear and
-     allocation-light) *)
-  let entries_for r =
-    match Hashtbl.find_opt assignments r with
-    | Some v -> v
-    | None ->
-      let v = Tmk_util.Vec.create () in
-      Hashtbl.add assignments r v;
-      v
-  in
-  let assign (q, wns) =
-    let vt_q = (List.hd wns).Node.wn_interval.Node.iv_vt in
-    let r =
-      match List.find_opt (fun (_r, vt_r) -> Vector_time.leq vt_q vt_r) responders with
-      | Some (r, _) -> r
-      | None -> assert false (* q's own head is undominated or covered *)
-    in
-    let v = entries_for r in
-    List.iter (fun wn -> Tmk_util.Vec.push v (page, q, wn.Node.wn_interval.Node.iv_id)) wns
-  in
-  List.iter assign missing;
-  (* Multi-page gathering (batched mode): ride the requests already going
-     out.  Another page's lacking group can be attached to a contacted
-     responder [r] when [r] is the group's own creator, or when [r] itself
-     modified that page in an interval covering the group's head — either
-     way §3.5 guarantees [r] holds the diffs.  Only pages this processor
-     has faulted on since their last gather are eligible ([pg_fetched],
-     armed by a genuine access miss, disarmed by each gather) — the
-     hybrid update protocol's "receiver actively uses the page"
-     heuristic, with a one-strike bound: a page the processor has stopped
-     touching wastes at most one speculative fetch before gathering stops
-     until its next real miss.  Pages whose entries a responder has
-     previously declined ([pg_no_gather]: diffs too large to ride a
-     reply) are never retried.  Unattached groups are simply fetched on
-     their own later miss. *)
-  let gathered = ref 0 in
-  if t.cfg.Config.batching then begin
-    let contacted = Hashtbl.fold (fun r _ acc -> r :: acc) assignments [] in
-    Array.iteri
-      (fun q_page pentry ->
-        if
-          q_page <> page && pentry.Node.pg_fetched
-          && (not pentry.Node.pg_no_gather)
-          && pentry.Node.pg_has_copy
-        then
-          match Node.missing_diffs node q_page with
-          | [] -> ()
-          | groups ->
-            let heads =
-              List.map
-                (fun (g, wns) -> (g, (List.hd wns).Node.wn_interval.Node.iv_vt))
-                groups
-            in
-            List.iter
-              (fun (g, wns) ->
-                if g <> pid then begin
-                  let vt_g = (List.hd wns).Node.wn_interval.Node.iv_vt in
-                  let holds r =
-                    r = g
-                    || List.exists
-                         (fun (p, vt_p) -> p = r && Vector_time.leq vt_g vt_p)
-                         heads
-                  in
-                  match List.find_opt holds contacted with
-                  | None -> ()
-                  | Some r ->
-                    let v = entries_for r in
-                    List.iter
-                      (fun wn ->
-                        Tmk_util.Vec.push v (q_page, g, wn.Node.wn_interval.Node.iv_id))
-                      wns;
-                    gathered := !gathered + List.length wns;
-                    pentry.Node.pg_fetched <- false
-                end)
-              groups)
-      node.Node.pages;
-    if !gathered > 0 then begin
-      node.Node.stats.Stats.diff_prefetch_entries <-
-        node.Node.stats.Stats.diff_prefetch_entries + !gathered;
-      app_charge Category.Tmk_consistency (Vtime.scale Cpu.miss_plan !gathered)
-    end
-  end;
-  let promises =
-    Hashtbl.fold
-      (fun r entry_buf acc ->
-        let entries = Tmk_util.Vec.to_list entry_buf in
-        let n = Tmk_util.Vec.length entry_buf in
-        app_charge Category.Tmk_other Cpu.page_request_build;
-        if t.dead.(r) then begin
-          (* The planned responder died before this fetch was issued —
-             its write notices still dominate, so the assignment keeps
-             naming it.  Route the entries through a live coordinator
-             (surviving notice records, then the diff-backup mirrors)
-             instead of timing out against a silent peer: suspicion for
-             an already-dead processor is ignored, so nothing else
-             would ever complete this fetch. *)
-          let mb = Transport.mailbox () in
-          (match lowest_live_other t pid with
-          | Some c ->
-            register_pending t ~pid ~target:c
-              ~settled:(fun () -> Transport.mailbox_filled mb)
-              ~retry:(fun () -> retry_diff_fetch t ~pid ~entries ~mb)
-          | None -> ());
-          retry_diff_fetch t ~pid ~entries ~mb;
-          (entries, mb) :: acc
-        end
-        else begin
-        if Engine.tracing t.engine then begin
-          (* one Diff_fetch per (responder, page) group of the request *)
-          let by_page = Hashtbl.create 4 in
-          List.iter
-            (fun (p, _, _) ->
-              Hashtbl.replace by_page p
-                (1 + Option.value ~default:0 (Hashtbl.find_opt by_page p)))
-            entries;
-          Hashtbl.iter
-            (fun p count ->
-              emit t ~pid (Tmk_trace.Event.Diff_fetch { page = p; from_ = r; count }))
-            by_page
-        end;
-        let mb = Transport.mailbox () in
-        register_pending t ~pid ~target:r
-          ~settled:(fun () -> Transport.mailbox_filled mb)
-          ~retry:(fun () -> retry_diff_fetch t ~pid ~entries ~mb);
-        Transport.send ~label:"diff-fetch" ~parts:n t.transport ~src:pid ~dst:r
-          ~bytes:(Wire.gathered_diff_request_bytes n)
-          ~deliver:(fun h ->
-            let replies =
-              List.filter_map
-                (fun ((p, _, _) as entry) ->
-                  let ((_, _, _, d) as reply) = serve_diff_entry t r h entry in
-                  if p = page || Rle.encoded_size d <= gather_entry_max then
-                    Some reply
-                  else None)
-                entries
-            in
-            let sizes = List.map (fun (_, _, _, d) -> Rle.encoded_size d) replies in
-            Transport.hsend_value ~label:"diff-fetch-reply"
-              ~parts:(List.length replies) t.transport h ~dst:pid
-              ~bytes:(Wire.gathered_diff_reply_bytes sizes) mb replies);
-        (entries, mb) :: acc
-        end)
-      assignments []
-  in
-  let receive (entries, promise) =
-    let replies = Transport.await_value t.transport promise in
-    List.iter
-      (fun (p, proc, interval_id, diff) ->
-        Node.store_diff node ~proc ~interval_id ~page:p diff)
-      replies;
-    (* Drop feedback: a gathered entry the responder declined to serve
-       means that page's diffs are too large to prefetch — blacklist the
-       page so the request/decline cycle is not repeated at every miss. *)
-    List.iter
-      (fun ((p, _, _) as entry) ->
-        if
-          p <> page
-          && not (List.exists (fun (p', q', i', _) -> (p', q', i') = entry) replies)
-        then node.Node.pages.(p).Node.pg_no_gather <- true)
-      entries
-  in
-  List.iter receive promises;
-  atomically (fun charge ->
-      (* the fetched diffs, plus any piggybacked ones not yet reflected;
-         rev_append (not @): apply_missing_diffs sorts by timestamp *)
-      let fetched =
-        List.fold_left (fun acc (_, wns) -> List.rev_append wns acc) [] missing
-      in
-      let pending =
-        List.filter (fun wn -> not (List.memq wn fetched)) (Node.unapplied_diffs node page)
-      in
-      Node.apply_missing_diffs node page (List.rev_append fetched pending) ~charge)
-
-(* ERC: cold fetch through the global directory; updates that raced ahead
-   of the base copy are queued and applied on installation.  A provider
-   with update messages still in flight to it cannot produce a current
-   snapshot, and the requester is not yet a copyset member so it would
-   never receive those updates: the serve stalls (the handler re-arms
-   itself) until the page's in-flight update count drains.  Flushes are
-   bursts bounded by their acknowledgements, so the wait is short. *)
-let fetch_base_erc t pid page =
-  let node = t.nodes.(pid) in
-  let provider = choose_provider_lowest t t.erc_dir.(page) ~self:pid ~page in
-  app_charge Category.Tmk_other Cpu.page_request_build;
-  let mb = Transport.mailbox () in
-  let rec serve h =
-    if t.erc_inflight.(page) > 0 then begin
-      h_charge h Category.Tmk_other (Vtime.us 5);
-      Engine.post_handler t.engine ~pid:provider
-        ~at:(Vtime.add (Engine.hnow h) (Vtime.us 200))
-        serve
-    end
-    else begin
-      h_charge h Category.Tmk_mem Costs.page_copy;
-      (* Joining the copyset here makes every later flush reach the new
-         member (possibly before the base installs; see erc_pending). *)
-      Bitset.add t.erc_dir.(page) pid;
-      Transport.hsend_value ~label:"page-fetch-reply" t.transport h ~dst:pid
-        ~bytes:Wire.page_reply_bytes mb
-        (Vm.page_snapshot t.nodes.(provider).Node.vm page)
-    end
-  in
-  Transport.send ~label:"page-fetch" t.transport ~src:pid ~dst:provider
-    ~bytes:Wire.page_request_bytes ~deliver:serve;
-  let bytes = Transport.await_value t.transport mb in
-  if Engine.tracing t.engine then
-    emit t ~pid (Tmk_trace.Event.Page_fetch { page; from_ = provider });
-  atomically (fun charge ->
-      Node.validate_page node page bytes ~charge;
-      (match Hashtbl.find_opt t.erc_pending.(pid) page with
-      | None -> ()
-      | Some diffs ->
-        List.iter
-          (fun diff ->
-            charge Category.Tmk_mem (Costs.diff_apply (Rle.payload_size diff));
-            Vm.patch node.Node.vm page diff;
-            node.Node.stats.Stats.diffs_applied <- node.Node.stats.Stats.diffs_applied + 1;
-            if Engine.tracing t.engine then
-              emit t ~pid
-                (Tmk_trace.Event.Diff_apply
-                   (* queued while the base copy was in flight; the sender's
-                      identity was not kept *)
-                   { page; bytes = Rle.payload_size diff; proc = -1; interval = -1 }))
-          (List.rev diffs);
-        Hashtbl.remove t.erc_pending.(pid) page);
-      charge Category.Unix_mem Costs.mprotect;
-      Vm.set_prot node.Node.vm page Vm.Read_only)
-
-let miss t pid page =
-  let node = t.nodes.(pid) in
-  Log.debug (fun m -> m "[t=%d] miss at %d on page %d" (Engine.now t.engine) pid page);
-  node.Node.stats.Stats.remote_misses <- node.Node.stats.Stats.remote_misses + 1;
-  match t.cfg.Config.protocol with
-  | Config.Sc -> assert false (* SC faults are handled entirely by Sc *)
-  | Config.Erc ->
-    (* Update protocol: pages are never invalidated, so a miss is always a
-       cold fetch. *)
-    assert (not node.Node.pages.(page).Node.pg_has_copy);
-    fetch_base_erc t pid page
-  | Config.Lrc ->
-    let entry = node.Node.pages.(page) in
-    (* A genuine access miss (re-)arms the page for speculative gathering;
-       each gather disarms it (one-strike policy, see
-       [fetch_and_apply_diffs]). *)
-    entry.Node.pg_fetched <- true;
-    if not entry.Node.pg_has_copy then fetch_base_lrc t pid page;
-    (* New write notices can be incorporated by a request handler while we
-       wait for replies (this node may be the barrier manager); loop until
-       every known diff has been applied. *)
-    let rec settle () =
-      match Node.missing_diffs node page with
-      | [] ->
-        atomically (fun charge ->
-            (match Node.unapplied_diffs node page with
-            | [] -> ()
-            | pending ->
-              (* diffs that arrived piggybacked on synchronization
-                 messages (hybrid update protocol) while the page was
-                 invalid or twinned *)
-              Node.apply_missing_diffs node page pending ~charge);
-            if Vm.prot node.Node.vm page = Vm.No_access then begin
-              charge Category.Unix_mem Costs.mprotect;
-              Vm.set_prot node.Node.vm page Vm.Read_only
-            end)
-      | missing ->
-        fetch_and_apply_diffs t pid page missing;
-        settle ()
-    in
-    settle ()
-
-let handle_fault_rc t pid kind page =
-  let node = t.nodes.(pid) in
-  app_charge Category.Unix_mem Costs.sigsegv;
-  app_charge Category.Tmk_other Cpu.fault_dispatch;
-  (match kind with
-  | Vm.Read -> node.Node.stats.Stats.read_faults <- node.Node.stats.Stats.read_faults + 1
-  | Vm.Write -> node.Node.stats.Stats.write_faults <- node.Node.stats.Stats.write_faults + 1);
-  let ekind =
-    match kind with Vm.Read -> Tmk_trace.Event.Read | Vm.Write -> Tmk_trace.Event.Write
-  in
-  if Engine.tracing t.engine then
-    emit t ~pid (Tmk_trace.Event.Page_fault { page; kind = ekind });
-  (match (Vm.prot node.Node.vm page, kind) with
-  | Vm.Read_only, Vm.Write ->
-    atomically (fun charge -> Node.write_fault_twin node page ~charge)
-  | Vm.No_access, Vm.Read -> miss t pid page
-  | Vm.No_access, Vm.Write ->
-    miss t pid page;
-    (* The miss can leave the page invalid again if a notice raced in;
-       the Vm fault dispatcher retries and we fall into the miss path
-       once more. *)
-    if Vm.prot node.Node.vm page = Vm.Read_only then
-      atomically (fun charge -> Node.write_fault_twin node page ~charge)
-  | (Vm.Read_only | Vm.Read_write), _ -> assert false);
-  if Engine.tracing t.engine then
-    emit t ~pid (Tmk_trace.Event.Page_fault_done { page; kind = ekind })
-
-(* Fault entry: the SC baseline handles its faults entirely in Sc. *)
-let handle_fault t pid kind page =
-  match t.sc with
-  | Some sc -> Sc.handle_fault sc ~pid kind page
-  | None -> handle_fault_rc t pid kind page
-
-(* ------------------------------------------------------------------ *)
-(* ERC release flush (§5.1): diff every dirty page and push updates to
-   every cacher, then wait for all acknowledgements.                    *)
-
-let erc_flush t pid =
-  let node = t.nodes.(pid) in
-  let dirty = node.Node.dirty in
-  node.Node.dirty <- [];
-  if dirty <> [] then begin
-    (* First pass: create every diff and collect the update fan-out so the
-       acknowledgement count is known before any ack can arrive. *)
-    Log.debug (fun m ->
-        m "[t=%d] erc flush by %d, %d dirty pages" (Engine.now t.engine) pid
-          (List.length dirty));
-    let updates =
-      List.filter_map
-        (fun page ->
-          let entry = node.Node.pages.(page) in
-          match entry.Node.pg_twin with
-          | None -> None
-          | Some twin ->
-            let diff =
-              atomically (fun charge ->
-                  charge Category.Tmk_other Cpu.erc_flush_per_page;
-                  charge Category.Tmk_mem (Costs.diff_create Vm.page_size);
-                  let diff = Vm.diff_against node.Node.vm page ~twin in
-                  entry.Node.pg_twin <- None;
-                  node.Node.stats.Stats.diffs_created <-
-                    node.Node.stats.Stats.diffs_created + 1;
-                  node.Node.stats.Stats.diff_bytes_created <-
-                    node.Node.stats.Stats.diff_bytes_created + Rle.encoded_size diff;
-                  if Engine.tracing t.engine then
-                    emit t ~pid
-                      (Tmk_trace.Event.Diff_create
-                         { page; bytes = Rle.encoded_size diff; proc = pid;
-                           interval = -1 });
-                  charge Category.Unix_mem Costs.mprotect;
-                  Vm.set_prot node.Node.vm page Vm.Read_only;
-                  diff)
-            in
-            let members =
-              List.filter (fun q -> q <> pid) (Bitset.to_list t.erc_dir.(page))
-            in
-            (* Reserve the deliveries while still atomic with the
-               membership read, so concurrent cold fetches stall until
-               these updates land (see fetch_base_erc). *)
-            t.erc_inflight.(page) <- t.erc_inflight.(page) + List.length members;
-            if members = [] then None else Some (page, diff, members))
-        dirty
-    in
-    (* Regroup the (page → members) fan-out into per-member batches: one
-       update message per cacher carrying all of its pages' diffs (one
-       frame when batching, back-to-back fragments otherwise), answered by
-       one aggregate acknowledgement. *)
-    let by_member = Hashtbl.create 8 in
-    List.iter
-      (fun (page, diff, members) ->
-        List.iter
-          (fun m ->
-            let prev = Option.value ~default:[] (Hashtbl.find_opt by_member m) in
-            Hashtbl.replace by_member m ((page, diff) :: prev))
-          members)
-      updates;
-    let batches =
-      Hashtbl.fold (fun m rev_pages acc -> (m, List.rev rev_pages) :: acc) by_member []
-    in
-    if batches <> [] then begin
-      let remaining = ref (List.length batches) in
-      let all_acked = Engine.Ivar.create () in
-      let send_batch (m, entries) =
-        let n = List.length entries in
-        let bytes =
-          List.fold_left
-            (fun acc (_, diff) -> acc + Wire.erc_update_bytes (Rle.encoded_size diff))
-            0 entries
-        in
-        let deliver h =
-          let mnode = t.nodes.(m) in
-          List.iter
-            (fun (page, diff) ->
-              t.erc_inflight.(page) <- t.erc_inflight.(page) - 1;
-              Log.debug (fun msg ->
-                  msg "[t=%d] erc update page %d from %d at %d (%d runs, has_copy=%b)"
-                    (Engine.now t.engine) page pid m
-                    (Tmk_util.Rle.run_count diff)
-                    mnode.Node.pages.(page).Node.pg_has_copy);
-              if mnode.Node.pages.(page).Node.pg_has_copy then begin
-                h_charge h Category.Tmk_mem (Costs.diff_apply (Rle.payload_size diff));
-                Vm.patch mnode.Node.vm page diff;
-                (match mnode.Node.pages.(page).Node.pg_twin with
-                | Some tw -> Rle.apply diff tw
-                | None -> ());
-                mnode.Node.stats.Stats.diffs_applied <-
-                  mnode.Node.stats.Stats.diffs_applied + 1;
-                if Engine.htracing h then
-                  Engine.hemit h
-                    (Tmk_trace.Event.Diff_apply
-                       { page; bytes = Rle.payload_size diff; proc = pid; interval = -1 })
-              end
-              else begin
-                (* The base copy is still in flight: queue the update. *)
-                let prev =
-                  Option.value ~default:[] (Hashtbl.find_opt t.erc_pending.(m) page)
-                in
-                Hashtbl.replace t.erc_pending.(m) page (diff :: prev)
-              end)
-            entries;
-          Transport.hsend ~label:"erc-ack" ~parts:n t.transport h ~dst:pid
-            ~bytes:(n * Wire.ack_bytes)
-            ~deliver:(fun ha ->
-              decr remaining;
-              if !remaining = 0 then Engine.fill t.engine all_acked ~at:(Engine.hnow ha) ())
-        in
-        Transport.send ~label:"erc-update" ~parts:n t.transport ~src:pid ~dst:m ~bytes
-          ~deliver
-      in
-      (* Send in member order for determinism (by_member is a Hashtbl). *)
-      List.iter send_batch (List.sort (fun (a, _) (b, _) -> compare a b) batches);
-      (* The release "is not allowed to perform" until every update is
-         acknowledged (section 5.1's DASH-style requirement). *)
-      Log.debug (fun m ->
-          m "[t=%d] erc flush by %d awaiting %d acks" (Engine.now t.engine) pid !remaining);
-      Engine.await all_acked;
-      Log.debug (fun m -> m "[t=%d] erc flush by %d complete" (Engine.now t.engine) pid)
-    end
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Hybrid update protocol (§2.2's alternative to invalidation): when
-   enabled, synchronization messages piggyback the diffs of pages the
-   receiver is believed to cache, and the receiver updates valid pages in
-   place. *)
-
-let attach_for t node ~receiver ~charge =
-  if not t.cfg.Config.lrc_updates then None
-  else
-    Some
-      (fun wn ->
-        let page = wn.Node.wn_page in
-        if Bitset.mem node.Node.pages.(page).Node.pg_copyset receiver then begin
-          (* a pending local diff is created now (it is the newest
-             diff-less local notice by the lazy-diffing invariant) *)
-          if wn.Node.wn_interval.Node.iv_proc = node.Node.pid && wn.Node.wn_diff = None
-          then Node.ensure_own_diff node page ~charge;
-          wn.Node.wn_diff
-        end
-        else None)
-
-(* Diff mirroring requires the diff to exist the moment its interval
-   closes (a lazily deferred diff would die with its creator), so
-   [Config.diff_backup] forces eager creation. *)
-let eager_diffs t = (not t.cfg.Config.lazy_diffs) || t.cfg.Config.diff_backup
-
-(* ------------------------------------------------------------------ *)
 (* Locks (§3.3)                                                        *)
-
-let grant_payload t granter req ~charge =
-  let node = t.nodes.(granter) in
-  match t.cfg.Config.protocol with
-  | Config.Lrc ->
-    (* A new interval logically begins at the release-to-another-processor. *)
-    Node.close_interval ~eager_diffs:(eager_diffs t) node ~charge;
-    let attach = attach_for t node ~receiver:req.lr_requester ~charge in
-    let intervals = Node.intervals_since ?attach node req.lr_vt in
-    charge Category.Unix_comm Cpu.lock_grant_kernel;
-    charge Category.Tmk_other Cpu.lock_grant_dsm;
-    let bytes =
-      Wire.lock_grant_bytes ~nprocs:t.cfg.Config.nprocs (Node.notice_counts intervals)
-      + Node.update_bytes intervals
-    in
-    (bytes, { g_intervals = intervals; g_granter_vt = Vector_time.copy node.Node.vt })
-  | Config.Erc | Config.Sc ->
-    charge Category.Unix_comm Cpu.lock_grant_kernel;
-    charge Category.Tmk_other Cpu.lock_grant_dsm;
-    ( Wire.lock_grant_bytes ~nprocs:t.cfg.Config.nprocs [],
-      { g_intervals = []; g_granter_vt = Vector_time.copy node.Node.vt } )
-
-(* A grant (or barrier message) carrying n piggybacked intervals is one
-   logical header plus n interval units: an unbatched transport sends each
-   as its own frame, a batching one coalesces them (the tentpole). *)
-let interval_parts intervals = 1 + List.length intervals
 
 (* Grant from a request handler: the lock was free (cached) at this node. *)
 let grant_from_handler t granter req h =
-  let bytes, payload = grant_payload t granter req ~charge:(h_charge h) in
+  let payload = req.lr_acq.Backend.a_grant ~granter ~charge:(h_charge h) in
   if Engine.htracing h then
     Engine.hemit h
       (Tmk_trace.Event.Lock_grant
          {
            lock = req.lr_lock;
            requester = req.lr_requester;
-           intervals = List.length payload.g_intervals;
-           bytes;
+           intervals = payload.Backend.p_parts - 1;
+           bytes = payload.Backend.p_bytes;
          });
-  Transport.hsend_value ~label:"lock-grant" ~parts:(interval_parts payload.g_intervals)
-    t.transport h ~dst:req.lr_requester ~bytes req.lr_mb payload
+  Transport.hsend_value ~label:"lock-grant" ~parts:payload.Backend.p_parts (transport t) h
+    ~dst:req.lr_requester ~bytes:payload.Backend.p_bytes req.lr_mb payload
 
 (* Grant from application context (at release time). *)
 let grant_from_app t granter req =
-  let bytes, payload = atomically (fun charge -> grant_payload t granter req ~charge) in
-  if Engine.tracing t.engine then
+  let payload = atomically (fun charge -> req.lr_acq.Backend.a_grant ~granter ~charge) in
+  if Engine.tracing (engine t) then
     emit t ~pid:granter
       (Tmk_trace.Event.Lock_grant
          {
            lock = req.lr_lock;
            requester = req.lr_requester;
-           intervals = List.length payload.g_intervals;
-           bytes;
+           intervals = payload.Backend.p_parts - 1;
+           bytes = payload.Backend.p_bytes;
          });
-  Transport.send_value ~label:"lock-grant" ~parts:(interval_parts payload.g_intervals)
-    t.transport ~src:granter ~dst:req.lr_requester ~bytes req.lr_mb payload
+  Transport.send_value ~label:"lock-grant" ~parts:payload.Backend.p_parts (transport t)
+    ~src:granter ~dst:req.lr_requester ~bytes:payload.Backend.p_bytes req.lr_mb payload
 
 (* A request is stale routing when it predates the current membership
    epoch (recovery re-injected a fresh copy for every live waiter), when
    its requester has died, or when its grant already went out. *)
 let stale_request t req =
-  req.lr_epoch < t.epoch
-  || t.dead.(req.lr_requester)
+  req.lr_epoch < epoch t
+  || dead t req.lr_requester
   || Transport.mailbox_filled req.lr_mb
 
 (* Track the request a grant is in flight to: if the requester dies the
@@ -1053,28 +228,27 @@ let stale_request t req =
    the already-sent grant still arrives (crash-stop drops only frames
    sent after the crash). *)
 let note_grant_inflight t req =
-  if t.crashes_planned then Hashtbl.replace t.grant_target req.lr_lock req
+  if t.cl.Cluster.crashes_planned then Hashtbl.replace t.grant_target req.lr_lock req
 
 (* A lock request reaching the node at the end of the forwarding chain. *)
 let transfer_request t target req h =
   if stale_request t req then ()
   else begin
-  let st = lock_state_of t target req.lr_lock in
-  Log.debug (fun m ->
-      m "[t=%d] lock %d transfer-request at %d from %d (held=%b cached=%b)"
-        (Engine.now t.engine) req.lr_lock target req.lr_requester st.held st.cached);
-  if st.held || not st.cached then begin
-    if Engine.htracing h then
-      Engine.hemit h
-        (Tmk_trace.Event.Lock_queued
-           { lock = req.lr_lock; requester = req.lr_requester });
-    Queue.add req st.pending
-  end
-  else begin
-    st.cached <- false;
-    note_grant_inflight t req;
-    grant_from_handler t target req h
-  end
+    let st = lock_state_of t target req.lr_lock in
+    Log.debug (fun m ->
+        m "[t=%d] lock %d transfer-request at %d from %d (held=%b cached=%b)"
+          (Engine.now (engine t)) req.lr_lock target req.lr_requester st.held st.cached);
+    if st.held || not st.cached then begin
+      if Engine.htracing h then
+        Engine.hemit h
+          (Tmk_trace.Event.Lock_queued { lock = req.lr_lock; requester = req.lr_requester });
+      Queue.add req st.pending
+    end
+    else begin
+      st.cached <- false;
+      note_grant_inflight t req;
+      grant_from_handler t target req h
+    end
   end
 
 (* The (effective) manager: record the requester, forward to the
@@ -1082,32 +256,33 @@ let transfer_request t target req h =
 let manager_handle t mgr req h =
   if stale_request t req then ()
   else begin
-  let ms = mgr_state_of t mgr req.lr_lock in
-  let target = ms.last_requester in
-  assert (target <> req.lr_requester);
-  ms.last_requester <- req.lr_requester;
-  if Engine.htracing h then
-    Engine.hemit h
-      (Tmk_trace.Event.Lock_request_recv
-         { lock = req.lr_lock; requester = req.lr_requester });
-  if target = mgr then transfer_request t mgr req h
-  else begin
-    h_charge h Category.Tmk_other Cpu.lock_forward;
+    let ms = mgr_state_of t mgr req.lr_lock in
+    let target = ms.last_requester in
+    assert (target <> req.lr_requester);
+    ms.last_requester <- req.lr_requester;
     if Engine.htracing h then
       Engine.hemit h
-        (Tmk_trace.Event.Lock_forward
-           { lock = req.lr_lock; requester = req.lr_requester; target });
-    Transport.hsend ~label:"lock-forward" t.transport h ~dst:target
-      ~bytes:(Wire.lock_request_bytes ~nprocs:t.cfg.Config.nprocs)
-      ~deliver:(fun h2 -> transfer_request t target req h2)
-  end
+        (Tmk_trace.Event.Lock_request_recv
+           { lock = req.lr_lock; requester = req.lr_requester });
+    if target = mgr then transfer_request t mgr req h
+    else begin
+      h_charge h Category.Tmk_other Cpu.lock_forward;
+      if Engine.htracing h then
+        Engine.hemit h
+          (Tmk_trace.Event.Lock_forward
+             { lock = req.lr_lock; requester = req.lr_requester; target });
+      Transport.hsend ~label:"lock-forward" (transport t) h ~dst:target
+        ~bytes:t.backend.Backend.b_lock_request_bytes
+        ~deliver:(fun h2 -> transfer_request t target req h2)
+    end
   end
 
 let acquire t ~pid ~lock =
-  let node = t.nodes.(pid) in
+  t.backend.Backend.b_pre_acquire ~pid;
+  let node = t.cl.Cluster.nodes.(pid) in
   let st = lock_state_of t pid lock in
   node.Node.stats.Stats.lock_acquires <- node.Node.stats.Stats.lock_acquires + 1;
-  if Engine.tracing t.engine then
+  if Engine.tracing (engine t) then
     emit t ~pid (Tmk_trace.Event.Lock_acquire { lock; local = st.cached });
   if st.cached then begin
     (* Mark the lock held before charging: Engine.advance is a scheduling
@@ -1115,9 +290,9 @@ let acquire t ~pid ~lock =
        as taken or it would grant it away (the real implementation masks
        SIGIO around the lock internals). *)
     st.held <- true;
-    Log.debug (fun m -> m "[t=%d] lock %d local acquire by %d" (Engine.now t.engine) lock pid);
+    Log.debug (fun m -> m "[t=%d] lock %d local acquire by %d" (Engine.now (engine t)) lock pid);
     app_charge Category.Tmk_other Cpu.lock_local;
-    if Engine.tracing t.engine then
+    if Engine.tracing (engine t) then
       emit t ~pid (Tmk_trace.Event.Lock_acquired { lock; local = true });
     race_lock_acquired t ~pid ~lock
   end
@@ -1130,43 +305,32 @@ let acquire t ~pid ~lock =
       {
         lr_lock = lock;
         lr_requester = pid;
-        lr_vt = Vector_time.copy node.Node.vt;
+        lr_acq = t.backend.Backend.b_make_acquire ~pid;
         lr_mb = mb;
-        lr_epoch = t.epoch;
+        lr_epoch = epoch t;
       }
     in
-    if t.crashes_planned then Hashtbl.replace t.waiting_acquires.(pid) lock req;
+    if t.cl.Cluster.crashes_planned then Hashtbl.replace t.waiting_acquires.(pid) lock req;
     let mgr = effective_lock_manager t lock in
-    Transport.send ~label:"lock-request" t.transport ~src:pid ~dst:mgr
-      ~bytes:(Wire.lock_request_bytes ~nprocs:t.cfg.Config.nprocs)
+    Transport.send ~label:"lock-request" (transport t) ~src:pid ~dst:mgr
+      ~bytes:t.backend.Backend.b_lock_request_bytes
       ~deliver:(fun h -> manager_handle t mgr req h);
-    let grant = Transport.await_value t.transport mb in
+    let payload = Transport.await_value (transport t) mb in
     Log.debug (fun m ->
-        m "[t=%d] lock %d granted to %d (%d intervals)" (Engine.now t.engine) lock pid
-          (List.length grant.g_intervals));
-    (match t.cfg.Config.protocol with
-    | Config.Lrc ->
-      atomically (fun charge ->
-          Node.close_interval ~eager_diffs:(eager_diffs t) node ~charge;
-          (* The piggybacked intervals are exactly the granter's knowledge
-             not covered by our request timestamp, so incorporation alone
-             realises the pairwise-maximum rule of §2.2; the timestamp
-             itself must only ever track incorporated records (see
-             Node.incorporate). *)
-          Node.incorporate node grant.g_intervals ~charge);
-      assert (Vector_time.leq grant.g_granter_vt node.Node.vt)
-    | Config.Erc | Config.Sc -> app_charge Category.Tmk_consistency Cpu.incorporate_base);
+        m "[t=%d] lock %d granted to %d (%d parts)" (Engine.now (engine t)) lock pid
+          payload.Backend.p_parts);
+    atomically (fun charge -> payload.Backend.p_absorb ~charge);
     st.held <- true;
     st.cached <- true;
     (* Deregister only after the token flags are set: recovery must never
        observe a grant that is in neither the registry nor [st.cached]. *)
-    if t.crashes_planned then begin
+    if t.cl.Cluster.crashes_planned then begin
       Hashtbl.remove t.waiting_acquires.(pid) lock;
       match Hashtbl.find_opt t.grant_target lock with
       | Some r when r.lr_requester = pid -> Hashtbl.remove t.grant_target lock
       | _ -> ()
     end;
-    if Engine.tracing t.engine then
+    if Engine.tracing (engine t) then
       emit t ~pid (Tmk_trace.Event.Lock_acquired { lock; local = false });
     race_lock_acquired t ~pid ~lock
   end
@@ -1174,12 +338,12 @@ let acquire t ~pid ~lock =
 let release t ~pid ~lock =
   let st = lock_state_of t pid lock in
   Log.debug (fun m ->
-      m "[t=%d] lock %d release by %d (pending=%d)" (Engine.now t.engine) lock pid
+      m "[t=%d] lock %d release by %d (pending=%d)" (Engine.now (engine t)) lock pid
         (Queue.length st.pending));
   if not st.held then
     invalid_arg (Printf.sprintf "Protocol.release: processor %d does not hold lock %d" pid lock);
   race_lock_release t ~pid ~lock;
-  if t.cfg.Config.protocol = Config.Erc then erc_flush t pid;
+  t.backend.Backend.b_pre_release ~pid;
   st.held <- false;
   (* Skip waiters invalidated by a crash: stale epochs, dead requesters,
      requests already granted elsewhere by recovery. *)
@@ -1191,13 +355,13 @@ let release t ~pid ~lock =
   match next_waiter () with
   | None ->
     (* token stays cached here *)
-    if Engine.tracing t.engine then
+    if Engine.tracing (engine t) then
       emit t ~pid (Tmk_trace.Event.Lock_release { lock; granted_to = None })
   | Some req ->
     Log.debug (fun m ->
-        m "[t=%d] lock %d release-grant by %d to %d" (Engine.now t.engine) lock pid
+        m "[t=%d] lock %d release-grant by %d to %d" (Engine.now (engine t)) lock pid
           req.lr_requester);
-    if Engine.tracing t.engine then
+    if Engine.tracing (engine t) then
       emit t ~pid
         (Tmk_trace.Event.Lock_release { lock; granted_to = Some req.lr_requester });
     st.cached <- false;
@@ -1207,8 +371,8 @@ let release t ~pid ~lock =
     Queue.iter
       (fun r ->
         if not (stale_request t r) then
-          Transport.send ~label:"lock-forward" t.transport ~src:pid ~dst:req.lr_requester
-            ~bytes:(Wire.lock_request_bytes ~nprocs:t.cfg.Config.nprocs)
+          Transport.send ~label:"lock-forward" (transport t) ~src:pid ~dst:req.lr_requester
+            ~bytes:t.backend.Backend.b_lock_request_bytes
             ~deliver:(fun h -> transfer_request t req.lr_requester r h))
       st.pending;
     Queue.clear st.pending
@@ -1222,44 +386,25 @@ let fresh_gc_state () =
 let gc_maybe_complete t =
   let gs = t.gc in
   let live_clients =
-    List.length (List.filter (fun c -> not t.dead.(c.gc_pid)) gs.gs_clients)
+    List.length (List.filter (fun c -> not (dead t c.gc_pid)) gs.gs_clients)
   in
   if
     gs.gs_manager_here
     && live_clients >= live_count t - 1
     && not (Engine.Ivar.is_filled gs.gs_all_in)
-  then Engine.fill t.engine gs.gs_all_in ~at:(Engine.now t.engine) ()
+  then Engine.fill (engine t) gs.gs_all_in ~at:(Engine.now (engine t)) ()
 
 let gc_phase t pid =
-  let node = t.nodes.(pid) in
-  let npages = t.cfg.Config.pages in
+  let node = t.cl.Cluster.nodes.(pid) in
+  let npages = (config t).Config.pages in
   Log.debug (fun m ->
-      m "[t=%d] gc at %d (%d live records)" (Engine.now t.engine) pid node.Node.live_records);
+      m "[t=%d] gc at %d (%d live records)" (Engine.now (engine t)) pid node.Node.live_records);
   node.Node.stats.Stats.gc_runs <- node.Node.stats.Stats.gc_runs + 1;
-  if Engine.tracing t.engine then
+  if Engine.tracing (engine t) then
     emit t ~pid (Tmk_trace.Event.Gc_begin { live = node.Node.live_records });
-  (* 1. Validate every page this node modified: flush twins to diffs,
-     fetch and apply whatever is missing. *)
-  let validate page =
-    atomically (fun charge -> Node.ensure_own_diff node page ~charge);
-    let rec settle () =
-      match Node.missing_diffs node page with
-      | [] ->
-        atomically (fun charge ->
-            (match Node.unapplied_diffs node page with
-            | [] -> ()
-            | pending -> Node.apply_missing_diffs node page pending ~charge);
-            if Vm.prot node.Node.vm page = Vm.No_access then begin
-              charge Category.Unix_mem Costs.mprotect;
-              Vm.set_prot node.Node.vm page Vm.Read_only
-            end)
-      | missing ->
-        fetch_and_apply_diffs t pid page missing;
-        settle ()
-    in
-    settle ()
-  in
-  List.iter validate (Node.modified_pages node);
+  (* 1. Backend-specific validation: bring every page this node modified
+     to a fully applied state so the records become discardable. *)
+  t.backend.Backend.b_gc_validate ~pid;
   (* 2. Exchange keep-bitmaps so everyone learns the new copysets. *)
   let keep = Bitset.create npages in
   for page = 0 to npages - 1 do
@@ -1273,31 +418,29 @@ let gc_phase t pid =
       let clients = t.gc.gs_clients in
       t.gc <- fresh_gc_state ();
       (* Aggregate: keepers per page, one bitset of processors per page. *)
-      let keepers = Array.init npages (fun _ -> Bitset.create t.cfg.Config.nprocs) in
+      let keepers = Array.init npages (fun _ -> Bitset.create (config t).Config.nprocs) in
       let note_keeps who bitmap =
         Bitset.iter (fun page -> Bitset.add keepers.(page) who) bitmap
       in
       note_keeps pid keep;
-      List.iter (fun c -> if not t.dead.(c.gc_pid) then note_keeps c.gc_pid c.gc_keep) clients;
-      let reply_bytes =
-        t.cfg.Config.nprocs * Wire.gc_keep_bitmap_bytes ~npages
-      in
+      List.iter (fun c -> if not (dead t c.gc_pid) then note_keeps c.gc_pid c.gc_keep) clients;
+      let reply_bytes = (config t).Config.nprocs * Wire.gc_keep_bitmap_bytes ~npages in
       List.iter
         (fun c ->
-          if not t.dead.(c.gc_pid) then
-            Transport.send_value ~label:"gc-copysets" t.transport ~src:pid ~dst:c.gc_pid
+          if not (dead t c.gc_pid) then
+            Transport.send_value ~label:"gc-copysets" (transport t) ~src:pid ~dst:c.gc_pid
               ~bytes:reply_bytes c.gc_mb keepers)
         clients;
       keepers
     end
     else begin
       let mb = Transport.mailbox () in
-      Transport.send ~label:"gc-bitmap" t.transport ~src:pid ~dst:barrier_manager
+      Transport.send ~label:"gc-bitmap" (transport t) ~src:pid ~dst:barrier_manager
         ~bytes:(Wire.gc_keep_bitmap_bytes ~npages)
         ~deliver:(fun _h ->
           t.gc.gs_clients <- { gc_pid = pid; gc_keep = keep; gc_mb = mb } :: t.gc.gs_clients;
           gc_maybe_complete t);
-      Transport.await_value t.transport mb
+      Transport.await_value (transport t) mb
     end
   in
   (* 3. Adopt the new copysets and discard every consistency record. *)
@@ -1307,7 +450,7 @@ let gc_phase t pid =
       if not (Bitset.mem keepers.(page) pid) then entry.Node.pg_has_copy <- false)
     node.Node.pages;
   let discarded = Node.discard_all_records node ~charge:app_charge in
-  if Engine.tracing t.engine then
+  if Engine.tracing (engine t) then
     emit t ~pid (Tmk_trace.Event.Gc_end { discarded })
 
 (* ------------------------------------------------------------------ *)
@@ -1315,36 +458,34 @@ let gc_phase t pid =
 
 (* Completion counts live clients against the live membership: a dead
    processor never arrives, and a client that arrived and then died is
-   kept (its intervals are already incorporated) but not counted or
+   kept (its payload is already incorporated) but not counted or
    released. *)
 let barrier_maybe_complete t bs ~at =
   let live_clients =
-    List.length (List.filter (fun bc -> not t.dead.(bc.bc_pid)) bs.bs_clients)
+    List.length (List.filter (fun bc -> not (dead t bc.bc_pid)) bs.bs_clients)
   in
   if
     bs.bs_manager_here
     && live_clients >= live_count t - 1
     && not (Engine.Ivar.is_filled bs.bs_all_in)
-  then Engine.fill t.engine bs.bs_all_in ~at ()
+  then Engine.fill (engine t) bs.bs_all_in ~at ()
 
 let barrier t ~pid ~id =
-  let node = t.nodes.(pid) in
-  let lrc = t.cfg.Config.protocol = Config.Lrc in
-  Log.debug (fun m -> m "[t=%d] barrier %d arrival by %d" (Engine.now t.engine) id pid);
+  let node = t.cl.Cluster.nodes.(pid) in
+  Log.debug (fun m -> m "[t=%d] barrier %d arrival by %d" (Engine.now (engine t)) id pid);
   node.Node.stats.Stats.barriers <- node.Node.stats.Stats.barriers + 1;
   (* epoch = this processor's global barrier sequence number *)
   let epoch = node.Node.stats.Stats.barriers - 1 in
-  if Engine.tracing t.engine then
+  if Engine.tracing (engine t) then
     emit t ~pid (Tmk_trace.Event.Barrier_arrive { id; epoch });
   race_barrier_arrive t ~pid ~id;
-  if t.cfg.Config.protocol = Config.Erc then erc_flush t pid;
+  t.backend.Backend.b_pre_barrier ~pid;
   app_charge Category.Unix_comm Cpu.barrier_arrival_build_kernel;
   app_charge Category.Tmk_other Cpu.barrier_arrival_build_dsm;
-  if lrc then atomically (fun charge ->
-      Node.close_interval ~eager_diffs:(eager_diffs t) node ~charge);
-  let want_gc = lrc && node.Node.live_records > t.cfg.Config.gc_threshold in
-  if t.cfg.Config.nprocs = 1 then begin
-    if Engine.tracing t.engine then
+  t.backend.Backend.b_barrier_begin ~pid;
+  let want_gc = t.backend.Backend.b_want_gc ~pid in
+  if (config t).Config.nprocs = 1 then begin
+    if Engine.tracing (engine t) then
       emit t ~pid (Tmk_trace.Event.Barrier_release { id; epoch });
     race_barrier_depart t ~pid ~id
   end
@@ -1352,7 +493,7 @@ let barrier t ~pid ~id =
     let bs = barrier_state_of t id in
     bs.bs_manager_here <- true;
     bs.bs_gc <- bs.bs_gc || want_gc;
-    barrier_maybe_complete t bs ~at:(Engine.now t.engine);
+    barrier_maybe_complete t bs ~at:(Engine.now (engine t));
     Engine.await bs.bs_all_in;
     let clients = bs.bs_clients in
     let run_gc = bs.bs_gc in
@@ -1362,83 +503,45 @@ let barrier t ~pid ~id =
     bs.bs_all_in <- Engine.Ivar.create ();
     bs.bs_gc <- false;
     let release_one bc =
-      (* interval selection (and any hybrid-protocol diff creation) is
-         atomic with respect to this node's handlers; a grant handler
-         interleaving between releases merely enlarges later clients'
-         deltas, which is safe *)
-      (* The timestamp must be snapshotted in the same atomic section as
-         the interval list: the per-client charge below is a scheduling
+      (* The backend builds each client's release payload in an atomic
+         section: payload selection (interval deltas, timestamp
+         snapshots, hybrid-protocol diffs) must not interleave with this
+         node's handlers — the per-client charge below is a scheduling
          point, and a handler interleaving there (e.g. a fast client's
-         arrival at the NEXT barrier) advances the manager's timestamp
-         past what this release carries.  A release whose br_vt claims
-         intervals it does not contain breaks the acquirer's coverage
-         invariant at the receiving client. *)
-      let intervals, release_vt =
-        if lrc then
-          atomically (fun charge ->
-              let attach = attach_for t node ~receiver:bc.bc_pid ~charge in
-              ( Node.intervals_since ?attach node bc.bc_vt,
-                Vector_time.copy node.Node.vt ))
-        else ([], Vector_time.copy node.Node.vt)
-      in
+         arrival at the NEXT barrier) would advance the manager's state
+         past what this release claims to carry. *)
+      let payload = atomically (fun charge -> bc.bc_release ~charge) in
       app_charge Category.Tmk_other Cpu.barrier_release_per_client;
-      let bytes =
-        Wire.barrier_release_bytes ~nprocs:t.cfg.Config.nprocs (Node.notice_counts intervals)
-        + Node.update_bytes intervals
-      in
-      Transport.send_value ~label:"barrier-release" ~parts:(interval_parts intervals)
-        t.transport ~src:pid ~dst:bc.bc_pid ~bytes bc.bc_mb
-        { br_intervals = intervals; br_vt = release_vt; br_gc = run_gc }
+      Transport.send_value ~label:"barrier-release" ~parts:payload.Backend.p_parts
+        (transport t) ~src:pid ~dst:bc.bc_pid ~bytes:payload.Backend.p_bytes bc.bc_mb
+        { br_payload = payload; br_gc = run_gc }
     in
     (* Release in client order for determinism; dead clients get none. *)
     List.iter release_one
       (List.sort
          (fun a b -> compare a.bc_pid b.bc_pid)
-         (List.filter (fun bc -> not t.dead.(bc.bc_pid)) clients));
-    if Engine.tracing t.engine then
+         (List.filter (fun bc -> not (dead t bc.bc_pid)) clients));
+    if Engine.tracing (engine t) then
       emit t ~pid (Tmk_trace.Event.Barrier_release { id; epoch });
     race_barrier_depart t ~pid ~id;
+    t.backend.Backend.b_barrier_depart ~pid;
     if run_gc then gc_phase t pid
   end
   else begin
     let mb = Transport.mailbox () in
-    (* Send the manager our intervals it does not know about: everything
-       newer than the last manager timestamp we have seen (§3.4). *)
-    let mgr_known_vt =
-      if lrc then
-        match node.Node.intervals.(barrier_manager) with
-        | iv :: _ -> iv.Node.iv_vt
-        | [] -> Vector_time.create t.cfg.Config.nprocs
-      else Vector_time.create t.cfg.Config.nprocs
-    in
-    let own =
-      if lrc then
-        atomically (fun charge ->
-            let attach = attach_for t node ~receiver:barrier_manager ~charge in
-            Node.own_intervals_since ?attach node mgr_known_vt)
-      else []
-    in
-    let arrival_vt = Vector_time.copy node.Node.vt in
-    let bytes =
-      Wire.barrier_arrival_bytes ~nprocs:t.cfg.Config.nprocs (Node.notice_counts own)
-      + Node.update_bytes own
-    in
-    Transport.send ~label:"barrier-arrival" ~parts:(interval_parts own) t.transport
-      ~src:pid ~dst:barrier_manager ~bytes
+    let arr = t.backend.Backend.b_make_arrival ~pid in
+    Transport.send ~label:"barrier-arrival" ~parts:arr.Backend.v_parts (transport t)
+      ~src:pid ~dst:barrier_manager ~bytes:arr.Backend.v_bytes
       ~deliver:(fun h ->
         let bs = barrier_state_of t id in
-        if lrc then Node.incorporate t.nodes.(barrier_manager) own ~charge:(h_charge h)
-        else h_charge h Category.Tmk_consistency Cpu.incorporate_base;
-        bs.bs_clients <- { bc_pid = pid; bc_vt = arrival_vt; bc_mb = mb } :: bs.bs_clients;
+        arr.Backend.v_absorb_mgr ~charge:(h_charge h);
+        bs.bs_clients <-
+          { bc_pid = pid; bc_release = arr.Backend.v_release; bc_mb = mb } :: bs.bs_clients;
         bs.bs_gc <- bs.bs_gc || want_gc;
         barrier_maybe_complete t bs ~at:(Engine.hnow h));
-    let rel = Transport.await_value t.transport mb in
-    if lrc then begin
-      atomically (fun charge -> Node.incorporate node rel.br_intervals ~charge);
-      assert (Vector_time.leq rel.br_vt node.Node.vt)
-    end
-    else app_charge Category.Tmk_consistency Cpu.incorporate_base;
-    if Engine.tracing t.engine then
+    let rel = Transport.await_value (transport t) mb in
+    atomically (fun charge -> rel.br_payload.Backend.p_absorb ~charge);
+    if Engine.tracing (engine t) then
       emit t ~pid (Tmk_trace.Event.Barrier_release { id; epoch });
     race_barrier_depart t ~pid ~id;
     if rel.br_gc then gc_phase t pid
@@ -1456,16 +559,6 @@ let charge_compute _t ~pid:_ ns = app_charge Category.Computation (Vtime.ns ns)
    recovery rounds are modelled by the death notices below, and the
    recovery is treated as instantaneous at the detection time.           *)
 
-(* Drop the dead processor from every live node's copysets (and the ERC
-   directory, for completeness; crashes are Lrc-only). *)
-let prune_copysets t dead_pid =
-  Array.iteri
-    (fun pid node ->
-      if not t.dead.(pid) then
-        Array.iter (fun entry -> Bitset.remove entry.Node.pg_copyset dead_pid) node.Node.pages)
-    t.nodes;
-  Array.iter (fun dir -> Bitset.remove dir dead_pid) t.erc_dir
-
 (* Rebuild one lock's metadata.  The token is located with global
    visibility: a live casher keeps it; a grant in flight to a live
    requester is left to land; otherwise it died with the crash and is
@@ -1474,27 +567,27 @@ let prune_copysets t dead_pid =
    queue in pid order; stale in-flight routing is dropped by
    [stale_request]. *)
 let recover_lock t lock =
-  let n = t.cfg.Config.nprocs in
+  let n = (config t).Config.nprocs in
   let waiters = ref [] in
   for p = n - 1 downto 0 do
     (match Hashtbl.find_opt t.lock_states.(p) lock with
     | Some st -> Queue.clear st.pending
     | None -> ());
-    if not t.dead.(p) then
+    if not (dead t p) then
       match Hashtbl.find_opt t.waiting_acquires.(p) lock with
       | Some req when not (Transport.mailbox_filled req.lr_mb) -> waiters := req :: !waiters
       | _ -> ()
   done;
   let cached_at = ref None in
   for p = n - 1 downto 0 do
-    if not t.dead.(p) then
+    if not (dead t p) then
       match Hashtbl.find_opt t.lock_states.(p) lock with
       | Some st when st.cached -> cached_at := Some p
       | _ -> ()
   done;
   let in_flight_to =
     match Hashtbl.find_opt t.grant_target lock with
-    | Some req when not t.dead.(req.lr_requester) -> Some req.lr_requester
+    | Some req when not (dead t req.lr_requester) -> Some req.lr_requester
     | _ -> None
   in
   let owner, regenerated =
@@ -1519,7 +612,7 @@ let recover_lock t lock =
   in
   List.iter
     (fun old ->
-      let fresh = { old with lr_epoch = t.epoch } in
+      let fresh = { old with lr_epoch = epoch t } in
       Hashtbl.replace t.waiting_acquires.(old.lr_requester) lock fresh;
       Queue.add fresh owner_st.pending)
     waiters;
@@ -1539,14 +632,13 @@ let recover_lock t lock =
     | Some req ->
       owner_st.cached <- false;
       note_grant_inflight t req;
-      Engine.post_handler t.engine ~pid:owner ~at:(Engine.now t.engine) (fun h ->
+      Engine.post_handler (engine t) ~pid:owner ~at:(Engine.now (engine t)) (fun h ->
           grant_from_handler t owner req h);
       Queue.iter
         (fun r ->
           if not (stale_request t r) then
-            Transport.notify ~label:"lock-forward" t.transport ~src:owner
-              ~dst:req.lr_requester
-              ~bytes:(Wire.lock_request_bytes ~nprocs:t.cfg.Config.nprocs)
+            Transport.notify ~label:"lock-forward" (transport t) ~src:owner
+              ~dst:req.lr_requester ~bytes:t.backend.Backend.b_lock_request_bytes
               ~deliver:(fun h -> transfer_request t req.lr_requester r h))
         owner_st.pending;
       Queue.clear owner_st.pending
@@ -1566,28 +658,35 @@ let recover_locks t =
 (* Re-issue every registered in-flight operation that was waiting on the
    dead processor, in deterministic (pid, registration) order. *)
 let retry_pending_ops t dead_pid =
-  let pending = List.filter (fun op -> not (op.po_settled ())) t.pending_ops in
-  let hit, rest = List.partition (fun op -> op.po_target = dead_pid) pending in
-  t.pending_ops <- rest;
-  let hit = List.sort (fun a b -> compare (a.po_pid, a.po_seq) (b.po_pid, b.po_seq)) hit in
-  List.iter (fun op -> op.po_retry ()) hit;
+  let pending =
+    List.filter (fun op -> not (op.Cluster.po_settled ())) t.cl.Cluster.pending_ops
+  in
+  let hit, rest = List.partition (fun op -> op.Cluster.po_target = dead_pid) pending in
+  t.cl.Cluster.pending_ops <- rest;
+  let hit =
+    List.sort
+      (fun a b ->
+        compare (a.Cluster.po_pid, a.Cluster.po_seq) (b.Cluster.po_pid, b.Cluster.po_seq))
+      hit
+  in
+  List.iter (fun op -> op.Cluster.po_retry ()) hit;
   List.length hit
 
 (* Metadata failover, run once per detected death. *)
 let note_death t dead_pid =
-  if not t.dead.(dead_pid) then begin
-    t.dead.(dead_pid) <- true;
-    t.epoch <- t.epoch + 1;
-    let detected_at = Engine.now t.engine in
+  if not (dead t dead_pid) then begin
+    t.cl.Cluster.dead.(dead_pid) <- true;
+    t.cl.Cluster.epoch <- t.cl.Cluster.epoch + 1;
+    let detected_at = Engine.now (engine t) in
     let crash_at =
-      Option.value ~default:detected_at (Engine.crash_time t.engine dead_pid)
+      Option.value ~default:detected_at (Engine.crash_time (engine t) dead_pid)
     in
-    if Engine.tracing t.engine then
-      Engine.emit t.engine ~pid:dead_pid
-        (Tmk_trace.Event.Failover { dead = dead_pid; epoch = t.epoch });
+    if Engine.tracing (engine t) then
+      Engine.emit (engine t) ~pid:dead_pid
+        (Tmk_trace.Event.Failover { dead = dead_pid; epoch = epoch t });
     Log.debug (fun m ->
-        m "[t=%d] processor %d declared dead (epoch %d)" (Engine.now t.engine) dead_pid
-          t.epoch);
+        m "[t=%d] processor %d declared dead (epoch %d)" (Engine.now (engine t)) dead_pid
+          (epoch t));
     if dead_pid = barrier_manager then
       (* Processor 0 is the barrier/GC manager and the initial copyset of
          every page: its state is not recoverable. *)
@@ -1597,44 +696,59 @@ let note_death t dead_pid =
          simulator applies the membership change with global visibility;
          the notices model the traffic). *)
       let monitor = barrier_manager in
-      for q = 0 to t.cfg.Config.nprocs - 1 do
-        if q <> monitor && not t.dead.(q) then
-          Transport.notify ~label:"death-notice" t.transport ~src:monitor ~dst:q
+      for q = 0 to (config t).Config.nprocs - 1 do
+        if q <> monitor && not (dead t q) then
+          Transport.notify ~label:"death-notice" (transport t) ~src:monitor ~dst:q
             ~bytes:Wire.death_notice_bytes
             ~deliver:(fun h -> h_charge h Category.Tmk_other Cpu.lock_forward)
       done;
-      prune_copysets t dead_pid;
+      t.backend.Backend.b_on_death dead_pid;
       let locks = recover_locks t in
       let retries = retry_pending_ops t dead_pid in
       (* Barriers and GC whose completion was gated on the dead client. *)
       Hashtbl.iter
-        (fun _id bs -> barrier_maybe_complete t bs ~at:(Engine.now t.engine))
+        (fun _id bs -> barrier_maybe_complete t bs ~at:(Engine.now (engine t)))
         t.barrier_states;
       gc_maybe_complete t;
-      if Engine.tracing t.engine then
-        Engine.emit t.engine ~pid:barrier_manager
-          (Tmk_trace.Event.Recovery_done { dead = dead_pid; locks; retries });
-      t.recoveries <-
-        {
-          rc_pid = dead_pid;
-          rc_epoch = t.epoch;
-          rc_crash_at = crash_at;
-          rc_detected_at = detected_at;
-          rc_locks_rehomed = locks;
-          rc_retries = retries;
-        }
-        :: t.recoveries
+      t.deaths <- { d_pid = dead_pid; d_crash_at = crash_at; d_detected_at = detected_at } :: t.deaths;
+      (* A zero-recovery backend rode out the crash by construction:
+         record a recovery only when something was actually rebuilt. *)
+      let counted =
+        (not t.backend.Backend.b_caps.Backend.c_zero_recovery) || locks > 0 || retries > 0
+      in
+      if counted then begin
+        if Engine.tracing (engine t) then
+          Engine.emit (engine t) ~pid:barrier_manager
+            (Tmk_trace.Event.Recovery_done { dead = dead_pid; locks; retries });
+        t.recoveries <-
+          {
+            rc_pid = dead_pid;
+            rc_epoch = epoch t;
+            rc_crash_at = crash_at;
+            rc_detected_at = detected_at;
+            rc_locks_rehomed = locks;
+            rc_retries = retries;
+          }
+          :: t.recoveries
+      end
     end
   end
 
 (* Transport suspicion: a crashed peer triggers failover; a peer that is
    merely unreachable (fault-plan partition) stops the run cleanly, as
-   recovery from a false positive is out of scope. *)
-let on_suspicion t ~src ~dst ~label:_ ~attempts =
-  if not t.dead.(dst) then begin
-    if Engine.crashed t.engine dst then note_death t dst
-    else
-      Engine.request_stop t.engine
+   recovery from a false positive is out of scope.  Heartbeat probes are
+   the exception: their retry budget is deliberately small so crashes are
+   detected quickly, which makes a false suspicion of a live peer
+   possible under bursty traffic (a congested handler queue can delay
+   the probe ack past the whole backoff sequence).  A live peer that
+   missed its probes is retried at the next tick; only the data path —
+   with the full retransmit budget behind it — declares a live peer
+   unreachable. *)
+let on_suspicion t ~src ~dst ~label ~attempts =
+  if not (dead t dst) then begin
+    if Engine.crashed (engine t) dst then note_death t dst
+    else if label <> "hb" then
+      Engine.request_stop (engine t)
         (Printf.sprintf "peer %d unreachable (from %d after %d attempts)" dst src attempts)
   end
 
@@ -1654,85 +768,119 @@ let heartbeat_budget = 4
    from a shared work queue and never completed, say.  Survivors then
    poll forever, and because the heartbeat itself keeps the event queue
    non-empty the simulation would never end.  So once every planned
-   crash is resolved, survivors owe completion within a grace window:
+   crash is resolved, survivors owe {e progress} within a grace window:
    generous (30 simulated seconds, or [crash_grace_factor] times the
-   crash instant for long runs, whichever is larger) so no recovering
-   run is cut short, but finite, turning application-level livelock
-   into the typed degradation. *)
+   crash instant for long runs, whichever is larger), and renewed each
+   time a surviving processor reaches another barrier or finishes.
+   Barrier arrivals are the one progress signal livelock cannot fake:
+   workers polling a shared queue for a task that died with its owner
+   keep faulting and keep cycling the queue lock, but they never reach
+   the next barrier — while a legitimately slow run (full-replication
+   backends move whole pages where LRC moves diffs) keeps arriving and
+   keeps its lease.  Only a run that is both past its deadline and
+   barrier-silent for a whole window gets the typed degradation. *)
 let crash_grace = Vtime.s 30
 let crash_grace_factor = 10
 
 let arm_heartbeat t =
   let monitor () =
     let m = ref None in
-    for p = t.cfg.Config.nprocs - 1 downto 0 do
-      if (not t.dead.(p)) && not (Engine.crashed t.engine p) then m := Some p
+    for p = (config t).Config.nprocs - 1 downto 0 do
+      if (not (dead t p)) && not (Engine.crashed (engine t) p) then m := Some p
     done;
     !m
   in
   let unfinished_live () =
     let alive = ref false in
-    for p = 0 to t.cfg.Config.nprocs - 1 do
-      if (not t.dead.(p)) && not (Engine.finished t.engine p) then alive := true
+    for p = 0 to (config t).Config.nprocs - 1 do
+      if (not (dead t p)) && not (Engine.finished (engine t) p) then alive := true
     done;
     !alive
   in
   (* A planned crash is resolved once its victim is dead (detected and
-     recovered) or finished before the crash instant ever arrived. *)
+     handled) or finished before the crash instant ever arrived. *)
   let all_crashes_resolved () =
     List.for_all
       (fun { Tmk_net.Fault_plan.cr_pid; _ } ->
-        t.dead.(cr_pid) || Engine.finished t.engine cr_pid)
-      (Tmk_net.Fault_plan.crashes t.cfg.Config.faults)
+        dead t cr_pid || Engine.finished (engine t) cr_pid)
+      (Tmk_net.Fault_plan.crashes (config t).Config.faults)
+  in
+  let allowance () =
+    List.fold_left
+      (fun acc d ->
+        Vtime.max acc (Vtime.max crash_grace (Vtime.scale d.d_crash_at crash_grace_factor)))
+      Vtime.zero t.deaths
   in
   let grace_deadline () =
     List.fold_left
-      (fun acc rc ->
-        let allowance =
-          Vtime.max crash_grace (Vtime.scale rc.rc_crash_at crash_grace_factor)
-        in
-        Vtime.max acc (Vtime.add rc.rc_detected_at allowance))
-      Vtime.zero t.recoveries
+      (fun acc d -> Vtime.max acc (Vtime.add d.d_detected_at (allowance ())))
+      Vtime.zero t.deaths
+  in
+  (* Barrier arrivals plus run completions across the survivors: the
+     progress signal that renews the grace lease (see the comment at
+     [crash_grace]).  Deliberately excludes locks and page faults — a
+     work-queue livelock generates both at full speed. *)
+  let progress_marker () =
+    let m = ref 0 in
+    for p = 0 to (config t).Config.nprocs - 1 do
+      if not (dead t p) then begin
+        m := !m + t.cl.Cluster.nodes.(p).Node.stats.Stats.barriers;
+        if Engine.finished (engine t) p then incr m
+      end
+    done;
+    !m
+  in
+  let last_marker = ref (-1) in
+  let progress_at = ref Vtime.zero in
+  let note_progress () =
+    let m = progress_marker () in
+    if m <> !last_marker then begin
+      last_marker := m;
+      progress_at := Engine.now (engine t)
+    end
   in
   let probe () =
     match monitor () with
     | None -> ()
     | Some monitor ->
-      for q = 0 to t.cfg.Config.nprocs - 1 do
-        if q <> monitor && (not t.dead.(q)) && not (Engine.finished t.engine q) then
-          Transport.notify ~label:"hb" ~retry_budget:heartbeat_budget t.transport
+      for q = 0 to (config t).Config.nprocs - 1 do
+        if q <> monitor && (not (dead t q)) && not (Engine.finished (engine t) q) then
+          Transport.notify ~label:"hb" ~retry_budget:heartbeat_budget (transport t)
             ~src:monitor ~dst:q ~bytes:Wire.heartbeat_bytes
             ~deliver:(fun _h -> ())
       done
   in
   let rec tick at =
-    Engine.schedule t.engine ~at (fun () ->
-        if Engine.stop_reason t.engine = None && unfinished_live () then
+    Engine.schedule (engine t) ~at (fun () ->
+        if Engine.stop_reason (engine t) = None && unfinished_live () then
           if not (all_crashes_resolved ()) then begin
             probe ();
             tick (Vtime.add at heartbeat_period)
           end
           else
-            match t.recoveries with
+            match t.deaths with
             | [] ->
               (* Every victim finished before its crash instant: nothing
                  to detect or to count down.  Stand down so a genuine
                  application deadlock still surfaces as one. *)
               ()
-            | rc :: _ ->
-              if Engine.now t.engine > grace_deadline () then
-                (* The protocol recovered long ago; the survivors are
-                   stuck on application state only the dead processor
-                   could produce.  Give them the typed ending, not an
-                   endless simulation. *)
-                note_fatal t ~pid:rc.rc_pid
+            | d :: _ ->
+              note_progress ();
+              let now = Engine.now (engine t) in
+              if now > grace_deadline () && now > Vtime.add !progress_at (allowance ())
+              then
+                (* The protocol absorbed the crash long ago and the
+                   survivors have been barrier-silent for a whole grace
+                   window: they are stuck on application state only the
+                   dead processor could produce.  Give them the typed
+                   ending, not an endless simulation. *)
+                note_fatal t ~pid:d.d_pid
                   (Printf.sprintf
-                     "survivors still incomplete %.0f s after recovery: \
+                     "survivors made no progress for %.0f s after recovery: \
                       application state lost in the crash of processor %d \
                       cannot be reproduced"
-                     (Vtime.to_s
-                        (Vtime.sub (Engine.now t.engine) rc.rc_detected_at))
-                     rc.rc_pid)
+                     (Vtime.to_s (Vtime.sub now !progress_at))
+                     d.d_pid)
               else tick (Vtime.add at heartbeat_period))
   in
   tick heartbeat_period
@@ -1742,63 +890,44 @@ let arm_heartbeat t =
 
 let create cfg =
   Config.validate cfg;
-  let engine = Engine.create ~nprocs:cfg.Config.nprocs in
-  (match cfg.Config.trace with
-  | Some sink -> Engine.set_sink engine sink
-  | None -> ());
-  let prng = Tmk_util.Prng.split_named (Tmk_util.Prng.create cfg.Config.seed) "net" in
-  let transport =
-    Transport.create ~plan:cfg.Config.faults ~batching:cfg.Config.batching ~engine
-      ~params:cfg.Config.net ~prng ()
-  in
-  let nodes =
-    Array.init cfg.Config.nprocs (fun pid ->
-        let emit =
-          match cfg.Config.trace with
-          | None -> None
-          | Some _ -> Some (fun ev -> Engine.emit engine ~pid ev)
-        in
-        Node.create ?emit ~vm_fast_path:cfg.Config.vm_fast_path ~pid
-          ~nprocs:cfg.Config.nprocs ~pages:cfg.Config.pages ())
-  in
-  let erc_dir =
-    Array.init cfg.Config.pages (fun _ ->
-        let b = Bitset.create cfg.Config.nprocs in
-        Bitset.add b 0;
-        b)
-  in
+  let caps = backend_caps cfg.Config.protocol in
   let planned_crashes = Tmk_net.Fault_plan.crashes cfg.Config.faults in
+  if planned_crashes <> [] && not caps.Backend.c_crash_runs then
+    invalid_arg
+      (Printf.sprintf "Config: crash recovery is not supported by the %s backend"
+         caps.Backend.c_name);
+  if cfg.Config.diff_backup && not caps.Backend.c_diff_backup then
+    invalid_arg
+      (Printf.sprintf "Config: diff_backup is not supported by the %s backend"
+         caps.Backend.c_name);
+  let cl = Cluster.create cfg in
+  let backend =
+    match cfg.Config.protocol with
+    | Config.Lrc -> Lrc.make cl
+    | Config.Erc -> Erc.make cl
+    | Config.Sc -> Sc.make cl
+    | Config.Tardis -> Tardis.make cl
+    | Config.Sc_abd -> Sc_abd.make cl
+  in
   let t =
     {
-      cfg;
-      engine;
-      transport;
-      nodes;
+      cl;
+      backend;
       lock_states = Array.init cfg.Config.nprocs (fun _ -> Hashtbl.create 16);
       lock_mgrs = Array.init cfg.Config.nprocs (fun _ -> Hashtbl.create 16);
       barrier_states = Hashtbl.create 4;
       gc = fresh_gc_state ();
-      erc_dir;
-      erc_pending = Array.init cfg.Config.nprocs (fun _ -> Hashtbl.create 4);
-      erc_inflight = Array.make cfg.Config.pages 0;
-      sc = None;
-      crashes_planned = planned_crashes <> [];
-      dead = Array.make cfg.Config.nprocs false;
-      epoch = 0;
       waiting_acquires = Array.init cfg.Config.nprocs (fun _ -> Hashtbl.create 4);
       grant_target = Hashtbl.create 16;
-      pending_ops = [];
-      next_op = 0;
+      deaths = [];
       recoveries = [];
-      fatal = None;
     }
   in
-  (if cfg.Config.protocol = Config.Sc then
-     t.sc <- Some (Sc.create ~engine ~transport ~nodes ~pages:cfg.Config.pages));
   Array.iteri
     (fun pid node ->
-      Vm.set_fault_handler node.Node.vm (fun kind page -> handle_fault t pid kind page))
-    nodes;
+      Vm.set_fault_handler node.Node.vm (fun kind page ->
+          backend.Backend.b_handle_fault ~pid kind page))
+    cl.Cluster.nodes;
   (match race_of t with
   | Some race ->
     Array.iteri
@@ -1808,42 +937,21 @@ let create cfg =
               match kind with Vm.Read -> Tmk_check.Race.Read | Vm.Write -> Tmk_check.Race.Write
             in
             Tmk_check.Race.note_access race ~pid kind ~addr ~width))
-      nodes
+      cl.Cluster.nodes
   | None -> ());
   (* Suspicions from retry-budget exhaustion drive failure handling. *)
-  Transport.on_suspect transport (fun ~src ~dst ~label ~attempts ->
+  Transport.on_suspect cl.Cluster.transport (fun ~src ~dst ~label ~attempts ->
       on_suspicion t ~src ~dst ~label ~attempts);
-  (* Diff replication: mirror each locally created diff to its creator's
-     deterministic backup peer the moment it exists. *)
-  if cfg.Config.diff_backup then
-    Array.iter
-      (fun node ->
-        Node.set_diff_hook node (fun ~page ~proc ~interval ~diff ->
-            match backup_peer t proc with
-            | None -> ()
-            | Some b ->
-              let bytes = Wire.diff_backup_bytes (Rle.encoded_size diff) in
-              node.Node.stats.Stats.diff_backups <- node.Node.stats.Stats.diff_backups + 1;
-              node.Node.stats.Stats.diff_backup_bytes <-
-                node.Node.stats.Stats.diff_backup_bytes + bytes;
-              if Engine.tracing engine then
-                Engine.emit engine ~pid:proc
-                  (Tmk_trace.Event.Diff_backup { page; proc; interval; bytes; to_ = b });
-              Transport.notify ~label:"diff-backup" t.transport ~src:proc ~dst:b ~bytes
-                ~deliver:(fun h ->
-                  h_charge h Category.Tmk_mem (Costs.diff_apply 0);
-                  Node.store_backup t.nodes.(b) ~proc ~interval_id:interval ~page diff)))
-      nodes;
   (* Crash injection: silence the processor at its planned instant;
      detection and failover run through the suspicion path. *)
   List.iter
     (fun { Tmk_net.Fault_plan.cr_pid; cr_at } ->
-      Engine.schedule engine ~at:cr_at (fun () ->
-          if not (Engine.finished engine cr_pid) then begin
-            if Engine.tracing engine then
-              Engine.emit engine ~pid:cr_pid Tmk_trace.Event.Proc_crash;
-            Engine.mark_crashed engine cr_pid
+      Engine.schedule cl.Cluster.engine ~at:cr_at (fun () ->
+          if not (Engine.finished cl.Cluster.engine cr_pid) then begin
+            if Engine.tracing cl.Cluster.engine then
+              Engine.emit cl.Cluster.engine ~pid:cr_pid Tmk_trace.Event.Proc_crash;
+            Engine.mark_crashed cl.Cluster.engine cr_pid
           end))
     planned_crashes;
-  if t.crashes_planned then arm_heartbeat t;
+  if cl.Cluster.crashes_planned then arm_heartbeat t;
   t

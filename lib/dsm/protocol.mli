@@ -1,6 +1,5 @@
-(** The TreadMarks protocol engine: lazy release consistency with
-    multiple-writer pages and lazy diff creation, plus the eager
-    release-consistency baseline of §5.
+(** The protocol engine: backend-agnostic synchronization plumbing over a
+    pluggable {!Backend} coherence engine.
 
     One value of type {!t} is a running cluster: an {!Tmk_sim.Engine}
     with one DSM node per processor, a {!Tmk_net.Transport} between them,
@@ -11,56 +10,54 @@
     program against.  They must be called from the application process of
     the named processor (they block on remote replies).  Shared-memory
     loads and stores go straight through {!Tmk_mem.Vm} accessors on
-    [Node.vm]; protection faults re-enter this module automatically.
+    [Node.vm]; protection faults re-enter this module automatically,
+    dispatching to the selected backend.
 
-    Protocol summary per operation (LRC):
+    What this module owns, identically under every backend:
 
-    - {b acquire}: free if this processor holds the lock token; otherwise
-      request → manager → (forward to last requester) → grant carrying
-      the interval records the acquirer has not seen (§3.3); incorporation
-      invalidates the pages named by their write notices.
-    - {b release}: no communication unless a queued request is waiting, in
-      which case the lock transfers with the same piggybacked interval
-      delta.
-    - {b barrier}: clients push their new intervals to the centralized
-      manager; the manager merges and rebroadcasts each client's missing
-      delta (§3.4).
-    - {b page fault}: write faults on valid pages twin the page; misses
-      fetch a base copy (cold) and the missing diffs, queried from the
-      minimal processor set of §3.5, applied in vector-timestamp order.
-    - {b garbage collection} (§3.6): piggybacked on a barrier when a
-      node's consistency-record count passes the configured threshold;
-      everyone validates the pages it modified, keep-bitmaps are
-      exchanged, and all records are discarded.
+    - {b locks} (§3.3): token caching, static managers with cyclic
+      failover, request forwarding to the last requester, queued waiters
+      drained at release;
+    - {b barriers} (§3.4): centralized manager (processor 0), arrival
+      collection, per-client release fan-out;
+    - {b garbage collection} (§3.6): triggered when the backend's
+      [b_want_gc] says so, keep-bitmap exchange, copyset adoption,
+      record discard;
+    - {b crash handling}: suspicion-driven death detection, membership
+      epochs, deterministic metadata failover, heartbeat probing and the
+      post-recovery grace window.
 
-    Under ERC (§5.1), release and barrier arrival instead create diffs of
-    every dirty page eagerly and push them as updates to every cacher,
-    blocking until all are acknowledged; locks and barriers carry no
-    consistency payload and pages are never invalidated.
+    What each message {e carries} and what absorbing it {e means} is the
+    backend's business, reached through the hooks of {!Backend.t}: LRC
+    grants piggyback interval records whose write notices invalidate
+    pages; ERC flushes diffs eagerly at release so synchronization
+    carries nothing; SC serializes each page at a per-page manager;
+    Tardis ships one scalar timestamp per synchronization and expires
+    leases locally; SC-ABD quorum-replicates every word and needs no
+    recovery at all.  [Config.protocol] selects the backend;
+    {!backend_caps} exposes what the selection supports.
 
-    {b Failure model (crash-stop, LRC only).}  A processor named in the
-    fault plan's crash schedule goes silent at its planned instant.
-    Detection runs through the transport's suspicion mechanism (organic
-    retransmission exhaustion, plus heartbeat probes from processor 0
+    {b Failure model (crash-stop).}  A processor named in the fault
+    plan's crash schedule goes silent at its planned instant; only
+    backends with [caps.c_crash_runs] admit such plans ({!create} rejects
+    the rest).  Detection runs through the transport's suspicion
+    mechanism (organic retransmission exhaustion, plus heartbeat probes
     while a crash plan is armed).  On detection the membership epoch is
     bumped and metadata fails over deterministically: lock managership
     migrates to the next live processor in cyclic pid order, lost lock
     tokens are regenerated, live waiters are re-injected in pid order,
-    in-flight page/diff fetches are re-issued against live peers,
-    copysets are pruned, and barrier/GC completion re-counts against the
-    live membership.  A run that would need state only the dead
-    processor held (processor 0's initial pages, a diff that was never
-    mirrored) records a fatality — surfaced by [Api.run] as [Degraded]
-    — and stops cleanly. *)
+    registered in-flight operations are re-issued against live peers,
+    the backend prunes its own per-processor state ([b_on_death]), and
+    barrier/GC completion re-counts against the live membership.  A
+    backend with [caps.c_zero_recovery] (SC-ABD) rides out the crash by
+    construction: nothing is rebuilt and no recovery is recorded.  A run
+    that would need state only the dead processor held records a
+    fatality — surfaced by [Api.run] as [Degraded] — and stops
+    cleanly. *)
 
 open Tmk_sim
 
 type t
-
-(** Raised when a page fetch finds no live processor in the page's
-    copyset (every copy died with a crash).  Application-context fetches
-    convert it into a fatality rather than letting it escape. *)
-exception Empty_copyset of { pid : int; page : int }
 
 (** One completed metadata failover. *)
 type recovery = {
@@ -72,9 +69,19 @@ type recovery = {
   rc_retries : int;  (** in-flight operations re-issued *)
 }
 
-(** [create config] builds the cluster (engine, transport, nodes, fault
-    wiring).  Application processes are spawned by the caller via
-    {!Engine.spawn} on {!engine}. *)
+(** [backend_caps protocol] — the capability sheet of the coherence
+    backend [protocol] selects, without building a cluster.  Used to
+    validate configurations (crash plans, [diff_backup]) and to decide
+    which run-time checks apply (e.g. vector-timestamp invariants only
+    where [c_vt_on_wire]). *)
+val backend_caps : Config.protocol -> Backend.caps
+
+(** [create config] builds the cluster (engine, transport, nodes, the
+    selected coherence backend, fault wiring).  Application processes are
+    spawned by the caller via {!Engine.spawn} on {!engine}.
+    @raise Invalid_argument if [config] asks for a capability the
+    selected backend lacks (crash schedule without [c_crash_runs],
+    [diff_backup] without [c_diff_backup]). *)
 val create : Config.t -> t
 
 val config : t -> Config.t
@@ -107,7 +114,9 @@ val live : t -> int -> bool
 (** [epoch t] — the current membership epoch (0 with no deaths). *)
 val epoch : t -> int
 
-(** [recoveries t] — completed failovers, oldest first. *)
+(** [recoveries t] — completed failovers, oldest first.  Empty when no
+    processor died, and also when a [c_zero_recovery] backend absorbed
+    every death without rebuilding anything. *)
 val recoveries : t -> recovery list
 
 (** [fatality t] — set when the run degraded: the processor whose loss

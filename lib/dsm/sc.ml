@@ -196,3 +196,39 @@ let handle_fault t ~pid kind page =
   Engine.await rq.rq_done;
   if Engine.tracing t.engine then
     Engine.emit t.engine ~pid (Tmk_trace.Event.Page_fault_done { page; kind = ekind })
+
+(* ------------------------------------------------------------------ *)
+(* Backend packaging                                                   *)
+
+let caps =
+  {
+    Backend.c_name = Config.protocol_name Config.Sc;
+    c_crash_runs = false;
+    c_zero_recovery = false;
+    c_diff_backup = false;
+    c_vt_on_wire = true;
+  }
+
+let make cl =
+  let t =
+    create ~engine:cl.Cluster.engine ~transport:cl.Cluster.transport
+      ~nodes:cl.Cluster.nodes ~pages:cl.Cluster.cfg.Config.pages
+  in
+  let nprocs = cl.Cluster.cfg.Config.nprocs in
+  {
+    Backend.b_caps = caps;
+    b_handle_fault = (fun ~pid kind page -> handle_fault t ~pid kind page);
+    b_lock_request_bytes = Wire.lock_request_bytes ~nprocs;
+    b_pre_acquire = Backend.noop_pid;
+    b_make_acquire =
+      (fun ~pid:_ ->
+        { Backend.a_grant = (fun ~granter ~charge -> Backend.plain_grant ~nprocs ~granter ~charge) });
+    b_pre_release = Backend.noop_pid;
+    b_pre_barrier = Backend.noop_pid;
+    b_barrier_begin = Backend.noop_pid;
+    b_make_arrival = (fun ~pid:_ -> Backend.plain_arrival ~nprocs);
+    b_barrier_depart = Backend.noop_pid;
+    b_want_gc = (fun ~pid:_ -> false);
+    b_gc_validate = Backend.noop_pid;
+    b_on_death = (fun _ -> ());
+  }

@@ -43,3 +43,10 @@ val create :
 (** [handle_fault t ~pid kind page] — application-context fault entry
     point (the SIGSEGV analogue); blocks until the access is legal. *)
 val handle_fault : t -> pid:int -> Tmk_mem.Vm.access -> int -> unit
+
+val caps : Backend.caps
+
+(** [make cl] builds the single-writer state over [cl]'s nodes and
+    returns the backend hook table (all synchronization hooks are
+    plain: consistency lives entirely in the fault path). *)
+val make : Cluster.t -> Backend.t

@@ -1,0 +1,427 @@
+(* SC-ABD: shared memory as majority-quorum replicated registers.
+
+   Every processor keeps a full replica of every page, and every 8-byte
+   word of a page is a last-writer-wins register with its own timestamp
+   (encoded [counter * nprocs + pid], so timestamps are totally ordered
+   and writer-unique).  There is no owner, no directory and no manager:
+
+   - A release (or barrier arrival, or acquire of any kind) flushes the
+     dirty pages with a two-phase ABD write: query every live replica for
+     the maximum timestamp over the dirty words, pick a larger one, then
+     store the diffs at every live replica and wait until a majority
+     acknowledges.  Receivers apply a store word-filtered (only where the
+     incoming timestamp wins), so concurrent writers to disjoint words of
+     the same page never lose updates.
+   - A miss reads a majority: collect (page, word-timestamps) from live
+     replicas, merge word-wise with the local copy, and write the merged
+     value back only when the replies disagreed (ABD read-repair).
+   - An acquire invalidates the whole cache after its flush — pages are
+     re-read through a quorum on next touch.  Invalidating at the
+     acquire (rather than when some payload arrives) also covers
+     re-acquires of locally cached locks, which exchange no messages.
+
+   Because any majority intersects any other, a read quorum always sees
+   the newest completed write, whatever minority of processors has
+   crashed — so a crash needs {e no} recovery protocol at all: no state
+   is rebuilt, no diffs are re-homed, nothing is re-issued.  The price is
+   paid up front, on every miss and every flush, in quorum round-trips. *)
+
+open Tmk_sim
+module Transport = Tmk_net.Transport
+module Vm = Tmk_mem.Vm
+module Costs = Tmk_mem.Costs
+module Rle = Tmk_util.Rle
+
+let app_charge = Cluster.app_charge
+let h_charge = Cluster.h_charge
+let atomically = Cluster.atomically
+
+let caps =
+  {
+    Backend.c_name = Config.protocol_name Config.Sc_abd;
+    c_crash_runs = true;
+    c_zero_recovery = true;
+    c_diff_backup = false;
+    c_vt_on_wire = false;
+  }
+
+let words = Wire.abd_words_per_page
+
+type t = {
+  cl : Cluster.t;
+  wordts : int array array;
+      (* wordts.(pid).(page * words + w): timestamp of processor [pid]'s
+         replica of word [w] of [page] *)
+}
+
+let nprocs t = t.cl.Cluster.cfg.Config.nprocs
+
+(* Majority of the {e full} membership: crashed processors still count
+   toward the denominator (their replicas are frozen, not forgotten). *)
+let needed t = nprocs t / 2
+
+let live_peers t pid =
+  List.filter (fun q -> q <> pid && Cluster.live t.cl q) (List.init (nprocs t) Fun.id)
+
+let require_quorum t pid peers =
+  if List.length peers < needed t then
+    Cluster.degrade_app t.cl ~pid
+      (Printf.sprintf "sc-abd: quorum lost (%d live peers, need %d)" (List.length peers)
+         (needed t))
+
+(* Apply [diff] to [dst]'s replica of [page], keeping only the words
+   where [ts] beats the replica's word timestamp.  The twin is patched
+   too when the page is locally dirty, so the incoming words do not
+   reappear in [dst]'s own next diff. *)
+let apply_store t ~from_ dst page diff ~ts ~charge =
+  let node = t.cl.Cluster.nodes.(dst) in
+  let row = t.wordts.(dst) in
+  let base = page * words in
+  let snap = Vm.page_snapshot node.Node.vm page in
+  let twin = node.Node.pages.(page).Node.pg_twin in
+  List.iter
+    (fun { Rle.offset; bytes } ->
+      let len = Bytes.length bytes in
+      for w = offset / 8 to (offset + len - 1) / 8 do
+        if ts > row.(base + w) then begin
+          row.(base + w) <- ts;
+          let lo = max (w * 8) offset and hi = min ((w + 1) * 8) (offset + len) in
+          Bytes.blit bytes (lo - offset) snap lo (hi - lo);
+          match twin with
+          | Some tw -> Bytes.blit bytes (lo - offset) tw lo (hi - lo)
+          | None -> ()
+        end
+      done)
+    (Rle.runs diff);
+  Vm.install_page node.Node.vm page snap;
+  charge Category.Tmk_mem (Costs.diff_apply (Rle.payload_size diff));
+  node.Node.stats.Stats.diffs_applied <- node.Node.stats.Stats.diffs_applied + 1;
+  if Engine.tracing t.cl.Cluster.engine then
+    Cluster.emit t.cl ~pid:dst
+      (Tmk_trace.Event.Diff_apply
+         { page; bytes = Rle.payload_size diff; proc = from_; interval = -1 })
+
+(* Word-filtered full-page overwrite (read-repair write-back). *)
+let apply_writeback t dst page merged mrow ~charge =
+  let node = t.cl.Cluster.nodes.(dst) in
+  let row = t.wordts.(dst) in
+  let base = page * words in
+  let snap = Vm.page_snapshot node.Node.vm page in
+  let twin = node.Node.pages.(page).Node.pg_twin in
+  for w = 0 to words - 1 do
+    if mrow.(w) > row.(base + w) then begin
+      row.(base + w) <- mrow.(w);
+      Bytes.blit merged (w * 8) snap (w * 8) 8;
+      match twin with
+      | Some tw -> Bytes.blit merged (w * 8) tw (w * 8) 8
+      | None -> ()
+    end
+  done;
+  Vm.install_page node.Node.vm page snap;
+  charge Category.Tmk_mem Costs.page_copy
+
+(* ------------------------------------------------------------------ *)
+(* Quorum read (application context, from a miss)                      *)
+
+let quorum_read t pid page =
+  let cl = t.cl in
+  Cluster.note_miss cl pid page;
+  let node = cl.Cluster.nodes.(pid) in
+  let peers = live_peers t pid in
+  let need = needed t in
+  require_quorum t pid peers;
+  node.Node.stats.Stats.quorum_reads <- node.Node.stats.Stats.quorum_reads + 1;
+  app_charge Category.Tmk_other Cpu.page_request_build;
+  let replies = ref [] and got = ref 0 in
+  let enough = Engine.Ivar.create () in
+  List.iter
+    (fun q ->
+      Transport.send ~label:"abd-read" cl.Cluster.transport ~src:pid ~dst:q
+        ~bytes:Wire.abd_read_request_bytes
+        ~deliver:(fun h ->
+          h_charge h Category.Tmk_other Cpu.abd_serve;
+          h_charge h Category.Tmk_mem Costs.page_copy;
+          let qnode = cl.Cluster.nodes.(q) in
+          let snap = Vm.page_snapshot qnode.Node.vm page in
+          let row = Array.sub t.wordts.(q) (page * words) words in
+          Transport.hsend ~label:"abd-read-reply" cl.Cluster.transport h ~dst:pid
+            ~bytes:Wire.abd_read_reply_bytes
+            ~deliver:(fun hr ->
+              if !got < need then begin
+                replies := (snap, row) :: !replies;
+                incr got;
+                if !got = need then Engine.fill cl.Cluster.engine enough ~at:(Engine.hnow hr) ()
+              end)))
+    peers;
+  if need > 0 then Engine.await enough;
+  (* freeze before charging: late replies past the quorum are ignored *)
+  let got_replies = !replies in
+  app_charge Category.Tmk_other
+    (Vtime.scale Cpu.abd_merge_per_reply (List.length got_replies));
+  let base = page * words in
+  let my = t.wordts.(pid) in
+  let merged = Vm.page_snapshot node.Node.vm page in
+  let disagree =
+    atomically (fun charge ->
+        List.iter
+          (fun (snap, row) ->
+            for w = 0 to words - 1 do
+              if row.(w) > my.(base + w) then begin
+                my.(base + w) <- row.(w);
+                Bytes.blit snap (w * 8) merged (w * 8) 8
+              end
+            done)
+          got_replies;
+        let disagree =
+          List.exists
+            (fun (_, row) ->
+              let stale = ref false in
+              for w = 0 to words - 1 do
+                if row.(w) < my.(base + w) then stale := true
+              done;
+              !stale)
+            got_replies
+        in
+        Vm.install_page node.Node.vm page merged;
+        charge Category.Unix_mem Costs.mprotect;
+        Vm.set_prot node.Node.vm page Vm.Read_only;
+        node.Node.pages.(page).Node.pg_has_copy <- true;
+        disagree)
+  in
+  if Engine.tracing cl.Cluster.engine then
+    Cluster.emit cl ~pid
+      (Tmk_trace.Event.Quorum_read { page; replies = List.length got_replies });
+  if disagree then begin
+    (* ABD read-repair: the value about to be returned must survive at a
+       majority before any later read may be allowed to miss it. *)
+    let mrow = Array.sub my base words in
+    let acks = ref 0 in
+    let repaired = Engine.Ivar.create () in
+    List.iter
+      (fun q ->
+        Transport.send ~label:"abd-writeback" cl.Cluster.transport ~src:pid ~dst:q
+          ~bytes:Wire.abd_writeback_bytes
+          ~deliver:(fun h ->
+            h_charge h Category.Tmk_other Cpu.abd_serve;
+            apply_writeback t q page merged mrow ~charge:(h_charge h);
+            Transport.hsend ~label:"abd-ack" cl.Cluster.transport h ~dst:pid
+              ~bytes:Wire.ack_bytes
+              ~deliver:(fun ha ->
+                if !acks < need then begin
+                  incr acks;
+                  if !acks = need then
+                    Engine.fill cl.Cluster.engine repaired ~at:(Engine.hnow ha) ()
+                end)))
+      peers;
+    if need > 0 then Engine.await repaired
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Two-phase quorum flush (application context)                        *)
+
+let flush t pid =
+  let cl = t.cl in
+  let node = cl.Cluster.nodes.(pid) in
+  let dirty = node.Node.dirty in
+  node.Node.dirty <- [];
+  let entries =
+    List.filter_map
+      (fun page ->
+        let entry = node.Node.pages.(page) in
+        match entry.Node.pg_twin with
+        | None -> None
+        | Some twin ->
+          let diff =
+            atomically (fun charge ->
+                charge Category.Tmk_other Cpu.erc_flush_per_page;
+                charge Category.Tmk_mem (Costs.diff_create Vm.page_size);
+                let diff = Vm.diff_against node.Node.vm page ~twin in
+                entry.Node.pg_twin <- None;
+                node.Node.stats.Stats.diffs_created <-
+                  node.Node.stats.Stats.diffs_created + 1;
+                node.Node.stats.Stats.diff_bytes_created <-
+                  node.Node.stats.Stats.diff_bytes_created + Rle.encoded_size diff;
+                if Engine.tracing cl.Cluster.engine then
+                  Cluster.emit cl ~pid
+                    (Tmk_trace.Event.Diff_create
+                       { page; bytes = Rle.encoded_size diff; proc = pid; interval = -1 });
+                charge Category.Unix_mem Costs.mprotect;
+                Vm.set_prot node.Node.vm page Vm.Read_only;
+                diff)
+          in
+          if Rle.is_empty diff then None else Some (page, diff))
+      dirty
+  in
+  if entries <> [] then begin
+    let peers = live_peers t pid in
+    let need = needed t in
+    require_quorum t pid peers;
+    let n_dirty = List.length entries in
+    (* Phase 1: learn the maximum timestamp any live replica holds for
+       the dirty words, so the store's timestamp beats them all. *)
+    let maxes = ref [] and got = ref 0 in
+    let ph1 = Engine.Ivar.create () in
+    List.iter
+      (fun q ->
+        Transport.send ~label:"abd-ts" cl.Cluster.transport ~src:pid ~dst:q
+          ~bytes:(Wire.abd_ts_query_bytes n_dirty)
+          ~deliver:(fun h ->
+            h_charge h Category.Tmk_other Cpu.abd_serve;
+            let row = t.wordts.(q) in
+            let m = ref 0 in
+            List.iter
+              (fun (page, _) ->
+                let base = page * words in
+                for w = 0 to words - 1 do
+                  if row.(base + w) > !m then m := row.(base + w)
+                done)
+              entries;
+            let m = !m in
+            Transport.hsend ~label:"abd-ts-reply" cl.Cluster.transport h ~dst:pid
+              ~bytes:(Wire.abd_ts_reply_bytes n_dirty)
+              ~deliver:(fun hr ->
+                if !got < need then begin
+                  maxes := m :: !maxes;
+                  incr got;
+                  if !got = need then
+                    Engine.fill cl.Cluster.engine ph1 ~at:(Engine.hnow hr) ()
+                end)))
+      peers;
+    if need > 0 then Engine.await ph1;
+    let seen = !maxes in
+    let own_max =
+      List.fold_left
+        (fun acc (page, _) ->
+          let base = page * words in
+          let m = ref acc in
+          for w = 0 to words - 1 do
+            if t.wordts.(pid).(base + w) > !m then m := t.wordts.(pid).(base + w)
+          done;
+          !m)
+        0 entries
+    in
+    let max_seen = List.fold_left max own_max seen in
+    let n = nprocs t in
+    let ts = (((max_seen / n) + 1) * n) + pid in
+    (* Stamp the local replica: it is one of the majority. *)
+    atomically (fun charge ->
+        charge Category.Tmk_consistency Cpu.incorporate_base;
+        List.iter
+          (fun (page, diff) ->
+            let base = page * words in
+            List.iter
+              (fun { Rle.offset; bytes } ->
+                let len = Bytes.length bytes in
+                for w = offset / 8 to (offset + len - 1) / 8 do
+                  t.wordts.(pid).(base + w) <- ts
+                done)
+              (Rle.runs diff))
+          entries);
+    (* Phase 2: store everywhere, proceed once a majority holds it. *)
+    let sizes = List.map (fun (_, d) -> Rle.encoded_size d) entries in
+    let bytes = Wire.abd_store_bytes sizes in
+    let acks = ref 0 in
+    let ph2 = Engine.Ivar.create () in
+    List.iter
+      (fun q ->
+        Transport.send ~label:"abd-store" ~parts:n_dirty cl.Cluster.transport ~src:pid
+          ~dst:q ~bytes
+          ~deliver:(fun h ->
+            h_charge h Category.Tmk_other Cpu.abd_serve;
+            List.iter
+              (fun (page, diff) ->
+                apply_store t ~from_:pid q page diff ~ts ~charge:(h_charge h))
+              entries;
+            Transport.hsend ~label:"abd-store-ack" cl.Cluster.transport h ~dst:pid
+              ~bytes:Wire.ack_bytes
+              ~deliver:(fun ha ->
+                if !acks < need then begin
+                  incr acks;
+                  if !acks = need then
+                    Engine.fill cl.Cluster.engine ph2 ~at:(Engine.hnow ha) ()
+                end)))
+      peers;
+    if need > 0 then Engine.await ph2;
+    node.Node.stats.Stats.quorum_writes <- node.Node.stats.Stats.quorum_writes + 1;
+    if Engine.tracing cl.Cluster.engine then
+      Cluster.emit cl ~pid (Tmk_trace.Event.Quorum_write { pages = n_dirty; acks = need })
+  end
+
+(* Drop the whole cache: the next touch of any page re-reads a quorum.
+   One mprotect charge — a real implementation revokes the entire
+   contiguous range with a single syscall.  Always runs post-flush, so
+   no twins exist. *)
+let invalidate_all t pid ~charge =
+  if nprocs t > 1 then begin
+    let node = t.cl.Cluster.nodes.(pid) in
+    charge Category.Unix_mem Costs.mprotect;
+    for page = 0 to t.cl.Cluster.cfg.Config.pages - 1 do
+      if Vm.prot node.Node.vm page <> Vm.No_access then begin
+        Vm.set_prot node.Node.vm page Vm.No_access;
+        node.Node.pages.(page).Node.pg_has_copy <- false
+      end
+    done
+  end
+
+let make cl =
+  let n = cl.Cluster.cfg.Config.nprocs in
+  let npages = cl.Cluster.cfg.Config.pages in
+  (* Full replication: every processor starts with a valid all-zero
+     replica of every page, timestamp 0. *)
+  Array.iter
+    (fun node ->
+      for page = 0 to npages - 1 do
+        Vm.set_prot node.Node.vm page Vm.Read_only;
+        node.Node.pages.(page).Node.pg_has_copy <- true
+      done)
+    cl.Cluster.nodes;
+  let t = { cl; wordts = Array.init n (fun _ -> Array.make (npages * words) 0) } in
+  {
+    Backend.b_caps = caps;
+    b_handle_fault =
+      (fun ~pid kind page ->
+        Cluster.rc_fault cl pid kind page ~miss:(fun () -> quorum_read t pid page));
+    b_lock_request_bytes = Wire.abd_sync_bytes;
+    b_pre_acquire =
+      (fun ~pid ->
+        flush t pid;
+        atomically (fun charge -> invalidate_all t pid ~charge));
+    b_make_acquire =
+      (fun ~pid:_ ->
+        {
+          Backend.a_grant =
+            (fun ~granter:_ ~charge ->
+              charge Category.Unix_comm Cpu.lock_grant_kernel;
+              charge Category.Tmk_other Cpu.lock_grant_dsm;
+              {
+                Backend.p_bytes = Wire.abd_sync_bytes;
+                p_parts = 1;
+                p_absorb = Backend.plain_absorb;
+              });
+        });
+    b_pre_release = (fun ~pid -> flush t pid);
+    b_pre_barrier = (fun ~pid -> flush t pid);
+    b_barrier_begin = Backend.noop_pid;
+    b_make_arrival =
+      (fun ~pid ->
+        {
+          Backend.v_bytes = Wire.abd_sync_bytes;
+          v_parts = 1;
+          v_absorb_mgr = Backend.plain_absorb;
+          v_release =
+            (fun ~charge:_ ->
+              {
+                Backend.p_bytes = Wire.abd_sync_bytes;
+                p_parts = 1;
+                p_absorb =
+                  (fun ~charge ->
+                    charge Category.Tmk_consistency Cpu.incorporate_base;
+                    invalidate_all t pid ~charge);
+              });
+        });
+    b_barrier_depart =
+      (fun ~pid -> atomically (fun charge -> invalidate_all t pid ~charge));
+    b_want_gc = (fun ~pid:_ -> false);
+    b_gc_validate = Backend.noop_pid;
+    b_on_death = (fun _ -> ());
+  }

@@ -1,0 +1,13 @@
+(** SC-ABD: majority-quorum replicated memory, packaged as a {!Backend}.
+
+    Every word of every page is a last-writer-wins register fully
+    replicated at all processors; misses read a majority (ABD read with
+    read-repair), release-time flushes run a two-phase quorum write
+    (timestamp query, then store acknowledged by a majority), and
+    acquires drop the whole cache.  Quorum intersection makes any
+    minority of crashes harmless {e without any recovery protocol}:
+    [caps.c_zero_recovery] is set and a [--crash] run completes with an
+    empty recovery list. *)
+
+val caps : Backend.caps
+val make : Cluster.t -> Backend.t

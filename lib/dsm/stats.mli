@@ -35,6 +35,14 @@ type t = {
       (** diffs mirrored to a backup peer at creation
           ({!Config.diff_backup} mode only) *)
   mutable diff_backup_bytes : int;  (** payload bytes of those mirrors *)
+  mutable lease_expiries : int;
+      (** Tardis: cached pages invalidated by a lease sweep at a
+          synchronization point *)
+  mutable quorum_reads : int;
+      (** SC-ABD: majority-quorum page reads (one per access miss) *)
+  mutable quorum_writes : int;
+      (** SC-ABD: two-phase quorum flushes (one per release/barrier with
+          dirty pages) *)
 }
 
 val create : unit -> t

@@ -77,3 +77,51 @@ val death_notice_bytes : int
 (** [diff_backup_bytes encoded_size] — one mirrored diff: its
     (processor, interval index, page) key plus the runlength encoding. *)
 val diff_backup_bytes : int -> int
+
+(** {2 Tardis} — synchronization carries one 64-bit scalar timestamp
+    instead of a vector; page traffic carries (wts, rts) counter pairs. *)
+
+val ts_bytes : int
+val tardis_lock_request_bytes : int
+val tardis_lock_grant_bytes : int
+val tardis_barrier_arrival_bytes : int
+val tardis_barrier_release_bytes : int
+
+(** [tardis_page_request_bytes] — page id, requester id, requester
+    timestamp, held-copy version. *)
+val tardis_page_request_bytes : int
+
+(** [tardis_page_reply_bytes ~with_page] — (wts, rts) pair plus the page
+    contents unless the requester's cached version is current. *)
+val tardis_page_reply_bytes : with_page:bool -> int
+
+(** {2 SC-ABD} — quorum-replicated word-granularity LWW stores. *)
+
+val abd_words_per_page : int
+
+(** [abd_wordts_bytes] — one compressed (32-bit) timestamp per 8-byte
+    word of a page. *)
+val abd_wordts_bytes : int
+
+val abd_read_request_bytes : int
+
+(** [abd_read_reply_bytes] — page contents plus per-word timestamps. *)
+val abd_read_reply_bytes : int
+
+(** [abd_ts_query_bytes n] / [abd_ts_reply_bytes n] — flush phase 1: the
+    dirty page list, answered by per-page maximum timestamps. *)
+val abd_ts_query_bytes : int -> int
+
+val abd_ts_reply_bytes : int -> int
+
+(** [abd_store_bytes encoded_sizes] — flush phase 2: one store message
+    carrying each dirty page's diff plus the writer's timestamp. *)
+val abd_store_bytes : int list -> int
+
+(** [abd_writeback_bytes] — a read-repair write-back (full page plus
+    word timestamps). *)
+val abd_writeback_bytes : int
+
+(** [abd_sync_bytes] — an SC-ABD lock/barrier control message: ids only
+    (synchronization carries no consistency payload at all). *)
+val abd_sync_bytes : int

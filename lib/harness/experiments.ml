@@ -3,9 +3,9 @@ open Tmk_dsm
 module Tablefmt = Tmk_util.Tablefmt
 module Params = Tmk_net.Params
 
-type id = E1 | E2 | E3 | E4 | E5 | E6 | E7 | E8 | E9 | E10 | E11 | E12
+type id = E1 | E2 | E3 | E4 | E5 | E6 | E7 | E8 | E9 | E10 | E11 | E12 | E13
 
-let all = [ E1; E2; E3; E4; E5; E6; E7; E8; E9; E10; E11; E12 ]
+let all = [ E1; E2; E3; E4; E5; E6; E7; E8; E9; E10; E11; E12; E13 ]
 
 let id_name = function
   | E1 -> "e1"
@@ -20,6 +20,7 @@ let id_name = function
   | E10 -> "e10"
   | E11 -> "e11"
   | E12 -> "e12"
+  | E13 -> "e13"
 
 let id_of_name s =
   match String.lowercase_ascii s with
@@ -35,6 +36,7 @@ let id_of_name s =
   | "e10" -> E10
   | "e11" -> E11
   | "e12" -> E12
+  | "e13" -> E13
   | other -> invalid_arg (Printf.sprintf "Experiments.id_of_name: unknown experiment %S" other)
 
 let describe = function
@@ -50,6 +52,7 @@ let describe = function
   | E10 -> "robustness sweep: all applications under 0-20% frame loss (section 3.7)"
   | E11 -> "scaling study, 2-64 processors, batched vs unbatched consistency traffic"
   | E12 -> "crash survival: recovery latency and diff replication cost, 8 processors"
+  | E13 -> "coherence backend comparison: lazy/eager/tardis/sc-abd on both networks"
 
 let atm = Params.atm_aal34
 
@@ -854,6 +857,135 @@ let e12 () =
   ^ Printf.sprintf "\ncrash arms survived: %d/%d (raw measurements written to %s)\n" n_ok
       (List.length survived_crashes) json_file
 
+(* ------------------------------------------------------------------ *)
+(* E13: coherence backend comparison                                   *)
+
+let e13_nprocs = 8
+let e13_backends = [ Config.Lrc; Config.Erc; Config.Tardis; Config.Sc_abd ]
+let e13_nets = [ Params.atm_aal34; Params.ethernet_udp ]
+
+let e13_json ~file data =
+  let b = Buffer.create 8192 in
+  let arm_json (protocol, (m : Harness.metrics), digest) lazy_time =
+    let s = m.Harness.m_raw.Api.total_stats in
+    Printf.sprintf
+      "{\"backend\":%S,\"time_s\":%.6f,\"vs_lazy\":%.4f,\"messages\":%d,\"bytes\":%d,\
+       \"page_fetches\":%d,\"diffs_created\":%d,\"diffs_applied\":%d,\
+       \"lease_expiries\":%d,\"quorum_reads\":%d,\"quorum_writes\":%d,\"digest\":%S}"
+      (Config.protocol_name protocol)
+      m.Harness.m_time_s
+      (lazy_time /. m.Harness.m_time_s)
+      m.Harness.m_raw.Api.messages m.Harness.m_raw.Api.bytes s.Stats.page_fetches
+      s.Stats.diffs_created s.Stats.diffs_applied s.Stats.lease_expiries
+      s.Stats.quorum_reads s.Stats.quorum_writes digest
+  in
+  Buffer.add_string b
+    (Printf.sprintf "{\"experiment\":\"E13\",\"nprocs\":%d,\"networks\":[" e13_nprocs);
+  List.iteri
+    (fun i (net, by_app) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "{\"network\":%S,\"apps\":[" (Params.name net));
+      List.iteri
+        (fun j (app, arms) ->
+          if j > 0 then Buffer.add_char b ',';
+          let lazy_time =
+            let _, (m : Harness.metrics), _ =
+              List.find (fun (p, _, _) -> p = Config.Lrc) arms
+            in
+            m.Harness.m_time_s
+          in
+          Buffer.add_string b
+            (Printf.sprintf "{\"app\":%S,\"workload\":%S,\"backends\":[%s]}"
+               (Harness.app_name app)
+               (Harness.workload_description app)
+               (String.concat "," (List.map (fun arm -> arm_json arm lazy_time) arms))))
+        by_app;
+      Buffer.add_string b "]}")
+    data;
+  Buffer.add_string b "]}\n";
+  let oc = open_out file in
+  Buffer.output_buffer oc b;
+  close_out oc
+
+let e13 () =
+  let arms =
+    List.concat_map
+      (fun net ->
+        List.concat_map
+          (fun app -> List.map (fun protocol -> (net, app, protocol)) e13_backends)
+          Harness.all_apps)
+      e13_nets
+  in
+  let run_arm (net, app, protocol) =
+    Harness.run_checked ~app (Harness.config ~app ~nprocs:e13_nprocs ~protocol ~net)
+  in
+  let results = Harness.parallel_map ~jobs:!jobs run_arm arms in
+  let by_arm = Hashtbl.create 64 in
+  List.iter2 (fun arm r -> Hashtbl.replace by_arm arm r) arms results;
+  let data =
+    List.map
+      (fun net ->
+        ( net,
+          List.map
+            (fun app ->
+              ( app,
+                List.map
+                  (fun protocol ->
+                    let m, digest = Hashtbl.find by_arm (net, app, protocol) in
+                    (protocol, m, digest))
+                  e13_backends ))
+            Harness.all_apps ))
+      e13_nets
+  in
+  let json_file = "BENCH_7.json" in
+  e13_json ~file:json_file data;
+  let per_net (net, by_app) =
+    Tablefmt.render
+      ~title:
+        (Printf.sprintf
+           "E13. Coherence backends on %s, %d processors\n\
+            (time in simulated seconds; vs-lazy = lazy time / backend time)"
+           (Params.name net) e13_nprocs)
+      ~header:
+        [ "app"; "lazy s"; "eager s (vs)"; "tardis s (vs)"; "sc-abd s (vs)"; "answers" ]
+      (List.map
+         (fun (app, arms) ->
+           let time p =
+             let _, (m : Harness.metrics), _ = List.find (fun (q, _, _) -> q = p) arms in
+             m.Harness.m_time_s
+           in
+           let cell p = Printf.sprintf "%s (%s)" (f2 (time p)) (f2 (time Config.Lrc /. time p)) in
+           let digests = List.map (fun (_, _, d) -> d) arms in
+           let agree = List.for_all (fun d -> d = List.hd digests) digests in
+           [ Harness.app_name app;
+             f2 (time Config.Lrc);
+             cell Config.Erc;
+             cell Config.Tardis;
+             cell Config.Sc_abd;
+             (if agree then "identical" else "MISMATCH") ])
+         by_app)
+  in
+  let all_agree =
+    List.for_all
+      (fun (_, by_app) ->
+        List.for_all
+          (fun (_, arms) ->
+            match List.map (fun (_, _, d) -> d) arms with
+            | [] -> true
+            | d :: rest -> List.for_all (( = ) d) rest)
+          by_app)
+      data
+  in
+  String.concat "\n"
+    (List.map per_net data
+    @ [
+        Printf.sprintf
+          "every application digests identically under every backend: %s\n\
+           (raw measurements written to %s)"
+          (if all_agree then "yes" else "NO - REGRESSION")
+          json_file;
+      ])
+
 let run = function
   | E1 -> e1 ()
   | E2 -> e2 ()
@@ -867,6 +999,7 @@ let run = function
   | E10 -> e10 ()
   | E11 -> e11 ()
   | E12 -> e12 ()
+  | E13 -> e13 ()
 
 let run_all () =
   String.concat "\n"

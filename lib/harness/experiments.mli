@@ -35,6 +35,14 @@ type id =
           message/byte cost of mirroring each diff to a backup peer.
           Also writes the raw measurements to [BENCH_5.json] in the
           working directory. *)
+  | E13
+      (** coherence backend comparison: the five applications on 8
+          processors under lazy, eager, tardis and sc-abd, on both the
+          ATM and Ethernet models — execution time and backend-specific
+          traffic (page fetches, diffs, lease expiries, quorum rounds),
+          with a digest check that every backend computes the same
+          answer.  Also writes the raw measurements to [BENCH_7.json] in
+          the working directory. *)
 
 val all : id list
 
@@ -48,12 +56,13 @@ val id_of_name : string -> id
 val describe : id -> string
 
 (** [set_jobs n] — run the independent arms of sweep experiments (E10,
-    E11) on up to [n] OCaml domains via {!Harness.parallel_map}.  The
-    default is 1 (sequential); reports are byte-identical at any value. *)
+    E11, E13) on up to [n] OCaml domains via {!Harness.parallel_map}.
+    The default is 1 (sequential); reports are byte-identical at any
+    value. *)
 val set_jobs : int -> unit
 
 (** [run id] — execute the experiment and return its rendered report. *)
 val run : id -> string
 
-(** [run_all ()] — E1 through E12, concatenated. *)
+(** [run_all ()] — E1 through E13, concatenated. *)
 val run_all : unit -> string

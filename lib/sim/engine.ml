@@ -137,22 +137,6 @@ let trace t msg =
     let pid = match t.running_pid with Some p -> p | None -> -1 in
     emit t ~pid (Tmk_trace.Event.Mark msg)
 
-(* Compatibility shim for the historic string sink: marks flow through
-   the typed stream and are echoed to [f] as they are recorded. *)
-let set_trace t f =
-  let s =
-    match t.sink with
-    | Some s -> s
-    | None ->
-      let s = Tmk_trace.Sink.create () in
-      set_sink t s;
-      s
-  in
-  Tmk_trace.Sink.on_record s (fun r ->
-      match r.Tmk_trace.Sink.r_ev with
-      | Tmk_trace.Event.Mark msg -> f r.Tmk_trace.Sink.r_time msg
-      | _ -> ())
-
 let schedule t ~at f =
   if at < t.clock then
     invalid_arg

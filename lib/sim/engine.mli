@@ -201,14 +201,6 @@ val hemit : hctx -> Tmk_trace.Event.t -> unit
 (** [htracing h] is {!tracing} reached through a handler context. *)
 val htracing : hctx -> bool
 
-(** [set_trace t f] — compatibility shim over the typed stream: installs
-    a sink if none is present and echoes every {!trace} mark to [f] as
-    [(time, message)].  Used by the string-trace determinism tests. *)
-val set_trace : t -> (Vtime.t -> string -> unit) -> unit
-[@@ocaml.deprecated
-  "Pass a typed sink instead: Api.run ?trace (or Config.trace) records the full event \
-   stream."]
-
 (** [trace t msg] records a {!Tmk_trace.Event.Mark} at the current time,
     attributed to the running process if any (no-op without a sink). *)
 val trace : t -> string -> unit

@@ -112,6 +112,8 @@ let cat_of (ev : Event.t) =
   | Gc_begin _ | Gc_end _ -> "gc"
   | Proc_crash | Peer_suspect _ | Failover _ | Recovery_done _ | Diff_backup _ ->
     "failure"
+  | Ts_sync _ -> "consistency"
+  | Lease_expire _ | Quorum_read _ | Quorum_write _ -> "page"
   | Proc_finish | Mark _ -> "engine"
 
 (* Begin/end pairing: a begin event opens a span under a key; the

@@ -34,6 +34,10 @@ type t =
   | Failover of { dead : int; epoch : int }
   | Recovery_done of { dead : int; locks : int; retries : int }
   | Diff_backup of { page : int; proc : int; interval : int; bytes : int; to_ : int }
+  | Ts_sync of { ts : int }
+  | Lease_expire of { page : int }
+  | Quorum_read of { page : int; replies : int }
+  | Quorum_write of { pages : int; acks : int }
   | Proc_finish
   | Mark of string
 
@@ -75,6 +79,10 @@ let name = function
   | Failover _ -> "failover"
   | Recovery_done _ -> "recovery-done"
   | Diff_backup _ -> "diff-backup"
+  | Ts_sync _ -> "ts-sync"
+  | Lease_expire _ -> "lease-expire"
+  | Quorum_read _ -> "quorum-read"
+  | Quorum_write _ -> "quorum-write"
   | Proc_finish -> "proc-finish"
   | Mark _ -> "mark"
 
@@ -128,6 +136,10 @@ let args = function
   | Diff_backup { page; proc; interval; bytes; to_ } ->
     [ ("page", Int page); ("proc", Int proc); ("interval", Int interval);
       ("bytes", Int bytes); ("to", Int to_) ]
+  | Ts_sync { ts } -> [ ("ts", Int ts) ]
+  | Lease_expire { page } -> [ ("page", Int page) ]
+  | Quorum_read { page; replies } -> [ ("page", Int page); ("replies", Int replies) ]
+  | Quorum_write { pages; acks } -> [ ("pages", Int pages); ("acks", Int acks) ]
   | Proc_finish -> []
   | Mark msg -> [ ("msg", Str msg) ]
 
@@ -211,6 +223,10 @@ let of_args ev_name ev_args =
         Diff_backup
           { page = int "page"; proc = int "proc"; interval = int "interval";
             bytes = int "bytes"; to_ = int "to" }
+      | "ts-sync" -> Ts_sync { ts = int "ts" }
+      | "lease-expire" -> Lease_expire { page = int "page" }
+      | "quorum-read" -> Quorum_read { page = int "page"; replies = int "replies" }
+      | "quorum-write" -> Quorum_write { pages = int "pages"; acks = int "acks" }
       | "proc-finish" -> Proc_finish
       | "mark" -> Mark (str "msg")
       | _ -> raise Bad_args

@@ -100,6 +100,18 @@ type t =
   | Diff_backup of { page : int; proc : int; interval : int; bytes : int; to_ : int }
       (** [diff_backup] mode mirrored a freshly created diff to its
           deterministic backup peer [to_] *)
+  (* Tardis / SC-ABD backends *)
+  | Ts_sync of { ts : int }
+      (** Tardis: a synchronization absorbed the granter's scalar logical
+          time, advancing this processor's clock to [ts] *)
+  | Lease_expire of { page : int }
+      (** Tardis: a lease sweep invalidated the cached copy of [page] *)
+  | Quorum_read of { page : int; replies : int }
+      (** SC-ABD: a miss on [page] completed a majority-quorum read with
+          [replies] replica answers (excluding self) *)
+  | Quorum_write of { pages : int; acks : int }
+      (** SC-ABD: a flush stored [pages] dirty pages to a majority,
+          gathering [acks] store acknowledgements (excluding self) *)
   (* Engine *)
   | Proc_finish  (** the application process returned *)
   | Mark of string  (** free-text marker ({!Tmk_sim.Engine.trace} shim) *)

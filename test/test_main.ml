@@ -12,6 +12,7 @@ let () =
       ("dsm", Test_dsm.suite);
       ("node", Test_node.suite);
       ("sc", Test_sc.suite);
+      ("backend", Test_backend.suite);
       ("calibration", Test_calibration.suite);
       ("apps", Test_apps.suite);
       ("harness", Test_harness.suite);
