@@ -16,9 +16,14 @@ let pf = Format.printf
 
 let max_nprocs = 64
 
+(* The SARIF artifact points findings at the app's fixture source. *)
+let app_uri app =
+  Printf.sprintf "lib/apps/%s.ml"
+    (String.lowercase_ascii (Tmk_harness.Harness.app_name app))
+
 let run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold ~eager_diffs
-    ~updates ~batching ~faults ~diff_backup ~racecheck ~check_invariants ~trace_file
-    ~trace_format ~trace_report ~breakdown =
+    ~updates ~batching ~faults ~diff_backup ~racecheck ~check_invariants ~lint
+    ~lint_sarif ~lint_jsonl ~trace_file ~trace_format ~trace_report ~breakdown =
   let override cfg =
     {
       cfg with
@@ -34,19 +39,33 @@ let run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold ~eager
   let cfg = override (Tmk_harness.Harness.config ~app ~nprocs ~protocol ~net) in
   (* Checkers attach to the main run only: the speedup baseline below is
      a different cluster (1 processor), so it runs unchecked. *)
+  (* The lint suite always runs the HB detector alongside: lockset rows
+     that duplicate a confirmed race are dropped in favor of the better
+     report. *)
   let race =
-    if racecheck then
+    if racecheck || lint <> None then
       Some (Tmk_check.Race.create ~nprocs ~pages:cfg.Tmk_dsm.Config.pages ())
     else None
   in
   let oracle =
     if check_invariants then Some (Tmk_check.Oracle.create ~nprocs ()) else None
   in
+  let lint =
+    Option.map (fun analyzers -> Tmk_lint.Lint.create ~analyzers ~nprocs ()) lint
+  in
   let cfg =
-    match (race, oracle) with
-    | None, None -> cfg
+    match (race, oracle, lint) with
+    | None, None, None -> cfg
     | _ ->
-      { cfg with Tmk_dsm.Config.check = Some (Tmk_check.Checker.create ?race ?oracle ()) }
+      let hooks, attach =
+        match lint with
+        | Some l -> ([ Tmk_lint.Lint.hooks l ], [ Tmk_lint.Lint.attach l ])
+        | None -> ([], [])
+      in
+      {
+        cfg with
+        Tmk_dsm.Config.check = Some (Tmk_check.Checker.create ?race ?oracle ~hooks ~attach ());
+      }
   in
   let m, sink =
     if trace_file <> None || trace_report then begin
@@ -133,16 +152,43 @@ let run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold ~eager
     pf "trace       : %d events -> %s (%s)@." (Tmk_trace.Sink.length s) file
       (match trace_format with `Jsonl -> "jsonl" | `Chrome -> "chrome trace_event")
   | _ -> ());
+  let lint_findings = Option.map (fun l -> Tmk_lint.Lint.findings ?race l) lint in
   (match sink with
   | Some s when trace_report ->
-    pf "@.%s" (Tmk_trace.Analyze.report (Tmk_trace.Analyze.analyze s))
+    let findings = Option.map Tmk_lint.Findings.table lint_findings in
+    pf "@.%s" (Tmk_trace.Analyze.report ?findings (Tmk_trace.Analyze.analyze s))
   | _ -> ());
   let race_bad =
+    (* With --lint the HB findings already appear in the unified report
+       (analyzer "hb"); print the dedicated race report only when
+       --racecheck asked for it. *)
     match race with
     | None -> false
     | Some r ->
-      pf "@.%s@." (Tmk_check.Race.report r);
-      Tmk_check.Race.has_findings r
+      if racecheck then pf "@.%s@." (Tmk_check.Race.report r);
+      racecheck && Tmk_check.Race.has_findings r
+  in
+  let lint_bad =
+    match (lint, lint_findings) with
+    | Some l, Some fs ->
+      pf "@.%s@." (Tmk_lint.Lint.report ?race l);
+      let uri = app_uri app in
+      (match lint_sarif with
+      | Some file ->
+        let oc = open_out file in
+        output_string oc (Tmk_lint.Findings.to_sarif ~uri fs);
+        close_out oc;
+        pf "sarif       : %d finding(s) -> %s@." (List.length fs) file
+      | None -> ());
+      (match lint_jsonl with
+      | Some file ->
+        let oc = open_out file in
+        output_string oc (Tmk_lint.Findings.to_jsonl fs);
+        close_out oc;
+        pf "findings    : %d finding(s) -> %s@." (List.length fs) file
+      | None -> ());
+      Tmk_lint.Findings.has_errors fs
+    | _ -> false
   in
   let oracle_bad =
     match oracle with
@@ -152,7 +198,7 @@ let run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold ~eager
       pf "@.%s@." (Tmk_check.Oracle.report violations);
       violations <> []
   in
-  (race_bad || oracle_bad, raw.Tmk_dsm.Api.stopped <> None)
+  (race_bad || oracle_bad || lint_bad, raw.Tmk_dsm.Api.stopped <> None)
 
 let app_conv =
   let parse s =
@@ -308,6 +354,31 @@ let cmd =
                    time monotonicity, interval coverage at acquire, diff conservation, \
                    barrier epoch agreement, GC safety).  Exits 2 on any violation.")
   in
+  let lint =
+    Arg.(value
+         & opt ~vopt:(Some "all") (some string) None
+         & info [ "lint" ] ~docv:"ANALYZERS"
+             ~doc:"Run the sanitizer suite alongside the application: the Eraser-style \
+                   lockset race detector (potential races, schedule-insensitive), the \
+                   sharing-pattern linter (false sharing, diff fragmentation, never-read \
+                   write notices, lock contention) and the sync-discipline lints.  \
+                   ANALYZERS is a comma-separated subset of lockset, sharing, discipline \
+                   (default all).  The happens-before detector runs too, so confirmed \
+                   races outrank the lockset's potential ones.  Exits 2 on any \
+                   error-severity finding.")
+  in
+  let lint_sarif =
+    Arg.(value & opt (some string) None
+         & info [ "lint-sarif" ] ~docv:"FILE"
+             ~doc:"Write the sanitizer findings to FILE as SARIF 2.1.0 (GitHub \
+                   code-scanning ingests it).  Implies $(b,--lint).")
+  in
+  let lint_jsonl =
+    Arg.(value & opt (some string) None
+         & info [ "lint-jsonl" ] ~docv:"FILE"
+             ~doc:"Write the sanitizer findings to FILE as JSONL, one finding per line.  \
+                   Implies $(b,--lint).")
+  in
   let check_trace =
     Arg.(value & opt (some string) None
          & info [ "check-trace" ] ~docv:"FILE"
@@ -344,9 +415,15 @@ let cmd =
   in
   let main app app_pos nprocs protocol net show_speedup list verbose seed gc_threshold
       eager_diffs updates no_batching loss dup reorder reorder_window stall unreachable
-      crash diff_backup racecheck check_invariants check_trace trace_file trace_format
-      trace_report breakdown =
+      crash diff_backup racecheck check_invariants lint lint_sarif lint_jsonl check_trace
+      trace_file trace_format trace_report breakdown =
     let app = match app_pos with Some a -> a | None -> app in
+    (* Asking for a findings file implies running the suite. *)
+    let lint =
+      match lint with
+      | None when lint_sarif <> None || lint_jsonl <> None -> Some "all"
+      | l -> l
+    in
     if verbose then begin
       Logs.set_reporter (Logs_fmt.reporter ());
       Logs.set_level ~all:true (Some Logs.Debug)
@@ -412,11 +489,12 @@ let cmd =
       with
       | faults -> (
         try
+          let lint = Option.map Tmk_lint.Lint.analyzers_of_string lint in
           let findings, stopped =
             run_one ~app ~nprocs ~protocol ~net ~show_speedup ~seed ~gc_threshold
               ~eager_diffs ~updates ~batching:(not no_batching) ~faults ~diff_backup
-              ~racecheck ~check_invariants ~trace_file ~trace_format ~trace_report
-              ~breakdown
+              ~racecheck ~check_invariants ~lint ~lint_sarif ~lint_jsonl ~trace_file
+              ~trace_format ~trace_report ~breakdown
           in
           if findings then exit 2;
           (* the run was cut short with a diagnosis (e.g. an unreachable
@@ -442,8 +520,8 @@ let cmd =
       const main $ app_arg $ app_pos $ procs $ protocol $ net $ speedup $ list $ verbose
       $ seed $ gc_threshold $ eager_diffs $ updates $ no_batching $ loss $ dup $ reorder
       $ reorder_window $ stall $ unreachable $ crash $ diff_backup $ racecheck
-      $ check_invariants $ check_trace $ trace_file $ trace_format $ trace_report
-      $ breakdown)
+      $ check_invariants $ lint $ lint_sarif $ lint_jsonl $ check_trace $ trace_file
+      $ trace_format $ trace_report $ breakdown)
   in
   Cmd.v
     (Cmd.info "tmk_run" ~version:"1.0.0"

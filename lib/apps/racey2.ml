@@ -1,0 +1,76 @@
+open Tmk_dsm
+
+type params = { rounds : int; stagger_us : int; read_delay_us : int; writer_delay_us : int }
+
+let default = { rounds = 3; stagger_us = 5_000; read_delay_us = 20_000; writer_delay_us = 50_000 }
+
+let pages_needed _ = 4
+
+(* The lockset analyzer's positive fixture: a race the happens-before
+   detector misses because this schedule orders every conflicting pair by
+   luck — through the lock-0 chain that all the counter increments form —
+   while no lock ever protects the flag word itself.
+
+   Choreography (virtual-time staggering makes it deterministic):
+
+   - p0, at t=0: writes [flag] with no lock (the "fast path"), then runs
+     its locked counter rounds.  Its last release precedes everyone
+     else's first acquire.
+   - p1 and p2, from t=stagger: one locked round, then a long pause, then
+     an unprotected read of [flag], then the remaining rounds.  The pause
+     keeps both reads clear of both processors' surrounding critical
+     sections, so the two reads are concurrent — unordered with each
+     other (benign: reads don't conflict) — which is what drives the
+     word's lockset state to Shared with an empty candidate set.
+   - the last processor, from t=writer_delay: its locked rounds, a locked
+     read of the counter, and then — on the "rarely scheduled path" the
+     counter value gates — an unprotected write of [flag].
+
+   Happens-before: every conflicting pair on [flag] (p0's write vs the
+   reads, the reads vs the last write, write vs write) is ordered through
+   lock 0's release→acquire chain, so the HB detector reports nothing.
+   Lockset: flag goes Exclusive(p0) → ownership transfer to p1 (ordered
+   read) → Shared on p2's concurrent read, candidates ∅∩∅ = ∅ → the
+   final write lands in Shared-Modified with an empty set: a potential
+   race, reported.  Reorder the lock grants and the luck runs out — which
+   is exactly the kind of bug the schedule-insensitive analyzer exists
+   for.  Detection needs at least 4 processors (two concurrent readers
+   distinct from both writers); fewer than that, the fixture still runs
+   but every access chains into an ownership transfer. *)
+let parallel ctx p =
+  let pid = Api.pid ctx and nprocs = Api.nprocs ctx in
+  let flag = Api.ialloc ~align:Tmk_mem.Vm.page_size ctx 1 in
+  let counter = Api.ialloc ~align:Tmk_mem.Vm.page_size ctx 1 in
+  let last = nprocs - 1 in
+  let bump () =
+    Api.with_lock ctx 0 (fun () -> Api.iset ctx counter 0 (Api.iget ctx counter 0 + 1))
+  in
+  if pid = 0 then begin
+    (* Fast path: publish the flag, no lock. *)
+    Api.iset ctx flag 0 1;
+    for _ = 1 to p.rounds do
+      bump ()
+    done
+  end
+  else if pid < last then begin
+    Api.compute_ns ctx (p.stagger_us * 1_000);
+    bump ();
+    if pid <= 2 then begin
+      Api.compute_ns ctx (p.read_delay_us * 1_000);
+      ignore (Api.iget ctx flag 0)
+    end;
+    for _ = 2 to p.rounds do
+      bump ()
+    done
+  end
+  else begin
+    Api.compute_ns ctx (p.writer_delay_us * 1_000);
+    for _ = 1 to p.rounds do
+      bump ()
+    done;
+    let c = Api.with_lock ctx 0 (fun () -> Api.iget ctx counter 0) in
+    (* The "rare path": gated on shared state, runs last in this
+       schedule, and writes the flag with no lock held. *)
+    if c >= p.rounds then Api.iset ctx flag 0 2
+  end;
+  if pid = last then Some (Api.iget ctx counter 0) else None

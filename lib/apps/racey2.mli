@@ -1,0 +1,34 @@
+(** Racey2 — a race the happens-before detector misses and the lockset
+    analyzer catches.
+
+    The positive fixture for [lib/lint/lockset.ml]: a flag word written
+    and read with no lock, in a schedule where the lock-0 chain formed by
+    unrelated counter increments happens to order every conflicting pair.
+    The HB detector is (correctly) silent — this execution really is
+    race-free — but the program is not: no common lock protects the flag,
+    and a different lock-grant order exposes the race.  The lockset
+    analyzer reports it regardless of schedule.
+
+    Detection needs at least 4 processors: two concurrent readers
+    distinct from both writers.
+
+    Not part of {!Tmk_harness.Harness.all_apps}: it exists to be caught,
+    not benchmarked. *)
+
+open Tmk_dsm
+
+type params = {
+  rounds : int;  (** locked counter increments per processor *)
+  stagger_us : int;  (** delay before the middle processors start *)
+  read_delay_us : int;  (** pause isolating the two unprotected reads *)
+  writer_delay_us : int;  (** delay before the last processor starts *)
+}
+
+(** [default] — 3 rounds, 5/20/50 ms staggering. *)
+val default : params
+
+val pages_needed : params -> int
+
+(** [parallel ctx p] — SPMD body; the final counter value on the last
+    processor ([rounds * nprocs] when nothing was lost). *)
+val parallel : Api.ctx -> params -> int option

@@ -1,9 +1,23 @@
-(* The checker a run carries: either half may be absent.  Lives in its
-   own module so [Config] needs a single optional field and the DSM layer
-   depends only on this library's interface, not on which checks run. *)
+(* The checker a run carries: any part may be absent.  Lives in its own
+   module so [Config] needs a single optional field and the DSM layer
+   depends only on this library's interface, not on which checks run.
 
-type t = { ck_race : Race.t option; ck_oracle : Oracle.t option }
+   Besides the two built-in checkers (race detector, invariant oracle),
+   a checker can carry generic [Hooks.t] observers and trace-attach
+   callbacks; both exist so the lint suite in [lib/lint] — which sits
+   above [tmk_dsm] — can ride along on a run without a dependency cycle. *)
 
-let create ?race ?oracle () = { ck_race = race; ck_oracle = oracle }
+type t = {
+  ck_race : Race.t option;
+  ck_oracle : Oracle.t option;
+  ck_hooks : Hooks.t list;
+  ck_attach : (Tmk_trace.Sink.t -> unit) list;
+}
+
+let create ?race ?oracle ?(hooks = []) ?(attach = []) () =
+  { ck_race = race; ck_oracle = oracle; ck_hooks = hooks; ck_attach = attach }
+
 let race t = t.ck_race
 let oracle t = t.ck_oracle
+let hooks t = t.ck_hooks
+let attach t = t.ck_attach

@@ -1,8 +1,24 @@
 (** The checker a run carries through [Config.check]: a race detector, an
-    invariant oracle, or both. *)
+    invariant oracle, generic event observers ({!Hooks}), trace-attach
+    callbacks — any combination.
 
-type t = { ck_race : Race.t option; ck_oracle : Oracle.t option }
+    [hooks] observe the same access and sync events as the race detector;
+    [attach] callbacks receive the run's trace sink before the run starts
+    (the DSM creates a private sink when the caller did not request
+    tracing).  Both exist for analyzers that sit above [tmk_dsm] in the
+    dependency order, such as the [lib/lint] sanitizer suite. *)
 
-val create : ?race:Race.t -> ?oracle:Oracle.t -> unit -> t
+type t
+
+val create :
+  ?race:Race.t ->
+  ?oracle:Oracle.t ->
+  ?hooks:Hooks.t list ->
+  ?attach:(Tmk_trace.Sink.t -> unit) list ->
+  unit ->
+  t
+
 val race : t -> Race.t option
 val oracle : t -> Oracle.t option
+val hooks : t -> Hooks.t list
+val attach : t -> (Tmk_trace.Sink.t -> unit) list

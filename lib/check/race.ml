@@ -8,17 +8,9 @@
    closes only when the processor has dirtied pages), so they under-count
    synchronization and cannot serve directly as the happens-before clock.
 
-   The program order of each processor is cut into {e segments} at every
-   lock acquire, lock release, barrier arrival and barrier departure.
-   Happens-before over segments is computed from sync edges only:
-
-   - release of lock [l] -> next acquire of [l].  The simulation runs one
-     processor at a time and the protocol enforces mutual exclusion, so
-     each lock's critical sections are totally ordered and a single stored
-     clock per lock suffices.
-   - barrier: all-to-all.  Arrival clocks accumulate per (id, occurrence);
-     departure merges the accumulated clock, which is complete because the
-     manager releases only after every arrival.
+   The segment-clock machinery (program order cut at sync operations,
+   happens-before from release→acquire and barrier edges) lives in
+   [Segments]; it is shared with the lockset analyzer in [lib/lint].
 
    Accesses are checked online against a per-word frontier (the FastTrack
    idea): each 8-byte word keeps its last writer segment and at most one
@@ -29,13 +21,7 @@
 
 type kind = Read | Write
 
-type segment = {
-  s_pid : int;
-  s_idx : int;  (* 1-based index of this segment in its processor's order *)
-  s_open : int array;  (* the processor's clock when the segment opened *)
-  s_ctx : string;  (* the synchronization that opened it, for reports *)
-  s_locks : int list;  (* locks held while the segment runs *)
-}
+type segment = Segments.segment
 
 type finding = {
   f_page : int;
@@ -56,16 +42,10 @@ type cell = { mutable c_writer : segment option; mutable c_readers : segment lis
 type t = {
   nprocs : int;
   pages : int;
-  clock : int array array;  (* clock.(p).(q): segments of q ordered before p's current *)
-  seg : segment array;  (* current open segment per processor *)
-  held : int list array;
+  segs : Segments.t;
   suppress : int array;  (* Api.unsynchronized nesting depth *)
-  lock_clock : (int, int array) Hashtbl.t;  (* lock -> releaser's clock *)
-  bar_seq : (int * int, int) Hashtbl.t;  (* (id, pid) -> arrivals so far *)
-  bar_acc : (int * int, int array) Hashtbl.t;  (* (id, occurrence) -> merged clock *)
   words : (int, cell) Hashtbl.t;
   races : (int * int * int * kind * kind, finding) Hashtbl.t;
-  mutable order : finding list;  (* findings, newest first *)
   mutable npairs : int;
   mutable accesses : int;
 }
@@ -75,106 +55,45 @@ let word_bytes = 8
 let create ~nprocs ~pages () =
   if nprocs <= 0 then invalid_arg "Race.create: nprocs must be positive";
   if pages <= 0 then invalid_arg "Race.create: pages must be positive";
-  let seg0 pid =
-    { s_pid = pid; s_idx = 1; s_open = Array.make nprocs 0; s_ctx = "at start"; s_locks = [] }
-  in
   {
     nprocs;
     pages;
-    clock = Array.init nprocs (fun _ -> Array.make nprocs 0);
-    seg = Array.init nprocs seg0;
-    held = Array.make nprocs [];
+    segs = Segments.create ~nprocs ();
     suppress = Array.make nprocs 0;
-    lock_clock = Hashtbl.create 16;
-    bar_seq = Hashtbl.create 16;
-    bar_acc = Hashtbl.create 16;
     words = Hashtbl.create 4096;
     races = Hashtbl.create 16;
-    order = [];
     npairs = 0;
     accesses = 0;
   }
 
 let nprocs t = t.nprocs
 let pages t = t.pages
-
-let max_into src dst =
-  Array.iteri (fun i v -> if v > dst.(i) then dst.(i) <- v) src
-
-(* [s] happened before [cur] iff they share a processor (program order) or
-   [cur]'s opening clock already covers [s]. *)
-let ordered s cur = s.s_pid = cur.s_pid || cur.s_open.(s.s_pid) >= s.s_idx
-
-let close_segment t pid =
-  let c = t.clock.(pid) in
-  c.(pid) <- c.(pid) + 1
-
-let open_segment t pid ctx =
-  t.seg.(pid) <-
-    {
-      s_pid = pid;
-      s_idx = t.clock.(pid).(pid) + 1;
-      s_open = Array.copy t.clock.(pid);
-      s_ctx = ctx;
-      s_locks = t.held.(pid);
-    }
-
-(* Barrier ids at and above 2^30 are the Api collectives' reserved range
-   (reduce/bcast); name them as such rather than leaking raw ids. *)
-let barrier_name id =
-  if id >= 1 lsl 30 then Printf.sprintf "collective %d" (id - (1 lsl 30))
-  else Printf.sprintf "barrier %d" id
-
-let lock_release t ~pid ~lock =
-  close_segment t pid;
-  Hashtbl.replace t.lock_clock lock (Array.copy t.clock.(pid));
-  t.held.(pid) <- List.filter (fun l -> l <> lock) t.held.(pid);
-  open_segment t pid (Printf.sprintf "after releasing lock %d" lock)
-
-let lock_acquired t ~pid ~lock =
-  close_segment t pid;
-  (match Hashtbl.find_opt t.lock_clock lock with
-  | Some c -> max_into c t.clock.(pid)
-  | None -> ());
-  t.held.(pid) <- lock :: t.held.(pid);
-  open_segment t pid (Printf.sprintf "holding lock %d" lock)
-
-let barrier_arrive t ~pid ~id =
-  close_segment t pid;
-  let occ = try Hashtbl.find t.bar_seq (id, pid) with Not_found -> 0 in
-  Hashtbl.replace t.bar_seq (id, pid) (occ + 1);
-  (match Hashtbl.find_opt t.bar_acc (id, occ) with
-  | Some acc -> max_into t.clock.(pid) acc
-  | None -> Hashtbl.add t.bar_acc (id, occ) (Array.copy t.clock.(pid)));
-  open_segment t pid (Printf.sprintf "arriving at %s" (barrier_name id))
-
-let barrier_depart t ~pid ~id =
-  close_segment t pid;
-  let occ = (try Hashtbl.find t.bar_seq (id, pid) with Not_found -> 1) - 1 in
-  (match Hashtbl.find_opt t.bar_acc (id, occ) with
-  | Some acc -> max_into acc t.clock.(pid)
-  | None -> ());
-  open_segment t pid (Printf.sprintf "after %s" (barrier_name id))
+let lock_release t ~pid ~lock = Segments.lock_release t.segs ~pid ~lock
+let lock_acquired t ~pid ~lock = Segments.lock_acquired t.segs ~pid ~lock
+let barrier_arrive t ~pid ~id = Segments.barrier_arrive t.segs ~pid ~id
+let barrier_depart t ~pid ~id = Segments.barrier_depart t.segs ~pid ~id
 
 let suppress t ~pid on =
   t.suppress.(pid) <- (t.suppress.(pid) + if on then 1 else -1)
 
 let min_lock = function [] -> None | l :: ls -> Some (List.fold_left min l ls)
 
-let hint first second =
-  match (min_lock first.s_locks, min_lock second.s_locks) with
+let hint (first : segment) (second : segment) =
+  match (min_lock first.Segments.s_locks, min_lock second.Segments.s_locks) with
   | Some l, _ ->
-    Printf.sprintf "lock %d held by p%d but not by p%d" l first.s_pid second.s_pid
+    Printf.sprintf "lock %d held by p%d but not by p%d" l first.Segments.s_pid
+      second.Segments.s_pid
   | None, Some l ->
-    Printf.sprintf "lock %d held by p%d but not by p%d" l second.s_pid first.s_pid
+    Printf.sprintf "lock %d held by p%d but not by p%d" l second.Segments.s_pid
+      first.Segments.s_pid
   | None, None -> "no common lock; a lock or an intervening barrier must order them"
 
-let record t word ~first ~fk ~second ~sk =
+let record t word ~(first : segment) ~fk ~(second : segment) ~sk =
   let page = word * word_bytes / 4096 in
   let lo = word * word_bytes mod 4096 in
   let hi = lo + word_bytes - 1 in
   t.npairs <- t.npairs + 1;
-  let key = (page, first.s_pid, second.s_pid, fk, sk) in
+  let key = (page, first.Segments.s_pid, second.Segments.s_pid, fk, sk) in
   match Hashtbl.find_opt t.races key with
   | Some f ->
     f.f_lo <- min f.f_lo lo;
@@ -186,18 +105,17 @@ let record t word ~first ~fk ~second ~sk =
         f_page = page;
         f_lo = lo;
         f_hi = hi;
-        f_first_pid = first.s_pid;
+        f_first_pid = first.Segments.s_pid;
         f_first_kind = fk;
-        f_first_ctx = first.s_ctx;
-        f_second_pid = second.s_pid;
+        f_first_ctx = first.Segments.s_ctx;
+        f_second_pid = second.Segments.s_pid;
         f_second_kind = sk;
-        f_second_ctx = second.s_ctx;
+        f_second_ctx = second.Segments.s_ctx;
         f_hint = hint first second;
         f_pairs = 1;
       }
     in
-    Hashtbl.add t.races key f;
-    t.order <- f :: t.order
+    Hashtbl.add t.races key f
 
 let cell_of t word =
   match Hashtbl.find_opt t.words word with
@@ -210,7 +128,8 @@ let cell_of t word =
 let note_access t ~pid kind ~addr ~width =
   if t.suppress.(pid) = 0 then begin
     t.accesses <- t.accesses + 1;
-    let seg = t.seg.(pid) in
+    let seg = Segments.current t.segs pid in
+    let ordered = Segments.ordered in
     let w0 = addr / word_bytes and w1 = (addr + width - 1) / word_bytes in
     for word = w0 to w1 do
       let cell = cell_of t word in
@@ -222,7 +141,8 @@ let note_access t ~pid kind ~addr ~width =
         | _ -> ());
         (match cell.c_readers with
         | s :: _ when s == seg -> ()
-        | rs -> cell.c_readers <- seg :: List.filter (fun s -> s.s_pid <> pid) rs)
+        | rs ->
+          cell.c_readers <- seg :: List.filter (fun s -> s.Segments.s_pid <> pid) rs)
       | Write ->
         (match cell.c_writer with
         | Some ws when not (ordered ws seg) ->
@@ -230,7 +150,7 @@ let note_access t ~pid kind ~addr ~width =
         | _ -> ());
         List.iter
           (fun rs ->
-            if rs.s_pid <> pid && not (ordered rs seg) then
+            if rs.Segments.s_pid <> pid && not (ordered rs seg) then
               record t word ~first:rs ~fk:Read ~second:seg ~sk:Write)
           cell.c_readers;
         cell.c_writer <- Some seg;
@@ -238,14 +158,39 @@ let note_access t ~pid kind ~addr ~width =
     done
   end
 
-let findings t = List.rev t.order
-let has_findings t = t.order <> []
+let kind_rank = function Read -> 0 | Write -> 1
+
+(* Canonical order, not discovery order: (page, byte range, pids, kinds).
+   Discovery order is deterministic for one run but differs across
+   backends and schedules that find the same races; the canonical sort
+   makes the report a function of the finding set alone, so equal finding
+   sets render byte-identically under any --jobs setting or backend. *)
+let compare_findings a b =
+  let cmp =
+    List.find_opt (fun c -> c <> 0)
+      [
+        compare a.f_page b.f_page;
+        compare a.f_lo b.f_lo;
+        compare a.f_hi b.f_hi;
+        compare a.f_first_pid b.f_first_pid;
+        compare a.f_second_pid b.f_second_pid;
+        compare (kind_rank a.f_first_kind) (kind_rank b.f_first_kind);
+        compare (kind_rank a.f_second_kind) (kind_rank b.f_second_kind);
+      ]
+  in
+  match cmp with Some c -> c | None -> 0
+
+let findings t =
+  List.sort compare_findings (Hashtbl.fold (fun _ f acc -> f :: acc) t.races [])
+
+let has_findings t = Hashtbl.length t.races > 0
 
 let kind_name = function Read -> "R" | Write -> "W"
 
 let report t =
-  if t.order = [] then
-    Printf.sprintf "race check: no unordered conflicting accesses (%d accesses, %d shared words tracked)"
+  if not (has_findings t) then
+    Printf.sprintf
+      "race check: no unordered conflicting accesses (%d accesses, %d shared words tracked)"
       t.accesses (Hashtbl.length t.words)
   else begin
     let rows =
@@ -263,7 +208,7 @@ let report t =
         (findings t)
     in
     Printf.sprintf "race check: %d distinct race(s), %d conflicting access pair(s)\n\n%s"
-      (List.length t.order) t.npairs
+      (Hashtbl.length t.races) t.npairs
       (Tmk_util.Tablefmt.render
          ~title:"Data races (conflicting accesses unordered by happens-before)"
          ~header:[ "page"; "bytes"; "kind"; "first access"; "second access"; "pairs"; "ordering fix" ]

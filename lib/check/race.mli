@@ -66,9 +66,11 @@ type finding = {
   mutable f_pairs : int;  (** access pairs merged into this finding *)
 }
 
-(** [findings t] in first-discovery order; deterministic for a
-    deterministic run.  One finding per (page, pids, kinds), with the byte
-    range widened over all conflicting words. *)
+(** [findings t] in canonical order — sorted by (page, byte range, pids,
+    kinds) rather than discovery order, so equal finding sets render
+    byte-identically whatever schedule, backend or [--jobs] setting found
+    them.  One finding per (page, pids, kinds), with the byte range
+    widened over all conflicting words. *)
 val findings : t -> finding list
 
 val has_findings : t -> bool

@@ -127,16 +127,22 @@ let barrier (ctx : ctx) id = Protocol.barrier ctx.cluster ~pid:ctx.cpid ~id
    update the read/write frontiers, so a later properly locked access is
    not compared against them either. *)
 let unsynchronized (ctx : ctx) f =
-  let race =
+  let race, hooks =
     match (Protocol.config ctx.cluster).Config.check with
-    | Some c -> Tmk_check.Checker.race c
-    | None -> None
+    | Some c -> (Tmk_check.Checker.race c, Tmk_check.Checker.hooks c)
+    | None -> (None, [])
   in
-  match race with
-  | None -> f ()
-  | Some r ->
-    Tmk_check.Race.suppress r ~pid:ctx.cpid true;
-    Fun.protect ~finally:(fun () -> Tmk_check.Race.suppress r ~pid:ctx.cpid false) f
+  match (race, hooks) with
+  | None, [] -> f ()
+  | _ ->
+    let set on =
+      (match race with
+      | Some r -> Tmk_check.Race.suppress r ~pid:ctx.cpid on
+      | None -> ());
+      List.iter (fun h -> h.Tmk_check.Hooks.h_suppress ~pid:ctx.cpid on) hooks
+    in
+    set true;
+    Fun.protect ~finally:(fun () -> set false) f
 
 let compute_ns (ctx : ctx) ns = Protocol.charge_compute ctx.cluster ~pid:ctx.cpid ns
 
@@ -206,18 +212,23 @@ let run ?trace cfg app =
   let cfg =
     match trace with None -> cfg | Some sink -> { cfg with Config.trace = Some sink }
   in
-  (* The invariant oracle consumes the typed event stream; give it a
+  (* The invariant oracle and any trace-attach callbacks (the lint
+     suite's event listeners) consume the typed event stream; give them a
      private sink when the caller did not ask for tracing. *)
-  let oracle =
+  let oracle, attach =
     match cfg.Config.check with
-    | Some c -> Tmk_check.Checker.oracle c
-    | None -> None
+    | Some c -> (Tmk_check.Checker.oracle c, Tmk_check.Checker.attach c)
+    | None -> (None, [])
   in
   let cfg =
-    match (oracle, cfg.Config.trace) with
-    | Some _, None -> { cfg with Config.trace = Some (Tmk_trace.Sink.create ()) }
+    match (oracle, attach, cfg.Config.trace) with
+    | Some _, _, None | _, _ :: _, None ->
+      { cfg with Config.trace = Some (Tmk_trace.Sink.create ()) }
     | _ -> cfg
   in
+  (match cfg.Config.trace with
+  | Some sink -> List.iter (fun f -> f sink) attach
+  | None -> ());
   (match (oracle, cfg.Config.trace) with
   | Some o, Some sink ->
     Tmk_check.Oracle.attach o sink;

@@ -129,25 +129,35 @@ let race_of t =
   | Some c -> Tmk_check.Checker.race c
   | None -> None
 
+(* Generic checker hooks (the lint suite) observe the same events. *)
+let hooks_of t =
+  match (config t).Config.check with
+  | Some c -> Tmk_check.Checker.hooks c
+  | None -> []
+
 let race_lock_acquired t ~pid ~lock =
-  match race_of t with
+  (match race_of t with
   | Some r -> Tmk_check.Race.lock_acquired r ~pid ~lock
-  | None -> ()
+  | None -> ());
+  List.iter (fun h -> h.Tmk_check.Hooks.h_lock_acquired ~pid ~lock) (hooks_of t)
 
 let race_lock_release t ~pid ~lock =
-  match race_of t with
+  (match race_of t with
   | Some r -> Tmk_check.Race.lock_release r ~pid ~lock
-  | None -> ()
+  | None -> ());
+  List.iter (fun h -> h.Tmk_check.Hooks.h_lock_release ~pid ~lock) (hooks_of t)
 
 let race_barrier_arrive t ~pid ~id =
-  match race_of t with
+  (match race_of t with
   | Some r -> Tmk_check.Race.barrier_arrive r ~pid ~id
-  | None -> ()
+  | None -> ());
+  List.iter (fun h -> h.Tmk_check.Hooks.h_barrier_arrive ~pid ~id) (hooks_of t)
 
 let race_barrier_depart t ~pid ~id =
-  match race_of t with
+  (match race_of t with
   | Some r -> Tmk_check.Race.barrier_depart r ~pid ~id
-  | None -> ()
+  | None -> ());
+  List.iter (fun h -> h.Tmk_check.Hooks.h_barrier_depart ~pid ~id) (hooks_of t)
 
 let lock_state_of t pid lock =
   match Hashtbl.find_opt t.lock_states.(pid) lock with
@@ -928,17 +938,28 @@ let create cfg =
       Vm.set_fault_handler node.Node.vm (fun kind page ->
           backend.Backend.b_handle_fault ~pid kind page))
     cl.Cluster.nodes;
-  (match race_of t with
-  | Some race ->
+  (match (race_of t, hooks_of t) with
+  | None, [] -> ()
+  | race, hooks ->
     Array.iteri
       (fun pid node ->
         Vm.set_access_hook node.Node.vm (fun kind addr width ->
+            (match race with
+            | Some race ->
+              let kind =
+                match kind with
+                | Vm.Read -> Tmk_check.Race.Read
+                | Vm.Write -> Tmk_check.Race.Write
+              in
+              Tmk_check.Race.note_access race ~pid kind ~addr ~width
+            | None -> ());
             let kind =
-              match kind with Vm.Read -> Tmk_check.Race.Read | Vm.Write -> Tmk_check.Race.Write
+              match kind with
+              | Vm.Read -> Tmk_check.Hooks.Read
+              | Vm.Write -> Tmk_check.Hooks.Write
             in
-            Tmk_check.Race.note_access race ~pid kind ~addr ~width))
-      cl.Cluster.nodes
-  | None -> ());
+            List.iter (fun h -> h.Tmk_check.Hooks.h_access ~pid kind ~addr ~width) hooks))
+      cl.Cluster.nodes);
   (* Suspicions from retry-budget exhaustion drive failure handling. *)
   Transport.on_suspect cl.Cluster.transport (fun ~src ~dst ~label ~attempts ->
       on_suspicion t ~src ~dst ~label ~attempts);

@@ -1,10 +1,11 @@
 open Tmk_sim
 open Tmk_dsm
 
-type app = Water | Jacobi | Tsp | Quicksort | Ilink | Racey
+type app = Water | Jacobi | Tsp | Quicksort | Ilink | Racey | Racey2
 
-(* Racey is deliberately excluded: it is the race detector's positive
-   fixture, not a benchmark. *)
+(* Racey and Racey2 are deliberately excluded: they are the race
+   detector's and the lockset analyzer's positive fixtures, not
+   benchmarks. *)
 let all_apps = [ Water; Jacobi; Tsp; Quicksort; Ilink ]
 
 let app_name = function
@@ -14,6 +15,7 @@ let app_name = function
   | Quicksort -> "Quicksort"
   | Ilink -> "ILINK"
   | Racey -> "Racey"
+  | Racey2 -> "Racey2"
 
 let app_of_name s =
   (* Accept a source path too ("examples/racey.ml" names the same app). *)
@@ -25,6 +27,7 @@ let app_of_name s =
   | "quicksort" | "qsort" -> Quicksort
   | "ilink" -> Ilink
   | "racey" -> Racey
+  | "racey2" -> Racey2
   | other -> invalid_arg (Printf.sprintf "Harness.app_of_name: unknown application %S" other)
 
 type metrics = {
@@ -93,6 +96,7 @@ let ilink_params =
   }
 
 let racey_params = Tmk_apps.Racey.default
+let racey2_params = Tmk_apps.Racey2.default
 
 let workload_description = function
   | Water ->
@@ -107,6 +111,9 @@ let workload_description = function
   | Racey ->
     Printf.sprintf "%d items, %d racy buckets" racey_params.Tmk_apps.Racey.items
       racey_params.Tmk_apps.Racey.buckets
+  | Racey2 ->
+    Printf.sprintf "%d lock rounds, 1 unprotected flag"
+      racey2_params.Tmk_apps.Racey2.rounds
 
 let pages_for = function
   | Water -> Tmk_apps.Water.pages_needed water_params
@@ -115,6 +122,7 @@ let pages_for = function
   | Quicksort -> Tmk_apps.Quicksort.pages_needed quicksort_params
   | Ilink -> Tmk_apps.Ilink.pages_needed ilink_params
   | Racey -> Tmk_apps.Racey.pages_needed racey_params
+  | Racey2 -> Tmk_apps.Racey2.pages_needed racey2_params
 
 let config ~app ~nprocs ~protocol ~net =
   { Config.default with Config.nprocs; pages = pages_for app; protocol; net; seed = 1994L }
@@ -129,6 +137,7 @@ let body app ctx =
   | Quicksort -> ignore (Tmk_apps.Quicksort.parallel ~collect:false ctx quicksort_params)
   | Ilink -> ignore (Tmk_apps.Ilink.parallel ctx ilink_params)
   | Racey -> ignore (Tmk_apps.Racey.parallel ~collect:false ctx racey_params)
+  | Racey2 -> ignore (Tmk_apps.Racey2.parallel ctx racey2_params)
 
 let metrics_of_raw ~app cfg raw =
   let nprocs = cfg.Config.nprocs in
@@ -233,6 +242,10 @@ let run_checked ~app cfg =
          schedule is deterministic per seed, so the digest still is. *)
       match Tmk_apps.Racey.parallel ~collect:true ctx racey_params with
       | Some hist -> put hist
+      | None -> ())
+    | Racey2 -> (
+      match Tmk_apps.Racey2.parallel ctx racey2_params with
+      | Some count -> put count
       | None -> ())
   in
   let raw = Api.run cfg checked_body in

@@ -5,12 +5,14 @@
 
 open Tmk_dsm
 
-(** The five §4.3 applications, plus [Racey] — the race detector's
-    deliberately data-racy positive fixture ({!Tmk_apps.Racey}). *)
-type app = Water | Jacobi | Tsp | Quicksort | Ilink | Racey
+(** The five §4.3 applications, plus the two deliberately racy fixtures:
+    [Racey] — the happens-before detector's ({!Tmk_apps.Racey}) — and
+    [Racey2] — the lockset analyzer's ({!Tmk_apps.Racey2}). *)
+type app = Water | Jacobi | Tsp | Quicksort | Ilink | Racey | Racey2
 
-(** [all_apps] in the paper's reporting order.  [Racey] is excluded: it
-    exists to be caught by [--racecheck], not benchmarked. *)
+(** [all_apps] in the paper's reporting order.  [Racey] and [Racey2] are
+    excluded: they exist to be caught by [--racecheck] / [--lint], not
+    benchmarked. *)
 val all_apps : app list
 
 val app_name : app -> string

@@ -1,0 +1,193 @@
+(* Sync-discipline lint.
+
+   Locks are cheap to misuse in ways neither race detector sees: a lock
+   whose critical sections write disjoint page sets is probably two locks
+   rolled into one (or protects nothing in particular); a lock that never
+   guards a write orders nothing; and an [Api.unsynchronized] span that
+   covers words the lockset analyzer found racy is an annotation hiding a
+   bug rather than a benign stale read.  All heuristics, so everything
+   here is warning/info severity. *)
+
+module Hooks = Tmk_check.Hooks
+
+let word_bytes = 8
+let page_bytes = 4096
+let words_per_page = page_bytes / word_bytes
+
+(* Thresholds: inconsistency needs enough writing sessions to mean
+   something; a write-free lock needs at least two acquires (one-shot
+   initialization locks are fine). *)
+let inconsistent_min_sessions = 4
+let no_writes_min_sessions = 2
+let max_distinct_sets = 8
+
+type lock_acc = {
+  mutable dl_sessions : int;
+  mutable dl_writing : int;  (* sessions with at least one protected write *)
+  mutable dl_inter : int list option;  (* ∩ of nonempty write-page sets *)
+  mutable dl_sets : int list list;  (* distinct write-page sets, capped *)
+  mutable dl_pids : int list;
+}
+
+type t = {
+  nprocs : int;
+  locks : (int, lock_acc) Hashtbl.t;
+  (* Per processor, the open critical sections: (lock, pages written). *)
+  active : (int * (int, unit) Hashtbl.t) list array;
+  suppress : int array;  (* Api.unsynchronized nesting depth *)
+  suppressed_words : (int, int list) Hashtbl.t;  (* word -> pids *)
+}
+
+let create ~nprocs () =
+  {
+    nprocs;
+    locks = Hashtbl.create 16;
+    active = Array.make nprocs [];
+    suppress = Array.make nprocs 0;
+    suppressed_words = Hashtbl.create 64;
+  }
+
+let lock_acc t lock =
+  match Hashtbl.find_opt t.locks lock with
+  | Some a -> a
+  | None ->
+    let a =
+      { dl_sessions = 0; dl_writing = 0; dl_inter = None; dl_sets = []; dl_pids = [] }
+    in
+    Hashtbl.add t.locks lock a;
+    a
+
+let add_pid pid pids = if List.mem pid pids then pids else pid :: pids
+
+let lock_acquired t ~pid ~lock =
+  t.active.(pid) <- (lock, Hashtbl.create 4) :: t.active.(pid)
+
+let lock_release t ~pid ~lock =
+  match List.assoc_opt lock t.active.(pid) with
+  | None -> ()  (* release without observed acquire; nothing to score *)
+  | Some pages ->
+    t.active.(pid) <- List.filter (fun (l, _) -> l <> lock) t.active.(pid);
+    let a = lock_acc t lock in
+    a.dl_sessions <- a.dl_sessions + 1;
+    a.dl_pids <- add_pid pid a.dl_pids;
+    let set = List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) pages []) in
+    if set <> [] then begin
+      a.dl_writing <- a.dl_writing + 1;
+      a.dl_inter <-
+        (match a.dl_inter with
+        | None -> Some set
+        | Some i -> Some (List.filter (fun p -> List.mem p set) i));
+      if (not (List.mem set a.dl_sets)) && List.length a.dl_sets < max_distinct_sets then
+        a.dl_sets <- set :: a.dl_sets
+    end
+
+let suppress t ~pid on = t.suppress.(pid) <- (t.suppress.(pid) + if on then 1 else -1)
+
+let access t ~pid kind ~addr ~width =
+  let w0 = addr / word_bytes and w1 = (addr + width - 1) / word_bytes in
+  if t.suppress.(pid) > 0 then
+    for word = w0 to w1 do
+      let pids = Option.value ~default:[] (Hashtbl.find_opt t.suppressed_words word) in
+      Hashtbl.replace t.suppressed_words word (add_pid pid pids)
+    done
+  else if kind = Hooks.Write then
+    List.iter
+      (fun (_, pages) ->
+        for word = w0 to w1 do
+          Hashtbl.replace pages (word / words_per_page) ()
+        done)
+      t.active.(pid)
+
+let pages_str ps = String.concat "," (List.map string_of_int ps)
+
+(* [findings ?racy_words t] — [racy_words] is the lockset analyzer's
+   output, for the unsynchronized-shadow cross-reference. *)
+let findings ?(racy_words = []) t =
+  let inconsistent =
+    Hashtbl.fold
+      (fun lock a fs ->
+        if
+          a.dl_writing >= inconsistent_min_sessions
+          && a.dl_inter = Some []
+          && List.length a.dl_sets >= 2
+        then
+          {
+            Findings.analyzer = "discipline";
+            rule = "inconsistent-lock-pages";
+            severity = Findings.Warning;
+            page = -1;
+            lo = -1;
+            hi = -1;
+            pids = List.sort_uniq compare a.dl_pids;
+            message =
+              Printf.sprintf
+                "lock %d guards inconsistent page sets across %d writing acquires (e.g. \
+                 {%s} vs {%s})"
+                lock a.dl_writing
+                (pages_str (List.nth a.dl_sets 0))
+                (pages_str (List.nth a.dl_sets 1));
+            hint = "one lock per protected structure: split it, or name what it guards";
+          }
+          :: fs
+        else fs)
+      t.locks []
+  in
+  let no_writes =
+    Hashtbl.fold
+      (fun lock a fs ->
+        if a.dl_sessions >= no_writes_min_sessions && a.dl_writing = 0 then
+          {
+            Findings.analyzer = "discipline";
+            rule = "no-protected-writes";
+            severity = Findings.Info;
+            page = -1;
+            lo = -1;
+            hi = -1;
+            pids = List.sort_uniq compare a.dl_pids;
+            message =
+              Printf.sprintf "lock %d acquired %d times but never guards a write" lock
+                a.dl_sessions;
+            hint = "a read-only lock orders nothing under LRC; drop it or check the \
+                    critical sections";
+          }
+          :: fs
+        else fs)
+      t.locks []
+  in
+  (* Suppressed spans that cover genuinely racy words: merge per page. *)
+  let shadowed = Hashtbl.create 8 in
+  List.iter
+    (fun word ->
+      match Hashtbl.find_opt t.suppressed_words word with
+      | None -> ()
+      | Some pids ->
+        let page = word / words_per_page in
+        let lo = word * word_bytes mod page_bytes in
+        let hi = lo + word_bytes - 1 in
+        let lo', hi', count, pids' =
+          Option.value ~default:(lo, hi, 0, []) (Hashtbl.find_opt shadowed page)
+        in
+        Hashtbl.replace shadowed page
+          (min lo lo', max hi hi', count + 1, List.fold_left (fun acc p -> add_pid p acc) pids' pids))
+    racy_words;
+  let shadow =
+    Hashtbl.fold
+      (fun page (lo, hi, count, pids) fs ->
+        {
+          Findings.analyzer = "discipline";
+          rule = "unsynchronized-shadow";
+          severity = Findings.Warning;
+          page;
+          lo;
+          hi;
+          pids = List.sort_uniq compare pids;
+          message =
+            Printf.sprintf
+              "Api.unsynchronized span covers %d word(s) that race outside the span" count;
+          hint = "the annotation hides a real race, not a benign stale read; synchronize \
+                  the other accesses";
+        }
+        :: fs)
+      shadowed []
+  in
+  List.sort Findings.compare_findings (inconsistent @ no_writes @ shadow)

@@ -1,0 +1,28 @@
+(** Sync-discipline lint: how the locks and annotations are used, not
+    whether the data races.
+
+    Three heuristics (all warning/info severity): a lock whose writing
+    critical sections touch inconsistent page sets is probably several
+    locks rolled into one; a lock that never guards a write orders
+    nothing under LRC; and an [Api.unsynchronized] span covering words
+    the lockset analyzer found racy is an annotation hiding a bug. *)
+
+type t
+
+val create : nprocs:int -> unit -> t
+
+val lock_acquired : t -> pid:int -> lock:int -> unit
+val lock_release : t -> pid:int -> lock:int -> unit
+
+(** [suppress t ~pid on] brackets an [Api.unsynchronized] span. *)
+val suppress : t -> pid:int -> bool -> unit
+
+(** [access t ~pid kind ~addr ~width] — unlike the other analyzers this
+    one wants {e all} accesses, suppressed included: suppressed words are
+    recorded for the shadow cross-reference, unsuppressed writes charge
+    the open critical sections. *)
+val access : t -> pid:int -> Tmk_check.Hooks.access_kind -> addr:int -> width:int -> unit
+
+(** [findings ?racy_words t] — [racy_words] is {!Lockset.racy_words}
+    output, enabling the unsynchronized-shadow check. *)
+val findings : ?racy_words:int list -> t -> Findings.t list

@@ -285,7 +285,7 @@ let take n l =
   in
   go n l
 
-let report a =
+let report ?findings a =
   let b = Buffer.create 2048 in
   let add s =
     Buffer.add_string b s;
@@ -295,6 +295,11 @@ let report a =
     (Printf.sprintf "trace: %d events over %s ms of virtual time" a.a_events
        (ms a.a_end));
   add "";
+  (match findings with
+  | Some table ->
+    add table;
+    add ""
+  | None -> ());
   (if a.a_locks = [] then add "no lock activity."
    else
      let rows =

@@ -62,7 +62,9 @@ val analyze : Sink.t -> t
     full fetches or through diff exchange. *)
 val hot_score : page_stats -> int
 
-(** [report a] — lock-contention, hot-page, barrier-skew and
+(** [report ?findings a] — lock-contention, hot-page, barrier-skew and
     per-processor tables plus a critical-path estimate, as printable
-    text. *)
-val report : t -> string
+    text.  [findings] is a pre-rendered sanitizer findings table
+    (rendering lives above this library — see [Tmk_lint.Findings.table]);
+    when given it leads the report. *)
+val report : ?findings:string -> t -> string

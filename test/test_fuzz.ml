@@ -88,10 +88,13 @@ let expectation s =
 let run_scenario s =
   let expected_slots, expected_counter = expectation s in
   (* Scenarios are data-race-free by construction (single writer per slot
-     per round, counter under lock 1), so on every fuzzed schedule the
-     detector must stay silent and the protocol invariants must hold. *)
+     per round, counter under lock 1) and lock-disciplined, so on every
+     fuzzed schedule the detector must stay silent, the protocol
+     invariants must hold, and the sanitizer suite must raise no
+     error-severity finding. *)
   let race = Tmk_check.Race.create ~nprocs:s.sc_nprocs ~pages:s.sc_pages () in
   let oracle = Tmk_check.Oracle.create ~nprocs:s.sc_nprocs () in
+  let lint = Tmk_lint.Lint.create ~nprocs:s.sc_nprocs () in
   let cfg =
     {
       Config.default with
@@ -100,7 +103,11 @@ let run_scenario s =
       protocol = s.sc_protocol;
       lrc_updates = s.sc_updates;
       seed = s.sc_seed;
-      check = Some (Tmk_check.Checker.create ~race ~oracle ());
+      check =
+        Some
+          (Tmk_check.Checker.create ~race ~oracle
+             ~hooks:[ Tmk_lint.Lint.hooks lint ]
+             ~attach:[ Tmk_lint.Lint.attach lint ] ());
     }
   in
   let ok = ref true in
@@ -145,6 +152,10 @@ let run_scenario s =
   (match Tmk_check.Oracle.finish oracle with
   | [] -> ()
   | v :: _ -> note "invariant violated [%s]: %s" (print_scenario s) v);
+  let lint_findings = Tmk_lint.Lint.findings ~race lint in
+  if Tmk_lint.Findings.has_errors lint_findings then
+    note "sanitizer suite fired on a race-free program [%s]\n%s" (print_scenario s)
+      (Tmk_lint.Findings.table lint_findings);
   !ok
 
 let fuzz_protocols =

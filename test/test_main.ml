@@ -19,6 +19,7 @@ let () =
       ("batching", Test_batching.suite);
       ("trace", Test_trace.suite);
       ("check", Test_check.suite);
+      ("lint", Test_lint.suite);
       ("perf", Test_perf.suite);
       ("fuzz", Test_fuzz.suite);
     ]

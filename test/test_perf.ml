@@ -159,6 +159,44 @@ let parallel_map_equivalence () =
     (fun i (s, p) -> check_equal ~what:(Printf.sprintf "arm %d" i) p s)
     (List.combine sequential parallel)
 
+(* ------------------------------------------------------------------ *)
+(* Determinism of the findings pipeline: a lint-attached run's full
+   report (findings table + JSONL) is a pure function of the config, so
+   sweeping the arms across 4 domains must reproduce the sequential
+   output byte for byte.                                                *)
+
+let lint_report_of (app, nprocs) =
+  let cfg = cfg_of ~app ~nprocs ~fast:true in
+  let race = Tmk_check.Race.create ~nprocs ~pages:cfg.Config.pages () in
+  let lint = Tmk_lint.Lint.create ~nprocs () in
+  let cfg =
+    {
+      cfg with
+      Config.check =
+        Some
+          (Tmk_check.Checker.create ~race
+             ~hooks:[ Tmk_lint.Lint.hooks lint ]
+             ~attach:[ Tmk_lint.Lint.attach lint ] ());
+    }
+  in
+  let _ = Harness.run_checked ~app cfg in
+  let fs = Tmk_lint.Lint.findings ~race lint in
+  Tmk_lint.Lint.report ~race lint ^ "\n" ^ Tmk_lint.Findings.to_jsonl fs
+
+let lint_findings_deterministic_across_jobs () =
+  let arms =
+    [ (Harness.Water, 4); (Harness.Tsp, 4); (Harness.Racey, 8); (Harness.Racey2, 8) ]
+  in
+  let sequential = Harness.parallel_map ~jobs:1 lint_report_of arms in
+  let parallel = Harness.parallel_map ~jobs:4 lint_report_of arms in
+  List.iteri
+    (fun i (s, p) ->
+      check Alcotest.string (Printf.sprintf "arm %d report byte-identical" i) s p)
+    (List.combine sequential parallel);
+  (* the racy arms really carry findings — the comparison is not vacuous *)
+  check Alcotest.bool "racey arm has findings" true
+    (match List.nth sequential 2 with s -> not (String.length s < 40))
+
 let suite =
   let app_case app =
     Alcotest.test_case
@@ -173,4 +211,6 @@ let suite =
       Alcotest.test_case "fast path keeps checked-path errors" `Quick fast_path_still_raises;
       Alcotest.test_case "parallel_map jobs:4 equals sequential" `Slow
         parallel_map_equivalence;
+      Alcotest.test_case "lint findings byte-identical across jobs" `Slow
+        lint_findings_deterministic_across_jobs;
     ]
